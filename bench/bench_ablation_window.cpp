@@ -1,0 +1,146 @@
+// Ablation: VUC window size — the design choice behind the paper's central
+// claim. Trains engines with half-windows w in {1, 2, 5, 10} on a reduced
+// corpus and evaluates variable-granularity accuracy on the same test apps;
+// w=0 (target instruction only) is the learned no-context baseline, exactly
+// the feature set prior work extracts for orphan variables.
+//
+// Two columns:
+//   * overall   — accuracy over all test variables;
+//   * uncertain — accuracy restricted to variables whose generalized target
+//     instructions are *ambiguous* (the same text maps to 2+ types in the
+//     training set). On these, a window-0 model provably cannot exceed the
+//     per-text majority, so this column isolates the value of context.
+#include <cstdio>
+#include <set>
+#include <unordered_map>
+
+#include "baseline/baseline.h"
+#include "harness/harness.h"
+
+namespace {
+
+using namespace cati;
+
+/// Variables whose every target instruction text is type-ambiguous in the
+/// training set.
+std::vector<bool> uncertainMask(const corpus::Dataset& train,
+                                const corpus::Dataset& test) {
+  std::unordered_map<std::string, std::set<TypeLabel>> textLabels;
+  for (const corpus::Vuc& v : train.vucs) {
+    if (v.label != TypeLabel::kCount) {
+      textLabels[v.target().text()].insert(v.label);
+    }
+  }
+  const auto byVar = test.vucsByVar();
+  std::vector<bool> mask(test.vars.size(), false);
+  for (size_t v = 0; v < byVar.size(); ++v) {
+    if (byVar[v].empty()) continue;
+    bool allAmbiguous = true;
+    for (const uint32_t i : byVar[v]) {
+      const auto it = textLabels.find(test.vucs[i].target().text());
+      if (it == textLabels.end() || it->second.size() < 2) {
+        allAmbiguous = false;
+        break;
+      }
+    }
+    mask[v] = allAmbiguous;
+  }
+  return mask;
+}
+
+struct Acc {
+  double overall = 0.0;
+  double uncertain = 0.0;
+};
+
+template <typename Predict>
+Acc accuracy(const corpus::Dataset& test, const std::vector<bool>& mask,
+             Predict&& predict) {
+  const auto byVar = test.vucsByVar();
+  size_t ok = 0;
+  size_t total = 0;
+  size_t okU = 0;
+  size_t totalU = 0;
+  for (size_t v = 0; v < byVar.size(); ++v) {
+    if (byVar[v].empty() || test.vars[v].label == TypeLabel::kCount) continue;
+    const bool hit = predict(byVar[v]) == test.vars[v].label;
+    ++total;
+    ok += hit;
+    if (mask[v]) {
+      ++totalU;
+      okU += hit;
+    }
+  }
+  return {total ? static_cast<double>(ok) / static_cast<double>(total) : 0.0,
+          totalU ? static_cast<double>(okU) / static_cast<double>(totalU)
+                 : 0.0};
+}
+
+}  // namespace
+
+int main() {
+  std::fprintf(stderr, "[ablation] generating reduced corpora...\n");
+  const auto trainBins = synth::generateCorpus(10, 20, synth::Dialect::Gcc, 41);
+  std::vector<synth::Binary> testBins;
+  for (const synth::AppProfile& app : synth::paperTestApps(1)) {
+    testBins.push_back(synth::generateBinary(app, synth::Dialect::Gcc, 2,
+                                             0x41 ^ 0x7e57));
+  }
+
+  eval::Table t({"half-window w", "VUC length", "overall acc",
+                 "uncertain-vars acc"});
+
+  // w = 0: the no-context baseline.
+  {
+    const corpus::Dataset train = corpus::extractAll(trainBins, 1);
+    corpus::Dataset test;
+    test.window = 1;
+    for (const auto& bin : testBins) {
+      test.append(corpus::extractGroundTruth(bin, 1));
+    }
+    const std::vector<bool> mask = uncertainMask(train, test);
+    baseline::NoContextBaseline nc;
+    nc.train(train);
+    const Acc a = accuracy(test, mask, [&](const std::vector<uint32_t>& idxs) {
+      std::vector<corpus::Vuc> vucs;
+      for (const uint32_t i : idxs) vucs.push_back(test.vucs[i]);
+      return nc.predictVariable(vucs);
+    });
+    t.addRow({"0 (target only)", "1", eval::fmt2(a.overall),
+              eval::fmt2(a.uncertain)});
+  }
+
+  for (const int w : {1, 2, 5, 10}) {
+    std::fprintf(stderr, "[ablation] training engine for w=%d...\n", w);
+    const corpus::Dataset train = corpus::extractAll(trainBins, w);
+    corpus::Dataset test;
+    test.window = w;
+    for (const auto& bin : testBins) {
+      test.append(corpus::extractGroundTruth(bin, w));
+    }
+    const std::vector<bool> mask = uncertainMask(train, test);
+    EngineConfig cfg;
+    cfg.window = w;
+    cfg.epochs = 5;
+    cfg.maxTrainPerStage = 12000;
+    cfg.fcHidden = 128;
+    cfg.w2v.epochs = 2;
+    Engine e(cfg);
+    e.train(train);
+    const Acc a = accuracy(test, mask, [&](const std::vector<uint32_t>& idxs) {
+      std::vector<StageProbs> probs;
+      for (const uint32_t i : idxs) probs.push_back(e.predictVuc(test.vucs[i]));
+      return e.voteVariable(probs).finalType;
+    });
+    t.addRow({std::to_string(w), std::to_string(2 * w + 1),
+              eval::fmt2(a.overall), eval::fmt2(a.uncertain)});
+  }
+
+  std::printf("Window-size ablation (reduced corpus; engines trained per "
+              "row)\n\n%s", t.str().c_str());
+  std::printf("\n(the paper fixes w=10; the w=0 row is the feature set of "
+              "prior work. The uncertain-vars column isolates the paper's "
+              "motivating case: variables a window-0 model provably cannot "
+              "separate)\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Reproduces the §VII-B "Comparison with DEBIN" experiment.
+//
+// The paper retrains CATI on DEBIN's 17-type task (struct, union, enum,
+// array, pointer, void, bool, char, short, int, long, long long + unsigned
+// variants) over 300 Debian binaries and reports CATI 0.84 vs DEBIN 0.73
+// (+11%). DEBIN itself is closed data + a CRF whose per-variable evidence is
+// the target instructions without usage context, so we compare against two
+// faithful stand-ins (DESIGN.md §2): the window-0 learned baseline (a
+// Bayes-optimal classifier over exactly DEBIN-style per-instruction
+// features) and the TypeMiner-style n-gram model, plus the IDA-style rule
+// baseline for reference.
+//
+// Folding our 19 leaf types' pointer triple (void*/struct*/arith*) into one
+// `pointer` class yields exactly 17 classes, matching DEBIN's task shape.
+// Expected shape: CATI leads the learned baselines by roughly 10 points.
+#include <algorithm>
+#include <cstdio>
+
+#include "baseline/baseline.h"
+#include "harness/harness.h"
+
+namespace {
+
+// 19 -> 17-class fold: pointers collapse.
+int fold(cati::TypeLabel t) {
+  using cati::TypeLabel;
+  if (cati::isPointer(t)) return 16;
+  return static_cast<int>(t);  // non-pointer labels are 0..15
+}
+
+}  // namespace
+
+int main() {
+  using namespace cati;
+  bench::Bundle& b = bench::sharedBundle();
+  const corpus::Dataset& train = b.trainSet();
+  const corpus::Dataset& test = b.testSet();
+
+  std::fprintf(stderr, "[debin] training baselines...\n");
+  baseline::NoContextBaseline noCtx;
+  noCtx.train(train);
+  baseline::NGramBaseline ngram;
+  ngram.train(train);
+  const baseline::RuleBaseline rules;
+
+  const auto byVar = test.vucsByVar();
+  // [task][system] correct counts; task 0 = 17-type fold, task 1 = full 19.
+  size_t total = 0;
+  size_t ok[2][4] = {};
+
+  const auto& recs = b.varRecords();  // CATI voted decisions
+  size_t recIdx = 0;
+  for (size_t v = 0; v < byVar.size(); ++v) {
+    if (byVar[v].empty() || test.vars[v].label == TypeLabel::kCount) continue;
+    const TypeLabel truth = test.vars[v].label;
+    ++total;
+    std::vector<corpus::Vuc> vucs;
+    for (const uint32_t i : byVar[v]) vucs.push_back(test.vucs[i]);
+    const TypeLabel pred[4] = {recs[recIdx].voted.finalType,
+                               noCtx.predictVariable(vucs),
+                               ngram.predictVariable(test, byVar[v]),
+                               rules.predictVariable(vucs)};
+    ++recIdx;
+    for (int s = 0; s < 4; ++s) {
+      if (fold(pred[s]) == fold(truth)) ++ok[0][s];
+      if (pred[s] == truth) ++ok[1][s];
+    }
+  }
+
+  const auto acc = [total](size_t k) {
+    return total ? static_cast<double>(k) / static_cast<double>(total) : 0.0;
+  };
+  std::printf("DEBIN-style comparison over %zu variables\n"
+              "(17-type: pointer kinds folded into one `pointer` class, "
+              "DEBIN's task shape; 19-type: this repo's full task)\n\n",
+              total);
+  eval::Table t({"System", "17-type", "19-type", "Role"});
+  const char* names[4] = {"CATI (this work)", "no-context learned",
+                          "n-gram (TypeMiner-style)", "rule-based (IDA-style)"};
+  const char* roles[4] = {"VUC context + CNN + voting",
+                          "DEBIN-style per-instruction features",
+                          "instruction n-grams per variable",
+                          "hand-written heuristics"};
+  for (int s = 0; s < 4; ++s) {
+    t.addRow({names[s], eval::fmt2(acc(ok[0][s])), eval::fmt2(acc(ok[1][s])),
+              roles[s]});
+  }
+  std::printf("%s", t.str().c_str());
+  const double best17 = std::max({acc(ok[0][1]), acc(ok[0][2]), acc(ok[0][3])});
+  const double best19 = std::max({acc(ok[1][1]), acc(ok[1][2]), acc(ok[1][3])});
+  std::printf("\npaper: CATI 0.84 vs DEBIN 0.73 (+11%%); here: CATI %+.0f%% "
+              "(17-type) / %+.0f%% (19-type) over the strongest "
+              "context-free baseline\n",
+              100.0 * (acc(ok[0][0]) - best17),
+              100.0 * (acc(ok[1][0]) - best19));
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Reproduces the §VII "Training and Inference Speed" measurements with
+// google-benchmark:
+//   * per-binary end-to-end analysis (disassembled stream -> recovered,
+//     typed variables) — the paper's "about 6 seconds per binary";
+//   * VUC extraction throughput;
+//   * per-VUC prediction latency (all six stages);
+//   * per-variable voting latency;
+//   * per-stage training-step throughput.
+// Absolute numbers differ from the paper (CPU vs their GTX 1070), but the
+// per-binary total should remain interactive (single-digit seconds).
+#include <benchmark/benchmark.h>
+
+#include "harness/harness.h"
+
+namespace {
+
+using namespace cati;
+
+bench::Bundle& bundle() { return bench::sharedBundle(); }
+
+synth::Binary testBinary() {
+  return synth::generateBinary(synth::defaultProfile("speed", 0x99, 24),
+                               synth::Dialect::Gcc, 2, 0x5eed);
+}
+
+void BM_ExtractVucs(benchmark::State& state) {
+  const synth::Binary bin = testBinary();
+  size_t vucs = 0;
+  for (auto _ : state) {
+    const corpus::Dataset ds = corpus::extractGroundTruth(bin, 10);
+    vucs = ds.vucs.size();
+    benchmark::DoNotOptimize(ds);
+  }
+  state.counters["vucs_per_binary"] = static_cast<double>(vucs);
+}
+BENCHMARK(BM_ExtractVucs)->Unit(benchmark::kMillisecond);
+
+void BM_PredictVuc(benchmark::State& state) {
+  Engine& e = bundle().engine();
+  const corpus::Dataset& test = bundle().testSet();
+  size_t i = 0;
+  for (auto _ : state) {
+    const StageProbs p = e.predictVuc(test.vucs[i % test.vucs.size()]);
+    benchmark::DoNotOptimize(p);
+    ++i;
+  }
+}
+BENCHMARK(BM_PredictVuc)->Unit(benchmark::kMicrosecond);
+
+void BM_VoteVariable(benchmark::State& state) {
+  Engine& e = bundle().engine();
+  const corpus::Dataset& test = bundle().testSet();
+  std::vector<StageProbs> probs;
+  for (size_t i = 0; i < 8; ++i) probs.push_back(e.predictVuc(test.vucs[i]));
+  for (auto _ : state) {
+    const VariableDecision d = e.voteVariable(probs);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_VoteVariable)->Unit(benchmark::kMicrosecond);
+
+void BM_AnalyzeBinaryEndToEnd(benchmark::State& state) {
+  // The headline number: one stripped binary through variable recovery,
+  // VUC extraction, six-stage prediction and voting.
+  Engine& e = bundle().engine();
+  const synth::Binary bin = testBinary();
+  size_t vars = 0;
+  for (auto _ : state) {
+    vars = 0;
+    for (const synth::FunctionCode& fn : bin.funcs) {
+      const auto out = e.analyzeFunction(fn.insns);
+      vars += out.size();
+      benchmark::DoNotOptimize(out);
+    }
+  }
+  state.counters["variables"] = static_cast<double>(vars);
+  state.counters["instructions"] =
+      static_cast<double>(bin.totalInstructions());
+}
+BENCHMARK(BM_AnalyzeBinaryEndToEnd)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(2.0);
+
+void BM_TrainStep(benchmark::State& state) {
+  // One forward+backward+update on the Stage-1 architecture.
+  Rng rng(1);
+  nn::Sequential net = nn::makeCnn({96, 21}, 32, 64, 128, 2, 0.3F, rng);
+  nn::Adam adam(net.params(), {.lr = 1e-3F});
+  std::vector<float> x(96 * 21);
+  for (float& v : x) v = rng.normal() * 0.3F;
+  std::vector<float> probs(2);
+  std::vector<float> d(2);
+  for (auto _ : state) {
+    const auto logits = net.forward(x, true);
+    nn::SoftmaxCE::forward(logits, 1, probs);
+    nn::SoftmaxCE::backward(probs, 1, d);
+    net.backward(d);
+    adam.step();
+    benchmark::DoNotOptimize(probs);
+  }
+}
+BENCHMARK(BM_TrainStep)->Unit(benchmark::kMicrosecond);
+
+void BM_VariableRecovery(benchmark::State& state) {
+  const synth::Binary bin = testBinary();
+  for (auto _ : state) {
+    for (const synth::FunctionCode& fn : bin.funcs) {
+      const auto r = dataflow::recoverVariables(fn.insns);
+      benchmark::DoNotOptimize(r);
+    }
+  }
+}
+BENCHMARK(BM_VariableRecovery)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Force bundle construction (and model training / cache load) outside the
+  // measured regions.
+  bundle();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

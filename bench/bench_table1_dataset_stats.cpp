@@ -1,0 +1,52 @@
+// Reproduces Table I — statistics of orphan variables and uncertain samples
+// in the training and testing sets — and prints concrete uncertain-sample
+// pairs (the paper's Fig. 1 examples).
+//
+// Paper reference points (ratios, not absolute counts — our corpus is
+// synthetic and smaller): orphan variables (1-2 VUCs) ~35% of all variables;
+// uncertain samples >97% of orphan variables.
+#include <cstdio>
+
+#include "corpus/corpus.h"
+#include "harness/harness.h"
+
+int main() {
+  using namespace cati;
+  bench::Bundle& b = bench::sharedBundle();
+
+  const corpus::DatasetStats tr = corpus::computeStats(b.trainSet());
+  const corpus::DatasetStats te = corpus::computeStats(b.testSet());
+
+  std::printf("Table I: orphan variables and uncertain samples\n\n");
+  eval::Table t({"", "Training Set", "Testing Set"});
+  const auto n = [](size_t v) { return std::to_string(v); };
+  t.addRow({"Variables", n(tr.numVars), n(te.numVars)});
+  t.addRow({"VUCs", n(tr.numVucs), n(te.numVucs)});
+  t.addRow({"Variables with 1 VUC", n(tr.varsWith1Vuc), n(te.varsWith1Vuc)});
+  t.addRow({"Uncertain Samples-1", n(tr.uncertain1), n(te.uncertain1)});
+  t.addRow({"Variables with 2 VUCs", n(tr.varsWith2Vucs), n(te.varsWith2Vucs)});
+  t.addRow({"Uncertain Samples-2", n(tr.uncertain2), n(te.uncertain2)});
+  std::printf("%s\n", t.str().c_str());
+
+  const double orphanUncertain =
+      (tr.varsWith1Vuc + tr.varsWith2Vucs) > 0
+          ? static_cast<double>(tr.uncertain1 + tr.uncertain2) /
+                static_cast<double>(tr.varsWith1Vuc + tr.varsWith2Vucs)
+          : 0.0;
+  std::printf("train orphan share: %.1f%%  (paper: ~35%%)\n",
+              100.0 * tr.orphanShare());
+  std::printf("uncertain share of orphans: %.1f%%  (paper: >97%%)\n\n",
+              100.0 * orphanUncertain);
+
+  std::printf("Fig. 1-style uncertain-sample pairs "
+              "(same generalized target instruction, different type):\n\n");
+  const auto pairs = corpus::findUncertainPairs(b.trainSet(), 4);
+  for (const auto& [i, j] : pairs) {
+    const corpus::Vuc& a = b.trainSet().vucs[i];
+    const corpus::Vuc& c = b.trainSet().vucs[j];
+    std::printf("  %-34s ->  %s   vs   %s\n", a.target().text().c_str(),
+                std::string(typeName(a.label)).c_str(),
+                std::string(typeName(c.label)).c_str());
+  }
+  return 0;
+}

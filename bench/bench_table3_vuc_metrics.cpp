@@ -1,0 +1,41 @@
+// Reproduces Table III — per-application, per-stage precision / recall / F1
+// of the multi-stage classifier at VUC granularity on the 12 test apps.
+//
+// Paper shape: Stage 1 strongest (~0.86-0.94); Stage 2-1 (pointer subtypes)
+// weakest (~0.7); Stage 3-2 is "-" for the float-less apps (gzip/nano/sed)
+// and near-1.0 elsewhere.
+#include <cstdio>
+
+#include "harness/harness.h"
+
+int main() {
+  using namespace cati;
+  bench::Bundle& b = bench::sharedBundle();
+  const auto& apps = b.testApps();
+
+  std::printf("Table III: VUC prediction result, 12 applications x 6 stages "
+              "(P/R/F1)\n\n");
+  std::vector<std::string> header = {"", ""};
+  for (const auto& a : apps) header.push_back(a);
+  eval::Table t(header);
+  for (int s = 0; s < kNumStages; ++s) {
+    const auto stage = static_cast<Stage>(s);
+    std::vector<bench::StageScore> scores;
+    scores.reserve(apps.size());
+    for (uint32_t a = 0; a < apps.size(); ++a) {
+      scores.push_back(bench::vucStageScore(b, a, stage));
+    }
+    const auto row = [&](const char* metric, auto proj) {
+      std::vector<std::string> cells = {
+          metric == std::string("R") ? std::string(stageName(stage)) : "",
+          metric};
+      for (const auto& sc : scores) cells.push_back(eval::fmt2(proj(sc), sc.present));
+      t.addRow(std::move(cells));
+    };
+    row("P", [](const bench::StageScore& x) { return x.p; });
+    row("R", [](const bench::StageScore& x) { return x.r; });
+    row("F1", [](const bench::StageScore& x) { return x.f1; });
+  }
+  std::printf("%s", t.str().c_str());
+  return 0;
+}

@@ -1,0 +1,236 @@
+#include "harness/harness.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace cati::bench {
+
+namespace fs = std::filesystem;
+
+HarnessConfig::HarnessConfig() {
+  // Defaults sized for the 1-core evaluation machine (DESIGN.md §6): the
+  // paper's architecture with a reduced FC width and a capped per-stage
+  // training set. One full build takes a few minutes and is then cached.
+  trainApps = 16;
+  trainFuncsPerApp = 32;
+  testScale = 2;
+  engine.fcHidden = 128;
+  engine.epochs = 5;
+  engine.maxTrainPerStage = 16000;
+  engine.w2v.epochs = 2;
+  engine.verbose = true;
+}
+
+std::string HarnessConfig::cacheKey() const {
+  // Bump kGeneratorRev whenever the synthetic code generator's output
+  // changes — cached datasets/models are only valid for matching output.
+  constexpr int kGeneratorRev = 3;
+  std::ostringstream os;
+  os << kGeneratorRev << '_' << trainApps << '_' << trainFuncsPerApp << '_' << testScale << '_'
+     << testOptLevel << '_' << static_cast<int>(dialect) << '_' << seed << '_'
+     << engine.window << '_' << engine.w2v.dim << '_' << engine.w2v.epochs
+     << '_' << engine.conv1 << '_' << engine.conv2 << '_' << engine.fcHidden
+     << '_' << engine.epochs << '_' << engine.maxTrainPerStage << '_'
+     << engine.lr << '_' << engine.seed;
+  // FNV-1a over the dump.
+  uint64_t h = 1469598103934665603ULL;
+  for (const char c : os.str()) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(h));
+  return buf;
+}
+
+Bundle::Bundle(HarnessConfig cfg) : cfg_(std::move(cfg)) { buildOrLoad(); }
+
+void Bundle::buildOrLoad() {
+  const fs::path dir = fs::path("cati_cache");
+  fs::create_directories(dir);
+  const std::string key = cfg_.cacheKey();
+  const fs::path trainPath = dir / ("train_" + key + ".bin");
+  const fs::path testPath = dir / ("test_" + key + ".bin");
+  const fs::path modelPath = dir / ("engine_" + key + ".bin");
+
+  const auto loadDataset = [](const fs::path& p) {
+    std::ifstream is(p, std::ios::binary);
+    return corpus::load(is);
+  };
+
+  if (fs::exists(trainPath) && fs::exists(testPath)) {
+    std::fprintf(stderr, "[harness] loading cached datasets (%s)\n",
+                 key.c_str());
+    train_ = loadDataset(trainPath);
+    test_ = loadDataset(testPath);
+  } else {
+    std::fprintf(stderr, "[harness] generating corpora...\n");
+    const auto trainBins = synth::generateCorpus(
+        cfg_.trainApps, cfg_.trainFuncsPerApp, cfg_.dialect, cfg_.seed);
+    train_ = corpus::extractAll(trainBins, cfg_.engine.window);
+    corpus::Dataset test;
+    test.window = cfg_.engine.window;
+    for (const synth::AppProfile& app : synth::paperTestApps(cfg_.testScale)) {
+      const synth::Binary bin = synth::generateBinary(
+          app, cfg_.dialect, cfg_.testOptLevel, cfg_.seed ^ 0x7e57);
+      test.append(corpus::extractGroundTruth(bin, cfg_.engine.window));
+    }
+    test_ = std::move(test);
+    std::ofstream ta(trainPath, std::ios::binary);
+    corpus::save(train_, ta);
+    std::ofstream te(testPath, std::ios::binary);
+    corpus::save(test_, te);
+  }
+  std::fprintf(stderr,
+               "[harness] train: %zu vars / %zu VUCs; test: %zu vars / %zu "
+               "VUCs in %zu apps\n",
+               train_.vars.size(), train_.vucs.size(), test_.vars.size(),
+               test_.vucs.size(), test_.appNames.size());
+
+  if (fs::exists(modelPath)) {
+    std::fprintf(stderr, "[harness] loading cached engine\n");
+    engine_ = Engine::loadFile(modelPath);
+  } else {
+    std::fprintf(stderr, "[harness] training engine...\n");
+    engine_ = Engine(cfg_.engine);
+    const auto t0 = std::chrono::steady_clock::now();
+    engine_.train(train_);
+    trainSeconds_ = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    engine_.saveFile(modelPath);
+    std::fprintf(stderr, "[harness] trained in %.1fs\n", trainSeconds_);
+  }
+}
+
+const std::vector<StageProbs>& Bundle::testProbs() {
+  if (!probsReady_) {
+    std::fprintf(stderr, "[harness] predicting %zu test VUCs...\n",
+                 test_.vucs.size());
+    probs_.reserve(test_.vucs.size());
+    for (const corpus::Vuc& v : test_.vucs) {
+      probs_.push_back(engine_.predictVuc(v));
+    }
+    probsReady_ = true;
+  }
+  return probs_;
+}
+
+const std::vector<VarRecord>& Bundle::varRecords() {
+  if (!varsReady_) {
+    const auto& probs = testProbs();
+    const auto byVar = test_.vucsByVar();
+    for (size_t v = 0; v < byVar.size(); ++v) {
+      if (byVar[v].empty() || test_.vars[v].label == TypeLabel::kCount) {
+        continue;
+      }
+      std::vector<StageProbs> vp;
+      vp.reserve(byVar[v].size());
+      std::array<int, kNumTypes> routeVotes{};
+      for (const uint32_t i : byVar[v]) {
+        vp.push_back(probs[i]);
+        ++routeVotes[static_cast<size_t>(engine_.routeVuc(probs[i]))];
+      }
+      VarRecord rec;
+      rec.appId = test_.vars[v].appId;
+      rec.truth = test_.vars[v].label;
+      rec.voted = engine_.voteVariable(vp);
+      rec.vucMajority = static_cast<TypeLabel>(
+          std::max_element(routeVotes.begin(), routeVotes.end()) -
+          routeVotes.begin());
+      rec.numVucs = static_cast<uint32_t>(byVar[v].size());
+      vars_.push_back(rec);
+    }
+    varsReady_ = true;
+  }
+  return vars_;
+}
+
+Bundle& sharedBundle() {
+  static Bundle bundle{HarnessConfig{}};
+  return bundle;
+}
+
+namespace {
+
+StageScore scoreFromPairs(const std::vector<int>& yTrue,
+                          const std::vector<int>& yPred, int classes) {
+  StageScore s;
+  if (yTrue.empty()) return s;
+  const eval::Report r = eval::compute(yTrue, yPred, classes);
+  s.p = r.weightedPrecision;
+  s.r = r.weightedRecall;
+  s.f1 = r.weightedF1;
+  s.present = true;
+  s.support = r.total;
+  return s;
+}
+
+}  // namespace
+
+StageScore vucStageScore(Bundle& b, uint32_t appId, Stage s) {
+  const auto& probs = b.testProbs();
+  const corpus::Dataset& test = b.testSet();
+  std::vector<int> yTrue;
+  std::vector<int> yPred;
+  for (size_t i = 0; i < test.vucs.size(); ++i) {
+    const corpus::Vuc& v = test.vucs[i];
+    if (v.label == TypeLabel::kCount) continue;
+    if (test.vars[v.varId].appId != appId) continue;
+    const int cls = stageClassOf(s, v.label);
+    if (cls < 0) continue;
+    const auto& p = probs[i].probs[static_cast<size_t>(s)];
+    yTrue.push_back(cls);
+    yPred.push_back(static_cast<int>(
+        std::max_element(p.begin(), p.end()) - p.begin()));
+  }
+  return scoreFromPairs(yTrue, yPred, numClasses(s));
+}
+
+StageScore varStageScore(Bundle& b, uint32_t appId, Stage s) {
+  std::vector<int> yTrue;
+  std::vector<int> yPred;
+  for (const VarRecord& rec : b.varRecords()) {
+    if (rec.appId != appId) continue;
+    const int cls = stageClassOf(s, rec.truth);
+    if (cls < 0) continue;
+    yTrue.push_back(cls);
+    yPred.push_back(rec.voted.stageClass[static_cast<size_t>(s)]);
+  }
+  return scoreFromPairs(yTrue, yPred, numClasses(s));
+}
+
+AppAccuracy appAccuracy(Bundle& b, uint32_t appId) {
+  AppAccuracy a;
+  const auto& probs = b.testProbs();
+  const corpus::Dataset& test = b.testSet();
+  size_t vucCorrect = 0;
+  for (size_t i = 0; i < test.vucs.size(); ++i) {
+    const corpus::Vuc& v = test.vucs[i];
+    if (v.label == TypeLabel::kCount) continue;
+    if (test.vars[v.varId].appId != appId) continue;
+    ++a.vucSupport;
+    if (b.engine().routeVuc(probs[i]) == v.label) ++vucCorrect;
+  }
+  if (a.vucSupport) {
+    a.vucAcc = static_cast<double>(vucCorrect) /
+               static_cast<double>(a.vucSupport);
+  }
+  size_t varCorrect = 0;
+  for (const VarRecord& rec : b.varRecords()) {
+    if (rec.appId != appId) continue;
+    ++a.varSupport;
+    if (rec.voted.finalType == rec.truth) ++varCorrect;
+  }
+  if (a.varSupport) {
+    a.varAcc = static_cast<double>(varCorrect) /
+               static_cast<double>(a.varSupport);
+  }
+  return a;
+}
+
+}  // namespace cati::bench

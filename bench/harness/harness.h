@@ -1,0 +1,112 @@
+// Shared benchmark harness. Every table/figure bench needs the same
+// expensive artifacts — training corpus, test corpus (the 12 paper apps),
+// a trained engine and the per-VUC stage predictions on the test set — so
+// the harness builds them once and caches them on disk under ./cati_cache/.
+// Caches are keyed by a hash of the generating configuration; changing any
+// knob invalidates them.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cati/engine.h"
+#include "corpus/corpus.h"
+#include "eval/metrics.h"
+#include "synth/synth.h"
+
+namespace cati::bench {
+
+struct HarnessConfig {
+  // Training corpus: numApps profiles x 4 optimization levels each.
+  int trainApps = 12;
+  int trainFuncsPerApp = 24;
+  // Test corpus: the 12 paper applications (profile sizes scaled by this).
+  int testScale = 1;
+  int testOptLevel = 2;
+  synth::Dialect dialect = synth::Dialect::Gcc;
+  uint64_t seed = 2026;
+  EngineConfig engine{};
+
+  HarnessConfig();
+
+  /// Stable content hash of all generation-relevant fields.
+  std::string cacheKey() const;
+};
+
+/// Per-variable evaluation record on the test set.
+struct VarRecord {
+  uint32_t appId = 0;
+  TypeLabel truth = TypeLabel::kCount;
+  VariableDecision voted;       ///< engine voting decision
+  TypeLabel vucMajority = TypeLabel::kCount;  ///< plain per-VUC route majority
+  uint32_t numVucs = 0;
+};
+
+class Bundle {
+ public:
+  explicit Bundle(HarnessConfig cfg = {});
+
+  const HarnessConfig& config() const { return cfg_; }
+  const corpus::Dataset& trainSet() const { return train_; }
+  const corpus::Dataset& testSet() const { return test_; }
+  Engine& engine() { return engine_; }
+
+  /// Stage distributions for every test VUC (computed once, kept in memory).
+  const std::vector<StageProbs>& testProbs();
+
+  /// Voting decisions for every test variable (skips zero-VUC variables).
+  const std::vector<VarRecord>& varRecords();
+
+  /// Names of the test applications, by appId.
+  const std::vector<std::string>& testApps() const { return test_.appNames; }
+
+  /// Wall-clock seconds spent training (0 when the engine came from cache).
+  double trainSeconds() const { return trainSeconds_; }
+
+ private:
+  void buildOrLoad();
+
+  HarnessConfig cfg_;
+  corpus::Dataset train_;
+  corpus::Dataset test_;
+  Engine engine_;
+  double trainSeconds_ = 0.0;
+  std::vector<StageProbs> probs_;
+  bool probsReady_ = false;
+  std::vector<VarRecord> vars_;
+  bool varsReady_ = false;
+};
+
+/// The default shared bundle (most benches use this one).
+Bundle& sharedBundle();
+
+// --- metric helpers shared across table benches --------------------------------
+
+/// Per-stage weighted P/R/F1 of one app's test VUCs (Table III cells);
+/// `present` is false when the app has no VUC reaching the stage.
+struct StageScore {
+  double p = 0.0;
+  double r = 0.0;
+  double f1 = 0.0;
+  bool present = false;
+  size_t support = 0;
+};
+
+/// VUC-granularity stage scores (Table III).
+StageScore vucStageScore(Bundle& b, uint32_t appId, Stage s);
+
+/// Variable-granularity stage scores after voting (Table IV).
+StageScore varStageScore(Bundle& b, uint32_t appId, Stage s);
+
+/// Table VI cells: (vucAccuracy, vucSupport, varAccuracy, varSupport).
+struct AppAccuracy {
+  double vucAcc = 0.0;
+  size_t vucSupport = 0;
+  double varAcc = 0.0;
+  size_t varSupport = 0;
+};
+AppAccuracy appAccuracy(Bundle& b, uint32_t appId);
+
+}  // namespace cati::bench

@@ -1,0 +1,510 @@
+// Byte -> instruction decoding for the encodings produced by encode().
+// Decoded spellings follow the objdump conventions this project emits:
+// register-only forms are unsuffixed, immediate-to-memory forms carry the
+// width suffix, widening loads keep their full mnemonic.
+#include <cstring>
+#include <stdexcept>
+
+#include "asmx/encode.h"
+
+namespace cati::asmx {
+
+namespace {
+
+Reg gpFromHw(int n) {
+  switch (n & 7) {
+    case 0:
+      return n >= 8 ? Reg::R8 : Reg::Rax;
+    case 1:
+      return n >= 8 ? Reg::R9 : Reg::Rcx;
+    case 2:
+      return n >= 8 ? Reg::R10 : Reg::Rdx;
+    case 3:
+      return n >= 8 ? Reg::R11 : Reg::Rbx;
+    case 4:
+      return n >= 8 ? Reg::R12 : Reg::Rsp;
+    case 5:
+      return n >= 8 ? Reg::R13 : Reg::Rbp;
+    case 6:
+      return n >= 8 ? Reg::R14 : Reg::Rsi;
+    default:
+      return n >= 8 ? Reg::R15 : Reg::Rdi;
+  }
+}
+
+const char* ccName(int code) {
+  static const char* kNames[16] = {"o",  "no", "b",  "ae", "e",  "ne",
+                                   "be", "a",  "s",  "ns", "p",  "np",
+                                   "l",  "ge", "le", "g"};
+  return kNames[code & 0xf];
+}
+
+const char* aluStem(int family) {
+  switch (family) {
+    case 0:
+      return "add";
+    case 1:
+      return "or";
+    case 4:
+      return "and";
+    case 5:
+      return "sub";
+    case 6:
+      return "xor";
+    case 7:
+      return "cmp";
+    default:
+      return nullptr;
+  }
+}
+
+char suffixOf(Width w) {
+  switch (w) {
+    case Width::B1:
+      return 'b';
+    case Width::B2:
+      return 'w';
+    case Width::B8:
+      return 'q';
+    default:
+      return 'l';
+  }
+}
+
+/// Cursor over the byte stream with bounds checking.
+class Cursor {
+ public:
+  Cursor(std::span<const uint8_t> bytes, uint64_t pc)
+      : bytes_(bytes), pc_(pc) {}
+
+  bool ok() const { return ok_; }
+  size_t offset() const { return off_; }
+  uint64_t pc() const { return pc_; }
+
+  uint8_t u8() {
+    if (off_ >= bytes_.size()) {
+      ok_ = false;
+      return 0;
+    }
+    return bytes_[off_++];
+  }
+  uint8_t peek() const { return off_ < bytes_.size() ? bytes_[off_] : 0; }
+  int16_t s16() {
+    const uint8_t a = u8();
+    const uint8_t b = u8();
+    return static_cast<int16_t>(a | (b << 8));
+  }
+  int32_t s32() {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(u8()) << (8 * i);
+    return static_cast<int32_t>(v);
+  }
+
+ private:
+  std::span<const uint8_t> bytes_;
+  uint64_t pc_;
+  size_t off_ = 0;
+  bool ok_ = true;
+};
+
+struct Prefixes {
+  bool op16 = false;
+  bool repF3 = false;
+  bool repF2 = false;
+  bool rexW = false;
+  bool rexR = false;
+  bool rexX = false;
+  bool rexB = false;
+  bool anyRex = false;
+};
+
+Width gpWidthOf(const Prefixes& p) {
+  if (p.rexW) return Width::B8;
+  if (p.op16) return Width::B2;
+  return Width::B4;
+}
+
+/// Decodes ModRM (+SIB +disp); returns the rm operand and the reg field.
+/// `xmmRm` selects the XMM register file for a register-direct rm.
+bool readModRm(Cursor& c, const Prefixes& p, Width rmWidth, Operand& rmOut,
+               int& regField, bool xmmRm = false) {
+  const uint8_t modrm = c.u8();
+  const int mod = modrm >> 6;
+  regField = ((modrm >> 3) & 7) | (p.rexR ? 8 : 0);
+  const int rm = modrm & 7;
+  if (mod == 3) {
+    const int num = rm | (p.rexB ? 8 : 0);
+    if (xmmRm) {
+      rmOut = Operand::r(
+          static_cast<Reg>(static_cast<int>(Reg::Xmm0) + num), Width::B16);
+    } else {
+      rmOut = Operand::r(gpFromHw(num), rmWidth);
+    }
+    return c.ok();
+  }
+  MemRef m;
+  if (mod == 0 && rm == 5) {
+    // rip-relative.
+    m.base = {Reg::Rip, Width::B8};
+    m.disp = c.s32();
+    rmOut = Operand::m(m);
+    return c.ok();
+  }
+  if (rm == 4) {
+    const uint8_t sib = c.u8();
+    const int ss = sib >> 6;
+    const int index = ((sib >> 3) & 7) | (p.rexX ? 8 : 0);
+    const int base = (sib & 7) | (p.rexB ? 8 : 0);
+    if (mod == 0 && (base & 7) == 5) return false;  // disp32-only: unused
+    m.base = {gpFromHw(base), Width::B8};
+    if (index != 4) {  // 100 = no index
+      m.index = {gpFromHw(index), Width::B8};
+      m.scale = static_cast<uint8_t>(1 << ss);
+    }
+  } else {
+    m.base = {gpFromHw(rm | (p.rexB ? 8 : 0)), Width::B8};
+  }
+  if (mod == 1) {
+    m.disp = static_cast<int8_t>(c.u8());
+  } else if (mod == 2) {
+    m.disp = c.s32();
+  }
+  rmOut = Operand::m(m);
+  return c.ok();
+}
+
+Operand regOp(int hw, Width w) { return Operand::r(gpFromHw(hw), w); }
+
+Operand xmmOp(int hw) {
+  return Operand::r(static_cast<Reg>(static_cast<int>(Reg::Xmm0) + hw),
+                    Width::B16);
+}
+
+std::optional<Decoded> decodeImpl(std::span<const uint8_t> bytes,
+                                  uint64_t pc) {
+  Cursor c(bytes, pc);
+  Prefixes p;
+
+  // Prefixes (66 / F2 / F3, then REX last).
+  for (;;) {
+    const uint8_t b = c.peek();
+    if (b == 0x66) {
+      p.op16 = true;
+      c.u8();
+    } else if (b == 0xF2) {
+      p.repF2 = true;
+      c.u8();
+    } else if (b == 0xF3) {
+      p.repF3 = true;
+      c.u8();
+    } else {
+      break;
+    }
+  }
+  if ((c.peek() & 0xF0) == 0x40) {
+    const uint8_t rex = c.u8();
+    p.anyRex = true;
+    p.rexW = rex & 8;
+    p.rexR = rex & 4;
+    p.rexX = rex & 2;
+    p.rexB = rex & 1;
+  }
+
+  const auto done = [&](Instruction ins) -> std::optional<Decoded> {
+    if (!c.ok()) return std::nullopt;
+    Decoded d;
+    d.ins = std::move(ins);
+    d.length = static_cast<uint8_t>(c.offset());
+    return d;
+  };
+
+  const uint8_t op = c.u8();
+  if (!c.ok()) return std::nullopt;
+
+  // --- one-byte fixed ---
+  if (op == 0xC3) return done(Instruction("ret"));
+  if (op == 0xC9) return done(Instruction("leave"));
+
+  // --- push/pop ---
+  if (op >= 0x50 && op <= 0x57) {
+    return done({"push", regOp((op - 0x50) | (p.rexB ? 8 : 0), Width::B8)});
+  }
+  if (op >= 0x58 && op <= 0x5F) {
+    return done({"pop", regOp((op - 0x58) | (p.rexB ? 8 : 0), Width::B8)});
+  }
+
+  // --- control flow ---
+  if (op == 0xE8 || op == 0xE9) {
+    const int32_t rel = c.s32();
+    const int64_t target =
+        static_cast<int64_t>(pc + c.offset()) + rel;
+    return done({op == 0xE8 ? "callq" : "jmp", Operand::addr(target)});
+  }
+
+  // --- mov imm32 -> r32 ---
+  if (op >= 0xB8 && op <= 0xBF) {
+    const Operand r = regOp((op - 0xB8) | (p.rexB ? 8 : 0), Width::B4);
+    const int32_t imm = c.s32();
+    return done({"mov", Operand::i(imm), r});
+  }
+
+  // --- x87 ---
+  if (op == 0xD9 && c.peek() == 0xE0) {
+    c.u8();
+    return done(Instruction("fchs"));
+  }
+  if (op == 0xDB) {
+    // fldt /5, fstpt /7 (memory forms only).
+    Operand rm;
+    int reg = 0;
+    if (!readModRm(c, p, Width::B8, rm, reg)) return std::nullopt;
+    if (rm.kind != Operand::Kind::Mem) return std::nullopt;
+    if ((reg & 7) == 5) return done({"fldt", rm});
+    if ((reg & 7) == 7) return done({"fstpt", rm});
+    return std::nullopt;
+  }
+  if (op == 0xDE) {
+    const uint8_t sub = c.u8();
+    if (sub == 0xC9) {
+      return done({"fmulp", Operand::r(Reg::St0, Width::B10),
+                   Operand::r(Reg::St1, Width::B10)});
+    }
+    if (sub == 0xC1) {
+      return done({"faddp", Operand::r(Reg::St0, Width::B10),
+                   Operand::r(Reg::St1, Width::B10)});
+    }
+    if (sub == 0xE9) {
+      return done({"fsubp", Operand::r(Reg::St0, Width::B10),
+                   Operand::r(Reg::St1, Width::B10)});
+    }
+    return std::nullopt;
+  }
+  if (op == 0xDF && c.peek() == 0xE9) {
+    c.u8();
+    return done({"fucomip", Operand::r(Reg::St1, Width::B10),
+                 Operand::r(Reg::St0, Width::B10)});
+  }
+
+  // --- two-byte opcodes ---
+  if (op == 0x0F) {
+    const uint8_t op2 = c.u8();
+    // jcc rel32
+    if (op2 >= 0x80 && op2 <= 0x8F) {
+      const int32_t rel = c.s32();
+      const int64_t target = static_cast<int64_t>(pc + c.offset()) + rel;
+      return done({std::string("j") + ccName(op2 - 0x80),
+                   Operand::addr(target)});
+    }
+    // setcc
+    if (op2 >= 0x90 && op2 <= 0x9F) {
+      Operand rm;
+      int reg = 0;
+      if (!readModRm(c, p, Width::B1, rm, reg)) return std::nullopt;
+      if (rm.kind != Operand::Kind::Reg) return std::nullopt;
+      return done({std::string("set") + ccName(op2 - 0x90), rm});
+    }
+    // widening loads
+    if (op2 == 0xB6 || op2 == 0xBE || op2 == 0xB7 || op2 == 0xBF) {
+      Operand rm;
+      int reg = 0;
+      const Width srcW =
+          (op2 == 0xB6 || op2 == 0xBE) ? Width::B1 : Width::B2;
+      if (!readModRm(c, p, srcW, rm, reg)) return std::nullopt;
+      const char* name = op2 == 0xB6   ? "movzbl"
+                         : op2 == 0xBE ? "movsbl"
+                         : op2 == 0xB7 ? "movzwl"
+                                       : "movswl";
+      return done({name, rm, regOp(reg, Width::B4)});
+    }
+    // SSE
+    {
+      const char* name = nullptr;
+      bool store = false;
+      if (op2 == 0x10 || op2 == 0x11) {
+        name = p.repF3 ? "movss" : (p.repF2 ? "movsd" : nullptr);
+        store = op2 == 0x11;
+      } else if (op2 == 0x58) {
+        name = p.repF3 ? "addss" : (p.repF2 ? "addsd" : nullptr);
+      } else if (op2 == 0x59) {
+        name = p.repF3 ? "mulss" : (p.repF2 ? "mulsd" : nullptr);
+      } else if (op2 == 0x5C) {
+        name = p.repF3 ? "subss" : (p.repF2 ? "subsd" : nullptr);
+      } else if (op2 == 0x5E) {
+        name = p.repF3 ? "divss" : (p.repF2 ? "divsd" : nullptr);
+      } else if (op2 == 0x5A) {
+        name = p.repF3 ? "cvtss2sd" : (p.repF2 ? "cvtsd2ss" : nullptr);
+      } else if (op2 == 0x2E) {
+        name = p.op16 ? "ucomisd" : "ucomiss";
+      }
+      if (name != nullptr) {
+        Operand rm;
+        int reg = 0;
+        if (!readModRm(c, p, Width::B16, rm, reg, /*xmmRm=*/true)) {
+          return std::nullopt;
+        }
+        const Operand x = xmmOp(reg);
+        if (store) return done({name, x, rm});
+        return done({name, rm, x});
+      }
+    }
+    return std::nullopt;
+  }
+
+  // --- movslq ---
+  if (op == 0x63) {
+    Operand rm;
+    int reg = 0;
+    if (!readModRm(c, p, Width::B4, rm, reg)) return std::nullopt;
+    return done({"movslq", rm, regOp(reg, Width::B8)});
+  }
+
+  // --- lea ---
+  if (op == 0x8D) {
+    Operand rm;
+    int reg = 0;
+    if (!readModRm(c, p, Width::B8, rm, reg)) return std::nullopt;
+    if (rm.kind != Operand::Kind::Mem) return std::nullopt;
+    return done({"lea", rm, regOp(reg, gpWidthOf(p))});
+  }
+
+  // --- mov r/m forms ---
+  if (op == 0x88 || op == 0x89 || op == 0x8A || op == 0x8B) {
+    const Width w = (op == 0x88 || op == 0x8A) ? Width::B1 : gpWidthOf(p);
+    Operand rm;
+    int reg = 0;
+    if (!readModRm(c, p, w, rm, reg)) return std::nullopt;
+    const Operand r = regOp(reg, w);
+    if (op == 0x88 || op == 0x89) return done({"mov", r, rm});
+    return done({"mov", rm, r});
+  }
+
+  // --- mov imm -> rm ---
+  if (op == 0xC6 || op == 0xC7) {
+    const Width w = op == 0xC6 ? Width::B1 : gpWidthOf(p);
+    Operand rm;
+    int reg = 0;
+    if (!readModRm(c, p, w, rm, reg)) return std::nullopt;
+    if ((reg & 7) != 0) return std::nullopt;
+    int64_t imm;
+    if (w == Width::B1) {
+      imm = static_cast<int8_t>(c.u8());
+    } else if (w == Width::B2) {
+      imm = c.s16();
+    } else {
+      imm = c.s32();
+    }
+    if (rm.kind == Operand::Kind::Mem) {
+      return done({std::string("mov") + suffixOf(w), Operand::i(imm), rm});
+    }
+    return done({"mov", Operand::i(imm), rm});
+  }
+
+  // --- test ---
+  if (op == 0x84 || op == 0x85) {
+    const Width w = op == 0x84 ? Width::B1 : gpWidthOf(p);
+    Operand rm;
+    int reg = 0;
+    if (!readModRm(c, p, w, rm, reg)) return std::nullopt;
+    return done({"test", regOp(reg, w), rm});
+  }
+
+  // --- shifts ---
+  if (op == 0xC1) {
+    Operand rm;
+    int reg = 0;
+    if (!readModRm(c, p, gpWidthOf(p), rm, reg)) return std::nullopt;
+    const int ext = reg & 7;
+    const char* name = ext == 5 ? "shr" : (ext == 4 ? "shl" : (ext == 7 ? "sar" : nullptr));
+    if (name == nullptr) return std::nullopt;
+    const int64_t imm = static_cast<int8_t>(c.u8());
+    return done({name, Operand::i(imm), rm});
+  }
+
+  // --- imul imm ---
+  if (op == 0x69) {
+    Operand rm;
+    int reg = 0;
+    if (!readModRm(c, p, gpWidthOf(p), rm, reg)) return std::nullopt;
+    const int64_t imm = c.s32();
+    // Only the dst == rm form is emitted by this project.
+    if (rm.kind != Operand::Kind::Reg ||
+        gpFromHw(reg | 0) != rm.reg.reg) {
+      if (rm.kind != Operand::Kind::Reg) return std::nullopt;
+    }
+    return done({"imul", Operand::i(imm), rm});
+  }
+
+  // --- div (F7 /6) ---
+  if (op == 0xF7) {
+    Operand rm;
+    int reg = 0;
+    if (!readModRm(c, p, gpWidthOf(p), rm, reg)) return std::nullopt;
+    if ((reg & 7) != 6) return std::nullopt;
+    return done({"div", rm});
+  }
+
+  // --- ALU imm forms (80/81/83) ---
+  if (op == 0x80 || op == 0x81 || op == 0x83) {
+    const Width w = op == 0x80 ? Width::B1 : gpWidthOf(p);
+    Operand rm;
+    int reg = 0;
+    if (!readModRm(c, p, w, rm, reg)) return std::nullopt;
+    const char* stem = aluStem(reg & 7);
+    if (stem == nullptr) return std::nullopt;
+    int64_t imm;
+    if (op == 0x83 || op == 0x80) {
+      imm = static_cast<int8_t>(c.u8());
+    } else if (w == Width::B2) {
+      imm = c.s16();
+    } else {
+      imm = c.s32();
+    }
+    if (rm.kind == Operand::Kind::Mem) {
+      return done({std::string(stem) + suffixOf(w), Operand::i(imm), rm});
+    }
+    return done({stem, Operand::i(imm), rm});
+  }
+
+  // --- ALU r/m families ---
+  {
+    static const uint8_t kBases[] = {0x00, 0x08, 0x20, 0x28, 0x30, 0x38};
+    for (const uint8_t base : kBases) {
+      if (op < base || op > base + 3) continue;
+      const char* stem = aluStem(base >> 3);
+      const int form = op - base;  // 0: rm8<-r8, 1: rm<-r, 2: r8<-rm8, 3: r<-rm
+      const Width w = (form == 0 || form == 2) ? Width::B1 : gpWidthOf(p);
+      Operand rm;
+      int reg = 0;
+      if (!readModRm(c, p, w, rm, reg)) return std::nullopt;
+      const Operand r = regOp(reg, w);
+      if (form <= 1) return done({stem, r, rm});
+      return done({stem, rm, r});
+    }
+  }
+
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Decoded> decode(std::span<const uint8_t> bytes, uint64_t pc) {
+  return decodeImpl(bytes, pc);
+}
+
+std::vector<Instruction> decodeAll(std::span<const uint8_t> bytes,
+                                   uint64_t base) {
+  std::vector<Instruction> out;
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const auto d = decode(bytes.subspan(off), base + off);
+    if (!d) {
+      throw std::runtime_error("decodeAll: undecodable bytes at offset " +
+                               std::to_string(off));
+    }
+    out.push_back(d->ins);
+    off += d->length;
+  }
+  return out;
+}
+
+}  // namespace cati::asmx

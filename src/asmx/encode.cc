@@ -1,0 +1,627 @@
+#include "asmx/encode.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace cati::asmx {
+
+namespace {
+
+/// Hardware register number (the 4-bit value split across REX and ModRM).
+int hwNum(Reg r) {
+  switch (r) {
+    case Reg::Rax:
+      return 0;
+    case Reg::Rcx:
+      return 1;
+    case Reg::Rdx:
+      return 2;
+    case Reg::Rbx:
+      return 3;
+    case Reg::Rsp:
+      return 4;
+    case Reg::Rbp:
+      return 5;
+    case Reg::Rsi:
+      return 6;
+    case Reg::Rdi:
+      return 7;
+    default:
+      break;
+  }
+  if (r >= Reg::R8 && r <= Reg::R15) {
+    return 8 + static_cast<int>(r) - static_cast<int>(Reg::R8);
+  }
+  if (isXmm(r)) return static_cast<int>(r) - static_cast<int>(Reg::Xmm0);
+  if (isX87(r)) return static_cast<int>(r) - static_cast<int>(Reg::St0);
+  throw std::invalid_argument("encode: register has no hardware number");
+}
+
+bool fitsInt8(int64_t v) { return v >= -128 && v <= 127; }
+bool fitsInt32(int64_t v) {
+  return v >= INT32_MIN && v <= INT32_MAX;
+}
+
+/// Condition-code nibble for jcc/setcc.
+int ccCode(std::string_view cc) {
+  if (cc == "o") return 0x0;
+  if (cc == "no") return 0x1;
+  if (cc == "b") return 0x2;
+  if (cc == "ae") return 0x3;
+  if (cc == "e") return 0x4;
+  if (cc == "ne") return 0x5;
+  if (cc == "be") return 0x6;
+  if (cc == "a") return 0x7;
+  if (cc == "s") return 0x8;
+  if (cc == "ns") return 0x9;
+  if (cc == "p") return 0xa;
+  if (cc == "np") return 0xb;
+  if (cc == "l") return 0xc;
+  if (cc == "ge") return 0xd;
+  if (cc == "le") return 0xe;
+  if (cc == "g") return 0xf;
+  return -1;
+}
+
+/// Assembles prefixes + opcode + ModRM/SIB/disp for one instruction.
+class Builder {
+ public:
+  explicit Builder(uint64_t pc) : pc_(pc) {}
+
+  void prefix(uint8_t p) { prefixes_.push_back(p); }
+  void opSize16() { prefix(0x66); }
+  void rexW() { rexW_ = true; }
+
+  void opcode(uint8_t b) { opcode_.push_back(b); }
+  void opcode2(uint8_t a, uint8_t b) {
+    opcode_.push_back(a);
+    opcode_.push_back(b);
+  }
+
+  /// ModRM with a register rm operand.
+  void modrmReg(int regField, Reg rm, Width rmWidth) {
+    const int rmNum = hwNum(rm);
+    setRexR(regField);
+    if (rmNum >= 8) rexB_ = true;
+    needRexFor8Bit(rm, rmWidth);
+    modrm_ = static_cast<uint8_t>(0xC0 | ((regField & 7) << 3) | (rmNum & 7));
+    hasModrm_ = true;
+  }
+
+  /// ModRM (+SIB +disp) with a memory rm operand.
+  void modrmMem(int regField, const MemRef& m) {
+    setRexR(regField);
+    hasModrm_ = true;
+    if (m.base.reg == Reg::Rip) {
+      modrm_ = static_cast<uint8_t>(0x00 | ((regField & 7) << 3) | 0x05);
+      disp_ = static_cast<int32_t>(m.disp);
+      dispBytes_ = 4;
+      ripRel_ = true;
+      return;
+    }
+    const bool hasIndex = m.index.reg != Reg::None;
+    const int baseNum = hwNum(m.base.reg);
+    if (baseNum >= 8) rexB_ = true;
+    int mod;
+    if (m.disp == 0 && (baseNum & 7) != 5) {
+      mod = 0;
+      dispBytes_ = 0;
+    } else if (fitsInt8(m.disp)) {
+      mod = 1;
+      dispBytes_ = 1;
+    } else {
+      mod = 2;
+      dispBytes_ = 4;
+    }
+    disp_ = static_cast<int32_t>(m.disp);
+    if (hasIndex || (baseNum & 7) == 4) {
+      // SIB required.
+      const int indexNum = hasIndex ? hwNum(m.index.reg) : 4;  // 100 = none
+      if (hasIndex && indexNum >= 8) rexX_ = true;
+      int ss = 0;
+      switch (m.scale) {
+        case 1:
+          ss = 0;
+          break;
+        case 2:
+          ss = 1;
+          break;
+        case 4:
+          ss = 2;
+          break;
+        case 8:
+          ss = 3;
+          break;
+        default:
+          throw std::invalid_argument("encode: bad scale");
+      }
+      modrm_ = static_cast<uint8_t>((mod << 6) | ((regField & 7) << 3) | 4);
+      sib_ = static_cast<uint8_t>((ss << 6) | ((indexNum & 7) << 3) |
+                                 (baseNum & 7));
+      hasSib_ = true;
+    } else {
+      modrm_ = static_cast<uint8_t>((mod << 6) | ((regField & 7) << 3) |
+                                    (baseNum & 7));
+    }
+  }
+
+  void imm8(int64_t v) {
+    imm_ = v;
+    immBytes_ = 1;
+  }
+  void imm16(int64_t v) {
+    imm_ = v;
+    immBytes_ = 2;
+  }
+  void imm32(int64_t v) {
+    if (!fitsInt32(v)) throw std::invalid_argument("encode: imm32 overflow");
+    imm_ = v;
+    immBytes_ = 4;
+  }
+  /// rel32 branch displacement to absolute `target`; patched at finish()
+  /// when the final instruction length is known.
+  void rel32(int64_t target) {
+    relTarget_ = target;
+    hasRel_ = true;
+  }
+
+  /// For registers whose 8-bit form needs a REX prefix (sil/dil/bpl/spl).
+  void needRexFor8Bit(Reg r, Width w) {
+    if (w == Width::B1 &&
+        (r == Reg::Rsi || r == Reg::Rdi || r == Reg::Rbp || r == Reg::Rsp)) {
+      forceRex_ = true;
+    }
+  }
+
+  std::vector<uint8_t> finish() {
+    std::vector<uint8_t> out;
+    for (const uint8_t p : prefixes_) out.push_back(p);
+    uint8_t rex = 0x40;
+    if (rexW_) rex |= 8;
+    if (rexR_) rex |= 4;
+    if (rexX_) rex |= 2;
+    if (rexB_) rex |= 1;
+    if (rex != 0x40 || forceRex_) out.push_back(rex);
+    for (const uint8_t b : opcode_) out.push_back(b);
+    if (hasModrm_) out.push_back(modrm_);
+    if (hasSib_) out.push_back(sib_);
+    // rip-relative displacements are stored as-is: the generator's disp
+    // values already denote next-instruction-relative .rodata offsets.
+    for (int i = 0; i < dispBytes_; ++i) {
+      out.push_back(static_cast<uint8_t>((disp_ >> (8 * i)) & 0xff));
+    }
+    if (hasRel_) {
+      const int64_t rel =
+          relTarget_ - static_cast<int64_t>(pc_ + out.size() + 4 + immBytes_);
+      if (!fitsInt32(rel)) throw std::invalid_argument("encode: rel32 range");
+      for (int i = 0; i < 4; ++i) {
+        out.push_back(static_cast<uint8_t>((rel >> (8 * i)) & 0xff));
+      }
+    }
+    for (int i = 0; i < immBytes_; ++i) {
+      out.push_back(static_cast<uint8_t>((imm_ >> (8 * i)) & 0xff));
+    }
+    return out;
+  }
+
+  void setRexR(int regField) {
+    if (regField >= 8) rexR_ = true;
+  }
+
+ private:
+  uint64_t pc_;
+  std::vector<uint8_t> prefixes_;
+  std::vector<uint8_t> opcode_;
+  bool rexW_ = false;
+  bool rexR_ = false;
+  bool rexX_ = false;
+  bool rexB_ = false;
+  bool forceRex_ = false;
+  bool hasModrm_ = false;
+  uint8_t modrm_ = 0;
+  bool hasSib_ = false;
+  uint8_t sib_ = 0;
+  int dispBytes_ = 0;
+  int32_t disp_ = 0;
+  bool ripRel_ = false;
+  int immBytes_ = 0;
+  int64_t imm_ = 0;
+  bool hasRel_ = false;
+  int64_t relTarget_ = 0;
+};
+
+/// regField + rm dispatch for an (reg, mem-or-reg) pair.
+void putRegRm(Builder& b, Reg reg, Width regW, const Operand& rm) {
+  b.needRexFor8Bit(reg, regW);
+  if (rm.kind == Operand::Kind::Reg) {
+    b.modrmReg(hwNum(reg), rm.reg.reg, rm.reg.width);
+  } else {
+    b.modrmMem(hwNum(reg), rm.mem);
+  }
+}
+
+void applyGpWidth(Builder& b, Width w) {
+  if (w == Width::B2) b.opSize16();
+  if (w == Width::B8) b.rexW();
+}
+
+struct AluInfo {
+  uint8_t baseOp;  // the 00-38 family base (reg->rm form = base+1 for 16/32/64)
+  int ext;         // /ext for the 80/81/83 immediate forms
+};
+
+/// ALU family lookup by stem ("add", "sub", ...).
+const AluInfo* aluInfo(std::string_view stem) {
+  static const std::pair<std::string_view, AluInfo> kTable[] = {
+      {"add", {0x00, 0}}, {"or", {0x08, 1}},  {"and", {0x20, 4}},
+      {"sub", {0x28, 5}}, {"xor", {0x30, 6}}, {"cmp", {0x38, 7}},
+  };
+  for (const auto& [name, info] : kTable) {
+    if (name == stem) return &info;
+  }
+  return nullptr;
+}
+
+/// Splits a suffixed mnemonic ("addl" -> "add" + B4) for the imm->mem forms.
+std::optional<std::pair<std::string, Width>> splitSuffix(
+    const std::string& m) {
+  if (m.size() < 2) return std::nullopt;
+  Width w;
+  switch (m.back()) {
+    case 'b':
+      w = Width::B1;
+      break;
+    case 'w':
+      w = Width::B2;
+      break;
+    case 'l':
+      w = Width::B4;
+      break;
+    case 'q':
+      w = Width::B8;
+      break;
+    default:
+      return std::nullopt;
+  }
+  return std::make_pair(m.substr(0, m.size() - 1), w);
+}
+
+}  // namespace
+
+std::vector<uint8_t> encode(const Instruction& ins, uint64_t pc) {
+  Builder b(pc);
+  const std::string& m = ins.mnem;
+  const Operand& a = ins.ops[0];
+  const Operand& d = ins.ops[1];
+  const auto isReg = [](const Operand& o) {
+    return o.kind == Operand::Kind::Reg;
+  };
+  const auto isMem = [](const Operand& o) {
+    return o.kind == Operand::Kind::Mem;
+  };
+  const auto isImm = [](const Operand& o) {
+    return o.kind == Operand::Kind::Imm;
+  };
+  const auto isGpReg = [](const Operand& o) {
+    return o.kind == Operand::Kind::Reg && isGp(o.reg.reg);
+  };
+  const auto bad = [&]() -> std::vector<uint8_t> {
+    throw std::invalid_argument("encode: unsupported instruction: " +
+                                toString(ins));
+  };
+
+  // --- zero-operand ---
+  if (m == "ret" || m == "retq") {
+    b.opcode(0xC3);
+    return b.finish();
+  }
+  if (m == "leave") {
+    b.opcode(0xC9);
+    return b.finish();
+  }
+  if (m == "fchs") {
+    b.opcode2(0xD9, 0xE0);
+    return b.finish();
+  }
+
+  // --- push/pop ---
+  if (m == "push" || m == "pop") {
+    if (!isReg(a)) return bad();
+    const int n = hwNum(a.reg.reg);
+    if (n >= 8) b.prefix(0x41);
+    b.opcode(static_cast<uint8_t>((m == "push" ? 0x50 : 0x58) + (n & 7)));
+    return b.finish();
+  }
+
+  // --- control flow ---
+  if (m == "callq" || m == "call") {
+    if (a.kind != Operand::Kind::Addr) return bad();
+    b.opcode(0xE8);
+    b.rel32(a.imm);
+    return b.finish();
+  }
+  if (m == "jmp") {
+    if (a.kind != Operand::Kind::Addr) return bad();
+    b.opcode(0xE9);
+    b.rel32(a.imm);
+    return b.finish();
+  }
+  if (m.size() >= 2 && m[0] == 'j') {
+    const int cc = ccCode(std::string_view(m).substr(1));
+    if (cc >= 0 && a.kind == Operand::Kind::Addr) {
+      b.opcode2(0x0F, static_cast<uint8_t>(0x80 + cc));
+      b.rel32(a.imm);
+      return b.finish();
+    }
+  }
+
+  // --- setcc ---
+  if (m.starts_with("set")) {
+    const int cc = ccCode(std::string_view(m).substr(3));
+    if (cc < 0 || !isReg(a)) return bad();
+    b.opcode2(0x0F, static_cast<uint8_t>(0x90 + cc));
+    b.modrmReg(0, a.reg.reg, Width::B1);
+    return b.finish();
+  }
+
+  // --- x87 ---
+  if (m == "fldt" && isMem(a)) {
+    b.opcode(0xDB);
+    b.modrmMem(5, a.mem);
+    return b.finish();
+  }
+  if (m == "fstpt" && isMem(a)) {
+    b.opcode(0xDB);
+    b.modrmMem(7, a.mem);
+    return b.finish();
+  }
+  if (m == "fmulp") {
+    b.opcode2(0xDE, 0xC9);
+    return b.finish();
+  }
+  if (m == "faddp") {
+    b.opcode2(0xDE, 0xC1);
+    return b.finish();
+  }
+  if (m == "fsubp") {
+    b.opcode2(0xDE, 0xE9);
+    return b.finish();
+  }
+  if (m == "fucomip") {
+    b.opcode2(0xDF, 0xE9);
+    return b.finish();
+  }
+
+  // --- SSE ---
+  {
+    struct SseOp {
+      const char* name;
+      uint8_t prefix;  // 0xF3 / 0xF2 / 0x66 / 0
+      uint8_t op;
+      bool store;  // xmm -> mem form uses op+1
+    };
+    static const SseOp kSse[] = {
+        {"movss", 0xF3, 0x10, true},  {"movsd", 0xF2, 0x10, true},
+        {"addss", 0xF3, 0x58, false}, {"addsd", 0xF2, 0x58, false},
+        {"mulss", 0xF3, 0x59, false}, {"mulsd", 0xF2, 0x59, false},
+        {"subss", 0xF3, 0x5C, false}, {"subsd", 0xF2, 0x5C, false},
+        {"divss", 0xF3, 0x5E, false}, {"divsd", 0xF2, 0x5E, false},
+        {"ucomiss", 0x00, 0x2E, false}, {"ucomisd", 0x66, 0x2E, false},
+        {"cvtss2sd", 0xF3, 0x5A, false}, {"cvtsd2ss", 0xF2, 0x5A, false},
+    };
+    for (const SseOp& s : kSse) {
+      if (m != s.name) continue;
+      if (s.prefix != 0) b.prefix(s.prefix);
+      if (isReg(d) && isXmm(d.reg.reg)) {
+        // xmm <- rm
+        b.opcode2(0x0F, s.op);
+        putRegRm(b, d.reg.reg, Width::B16, a);
+      } else if (s.store && isMem(d) && isReg(a) && isXmm(a.reg.reg)) {
+        // mem <- xmm
+        b.opcode2(0x0F, static_cast<uint8_t>(s.op + 1));
+        putRegRm(b, a.reg.reg, Width::B16, d);
+      } else {
+        return bad();
+      }
+      return b.finish();
+    }
+  }
+
+  // --- widening loads ---
+  {
+    struct WideOp {
+      const char* name;
+      uint8_t op2;  // after 0F
+    };
+    static const WideOp kWide[] = {
+        {"movzbl", 0xB6}, {"movsbl", 0xBE}, {"movzwl", 0xB7},
+        {"movswl", 0xBF}};
+    for (const WideOp& wo : kWide) {
+      if (m != wo.name) continue;
+      if (!isReg(d)) return bad();
+      b.opcode2(0x0F, wo.op2);
+      putRegRm(b, d.reg.reg, d.reg.width, a);
+      return b.finish();
+    }
+    if (m == "movslq") {
+      if (!isReg(d)) return bad();
+      b.rexW();
+      b.opcode(0x63);
+      putRegRm(b, d.reg.reg, d.reg.width, a);
+      return b.finish();
+    }
+  }
+
+  // --- lea ---
+  if (m == "lea" || m == "leaq") {
+    if (!isMem(a) || !isReg(d)) return bad();
+    applyGpWidth(b, d.reg.width);
+    b.opcode(0x8D);
+    b.modrmMem(hwNum(d.reg.reg), a.mem);
+    return b.finish();
+  }
+
+  // --- mov family ---
+  if (m == "mov") {
+    if (isImm(a) && isReg(d)) {
+      // mov $imm,%r32 -> B8+rd id
+      if (d.reg.width != Width::B4) return bad();
+      const int n = hwNum(d.reg.reg);
+      if (n >= 8) b.prefix(0x41);
+      b.opcode(static_cast<uint8_t>(0xB8 + (n & 7)));
+      b.imm32(a.imm);
+      return b.finish();
+    }
+    if (isGpReg(a) && (isMem(d) || isGpReg(d))) {
+      const Width w = a.reg.width;
+      applyGpWidth(b, w);
+      b.opcode(w == Width::B1 ? 0x88 : 0x89);
+      putRegRm(b, a.reg.reg, w, d);
+      return b.finish();
+    }
+    if (isMem(a) && isGpReg(d)) {
+      const Width w = d.reg.width;
+      applyGpWidth(b, w);
+      b.opcode(w == Width::B1 ? 0x8A : 0x8B);
+      putRegRm(b, d.reg.reg, w, a);
+      return b.finish();
+    }
+    return bad();
+  }
+  // Suffixed imm->mem moves.
+  if (const auto sw = splitSuffix(m); sw && sw->first == "mov" && isImm(a) &&
+                                      isMem(d)) {
+    const Width w = sw->second;
+    applyGpWidth(b, w);
+    b.opcode(w == Width::B1 ? 0xC6 : 0xC7);
+    b.modrmMem(0, d.mem);
+    if (w == Width::B1) {
+      b.imm8(a.imm);
+    } else if (w == Width::B2) {
+      b.imm16(a.imm);
+    } else {
+      b.imm32(a.imm);
+    }
+    return b.finish();
+  }
+
+  // --- test ---
+  if (m == "test" || m == "testl" || m == "testq" || m == "testb") {
+    if (!isGpReg(a) || !isGpReg(d)) return bad();
+    const Width w = a.reg.width;
+    applyGpWidth(b, w);
+    b.opcode(w == Width::B1 ? 0x84 : 0x85);
+    putRegRm(b, a.reg.reg, w, d);
+    return b.finish();
+  }
+
+  // --- shifts (imm8) ---
+  if (m == "shr" || m == "shl" || m == "sar") {
+    if (!isImm(a) || !isReg(d)) return bad();
+    const int ext = m == "shr" ? 5 : (m == "shl" ? 4 : 7);
+    applyGpWidth(b, d.reg.width);
+    b.opcode(0xC1);
+    b.modrmReg(ext, d.reg.reg, d.reg.width);
+    b.imm8(a.imm);
+    return b.finish();
+  }
+
+  // --- imul (imm form: dst = rm * imm, we emit dst == rm) ---
+  if (m == "imul") {
+    if (!isImm(a) || !isReg(d)) return bad();
+    applyGpWidth(b, d.reg.width);
+    b.opcode(0x69);
+    b.modrmReg(hwNum(d.reg.reg), d.reg.reg, d.reg.width);
+    b.imm32(a.imm);
+    return b.finish();
+  }
+
+  // --- div ---
+  if (m == "div") {
+    if (!isReg(a)) return bad();
+    applyGpWidth(b, a.reg.width);
+    b.opcode(0xF7);
+    b.modrmReg(6, a.reg.reg, a.reg.width);
+    return b.finish();
+  }
+
+  // --- ALU: plain (reg forms) and suffixed (imm->mem) ---
+  if (const AluInfo* alu = aluInfo(m)) {
+    if (isGpReg(a) && (isGpReg(d) || isMem(d))) {
+      const Width w = a.reg.width;
+      applyGpWidth(b, w);
+      b.opcode(static_cast<uint8_t>(alu->baseOp + (w == Width::B1 ? 0 : 1)));
+      putRegRm(b, a.reg.reg, w, d);
+      return b.finish();
+    }
+    if (isMem(a) && isGpReg(d)) {
+      const Width w = d.reg.width;
+      applyGpWidth(b, w);
+      b.opcode(static_cast<uint8_t>(alu->baseOp + (w == Width::B1 ? 2 : 3)));
+      putRegRm(b, d.reg.reg, w, a);
+      return b.finish();
+    }
+    if (isImm(a) && isGpReg(d)) {
+      const Width w = d.reg.width;
+      applyGpWidth(b, w);
+      if (w != Width::B1 && fitsInt8(a.imm)) {
+        b.opcode(0x83);
+        b.modrmReg(alu->ext, d.reg.reg, w);
+        b.imm8(a.imm);
+      } else if (w == Width::B1) {
+        b.opcode(0x80);
+        b.modrmReg(alu->ext, d.reg.reg, w);
+        b.imm8(a.imm);
+      } else {
+        b.opcode(0x81);
+        b.modrmReg(alu->ext, d.reg.reg, w);
+        if (w == Width::B2) {
+          b.imm16(a.imm);
+        } else {
+          b.imm32(a.imm);
+        }
+      }
+      return b.finish();
+    }
+    return bad();
+  }
+  if (const auto sw = splitSuffix(m); sw) {
+    if (const AluInfo* alu = aluInfo(sw->first);
+        alu != nullptr && isImm(a) && isMem(d)) {
+      const Width w = sw->second;
+      applyGpWidth(b, w);
+      if (w == Width::B1) {
+        b.opcode(0x80);
+        b.modrmMem(alu->ext, d.mem);
+        b.imm8(a.imm);
+      } else if (fitsInt8(a.imm)) {
+        b.opcode(0x83);
+        b.modrmMem(alu->ext, d.mem);
+        b.imm8(a.imm);
+      } else {
+        b.opcode(0x81);
+        b.modrmMem(alu->ext, d.mem);
+        if (w == Width::B2) {
+          b.imm16(a.imm);
+        } else {
+          b.imm32(a.imm);
+        }
+      }
+      return b.finish();
+    }
+  }
+
+  return bad();
+}
+
+std::vector<uint8_t> encodeAll(std::span<const Instruction> insns,
+                               uint64_t base) {
+  std::vector<uint8_t> out;
+  for (const Instruction& ins : insns) {
+    const auto bytes = encode(ins, base + out.size());
+    out.insert(out.end(), bytes.begin(), bytes.end());
+  }
+  return out;
+}
+
+}  // namespace cati::asmx

@@ -1,0 +1,46 @@
+// x86-64 machine-code encoding/decoding for the instruction subset this
+// project emits and analyzes. Real instruction formats — REX prefixes,
+// ModRM/SIB addressing, operand-size prefixes, SSE F2/F3/66 prefixes and
+// x87 escapes — so a synthesized binary round-trips through actual bytes:
+//   synth  ->  encode()  ->  .text bytes  ->  decode()  ->  analysis IR.
+//
+// Branch/call targets encode as rel32 against the instruction's address;
+// the decoder reconstructs the absolute target. The symbolic `<func>`
+// annotation is not representable in bytes (objdump derives it from the
+// symbol table), so decode(encode(x)) equals x up to dropped Func operands;
+// the loader module reattaches them from the symbol table when present.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "asmx/instruction.h"
+
+namespace cati::asmx {
+
+/// Encodes one instruction at virtual address `pc` (needed for rip-relative
+/// operands and rel32 branch targets). Throws std::invalid_argument for
+/// instructions outside the supported subset.
+std::vector<uint8_t> encode(const Instruction& ins, uint64_t pc);
+
+/// Encodes a sequence starting at `base`, concatenated.
+std::vector<uint8_t> encodeAll(std::span<const Instruction> insns,
+                               uint64_t base);
+
+struct Decoded {
+  Instruction ins;
+  uint8_t length = 0;  ///< bytes consumed
+};
+
+/// Decodes one instruction at `bytes` (virtual address `pc`).
+/// nullopt when the bytes are not a supported encoding.
+std::optional<Decoded> decode(std::span<const uint8_t> bytes, uint64_t pc);
+
+/// Decodes a whole code region; throws std::runtime_error (with the offset)
+/// on an undecodable byte sequence.
+std::vector<Instruction> decodeAll(std::span<const uint8_t> bytes,
+                                   uint64_t base);
+
+}  // namespace cati::asmx

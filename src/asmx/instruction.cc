@@ -1,0 +1,341 @@
+#include "asmx/instruction.h"
+
+#include <cassert>
+#include <charconv>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace cati::asmx {
+
+namespace {
+
+std::string hexImm(int64_t v) {
+  std::ostringstream os;
+  if (v < 0) {
+    os << "-0x" << std::hex << -static_cast<uint64_t>(v);
+  } else {
+    os << "0x" << std::hex << static_cast<uint64_t>(v);
+  }
+  return os.str();
+}
+
+std::string memToString(const MemRef& m) {
+  std::string out;
+  if (m.disp != 0 || (m.base.reg == Reg::None && m.index.reg == Reg::None)) {
+    out += hexImm(m.disp);
+  }
+  if (m.base.reg != Reg::None || m.index.reg != Reg::None) {
+    out += '(';
+    if (m.base.reg != Reg::None) out += '%' + regName(m.base);
+    if (m.index.reg != Reg::None) {
+      out += ",%" + regName(m.index) + ',' + std::to_string(m.scale);
+    }
+    out += ')';
+  }
+  return out;
+}
+
+// --- parsing helpers ---------------------------------------------------------
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r'))
+    s.remove_suffix(1);
+  return s;
+}
+
+std::optional<int64_t> parseInt(std::string_view s) {
+  bool neg = false;
+  if (!s.empty() && (s.front() == '-' || s.front() == '+')) {
+    neg = s.front() == '-';
+    s.remove_prefix(1);
+  }
+  int base = 10;
+  if (s.starts_with("0x") || s.starts_with("0X")) {
+    base = 16;
+    s.remove_prefix(2);
+  }
+  if (s.empty()) return std::nullopt;
+  uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), value, base);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  const auto sv = static_cast<int64_t>(value);
+  return neg ? -sv : sv;
+}
+
+std::optional<Operand> parseMem(std::string_view tok) {
+  MemRef m;
+  const size_t open = tok.find('(');
+  std::string_view dispPart = open == std::string_view::npos
+                                  ? tok
+                                  : tok.substr(0, open);
+  if (!dispPart.empty()) {
+    const auto d = parseInt(dispPart);
+    if (!d) return std::nullopt;
+    m.disp = *d;
+  }
+  if (open != std::string_view::npos) {
+    if (!tok.ends_with(')')) return std::nullopt;
+    std::string_view inner = tok.substr(open + 1, tok.size() - open - 2);
+    // base , index , scale — each part optional except base-or-index.
+    std::array<std::string_view, 3> parts{};
+    int n = 0;
+    size_t start = 0;
+    for (size_t i = 0; i <= inner.size(); ++i) {
+      if (i == inner.size() || inner[i] == ',') {
+        if (n >= 3) return std::nullopt;
+        parts[n++] = trim(inner.substr(start, i - start));
+        start = i + 1;
+      }
+    }
+    if (n >= 1 && !parts[0].empty()) {
+      if (!parts[0].starts_with('%')) return std::nullopt;
+      const auto r = regFromName(parts[0].substr(1));
+      if (!r) return std::nullopt;
+      m.base = *r;
+    }
+    if (n >= 2 && !parts[1].empty()) {
+      if (!parts[1].starts_with('%')) return std::nullopt;
+      const auto r = regFromName(parts[1].substr(1));
+      if (!r) return std::nullopt;
+      m.index = *r;
+    }
+    if (n >= 3 && !parts[2].empty()) {
+      const auto s = parseInt(parts[2]);
+      if (!s || (*s != 1 && *s != 2 && *s != 4 && *s != 8)) return std::nullopt;
+      m.scale = static_cast<uint8_t>(*s);
+    }
+  }
+  return Operand::m(m);
+}
+
+std::optional<Operand> parseOperand(std::string_view tok) {
+  tok = trim(tok);
+  if (tok.empty()) return Operand::none();
+  if (tok.front() == '%') {
+    const auto r = regFromName(tok.substr(1));
+    if (!r) return std::nullopt;
+    return Operand::r(*r);
+  }
+  if (tok.front() == '$') {
+    const auto v = parseInt(tok.substr(1));
+    if (!v) return std::nullopt;
+    return Operand::i(*v);
+  }
+  if (tok.front() == '<' && tok.back() == '>') {
+    return Operand::func(std::string(tok.substr(1, tok.size() - 2)));
+  }
+  if (tok.find('(') != std::string_view::npos) return parseMem(tok);
+  // Bare number: branch/call target address. objdump prints these as
+  // unprefixed hex (`jmp 3bc59`), so hex is the only valid reading.
+  {
+    uint64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(tok.data(), tok.data() + tok.size(), value, 16);
+    if (ec == std::errc() && ptr == tok.data() + tok.size()) {
+      return Operand::addr(static_cast<int64_t>(value));
+    }
+  }
+  // Displacement-only memory operand like `0x10(%rax)` is handled above;
+  // a bare displacement without parens is ambiguous — reject.
+  return std::nullopt;
+}
+
+// Splits the operand field on top-level commas (commas inside parens are
+// part of a memory operand).
+std::vector<std::string_view> splitOperands(std::string_view s) {
+  std::vector<std::string_view> out;
+  int depth = 0;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || (s[i] == ',' && depth == 0)) {
+      const auto part = trim(s.substr(start, i - start));
+      if (!part.empty()) out.push_back(part);
+      start = i + 1;
+    } else if (s[i] == '(') {
+      ++depth;
+    } else if (s[i] == ')') {
+      --depth;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string toString(const Operand& op) {
+  switch (op.kind) {
+    case Operand::Kind::None:
+      return "";
+    case Operand::Kind::Reg:
+      return '%' + regName(op.reg);
+    case Operand::Kind::Imm:
+      return '$' + hexImm(op.imm);
+    case Operand::Kind::Mem:
+      return memToString(op.mem);
+    case Operand::Kind::Addr: {
+      std::ostringstream os;
+      os << std::hex << static_cast<uint64_t>(op.imm);
+      return os.str();
+    }
+    case Operand::Kind::Func:
+      return '<' + op.sym + '>';
+  }
+  return "";
+}
+
+std::string toString(const Instruction& ins) {
+  std::string out = ins.mnem;
+  bool first = true;
+  for (const auto& op : ins.ops) {
+    if (op.kind == Operand::Kind::None) continue;
+    // The <func> annotation follows the address with a space (objdump style);
+    // real operands are comma-separated.
+    if (first) {
+      out += ' ';
+      first = false;
+    } else if (op.kind == Operand::Kind::Func) {
+      out += ' ';
+    } else {
+      out += ',';
+    }
+    out += toString(op);
+  }
+  return out;
+}
+
+std::optional<Instruction> parse(std::string_view line) {
+  line = trim(line);
+  if (line.empty()) return std::nullopt;
+  size_t sp = line.find_first_of(" \t");
+  Instruction ins;
+  if (sp == std::string_view::npos) {
+    ins.mnem = std::string(line);
+    return ins;
+  }
+  ins.mnem = std::string(line.substr(0, sp));
+  std::string_view rest = trim(line.substr(sp + 1));
+
+  // `<func>` annotations are space-separated from the address; normalize by
+  // treating them as one more operand.
+  std::vector<std::string_view> toks;
+  const size_t lt = rest.find('<');
+  if (lt != std::string_view::npos) {
+    const auto before = trim(rest.substr(0, lt));
+    for (auto t : splitOperands(before)) toks.push_back(t);
+    toks.push_back(trim(rest.substr(lt)));
+  } else {
+    toks = splitOperands(rest);
+  }
+  if (toks.size() > 2) return std::nullopt;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const auto op = parseOperand(toks[i]);
+    if (!op) return std::nullopt;
+    ins.ops[i] = *op;
+  }
+  return ins;
+}
+
+std::vector<Instruction> parseListing(std::string_view text) {
+  std::vector<Instruction> out;
+  size_t start = 0;
+  int lineNo = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '\n') {
+      ++lineNo;
+      auto line = trim(text.substr(start, i - start));
+      start = i + 1;
+      if (line.empty() || line.front() == '#') continue;
+      const auto ins = parse(line);
+      if (!ins) {
+        throw std::runtime_error("parseListing: bad instruction at line " +
+                                 std::to_string(lineNo) + ": " +
+                                 std::string(line));
+      }
+      out.push_back(*ins);
+    }
+  }
+  return out;
+}
+
+bool isCall(const Instruction& ins) {
+  return ins.mnem == "call" || ins.mnem == "callq";
+}
+
+bool isJump(const Instruction& ins) {
+  if (ins.mnem.empty()) return false;
+  if (ins.mnem.starts_with("jmp")) return true;
+  // Conditional jumps: ja, jae, jb, je, jne, jg, jle, js, ...
+  return ins.mnem.front() == 'j' && !isCall(ins);
+}
+
+bool isLea(const Instruction& ins) { return ins.mnem.starts_with("lea"); }
+
+int memOperandIndex(const Instruction& ins) {
+  if (isLea(ins)) return -1;
+  for (int i = 0; i < 2; ++i) {
+    if (ins.ops[i].kind == Operand::Kind::Mem) return i;
+  }
+  return -1;
+}
+
+std::optional<Width> accessWidth(const Instruction& ins) {
+  // SSE / x87 mnemonics first.
+  const std::string& m = ins.mnem;
+  if (m.ends_with("ss") && m != "cross") return Width::B4;   // movss, addss...
+  if (m.ends_with("sd")) return Width::B8;                   // movsd, addsd...
+  if (m.starts_with("fld") || m.starts_with("fstp")) {
+    if (m.ends_with("t")) return Width::B10;                 // fldt / fstpt
+    if (m.ends_with("l")) return Width::B8;
+    return Width::B4;
+  }
+  // movzbl/movsbl/movswl/movzwq...: width of the *source* access.
+  if (m.starts_with("movz") || m.starts_with("movs")) {
+    if (m.size() >= 5 && m != "movslq") {
+      const char src = m[4];
+      if (src == 'b') return Width::B1;
+      if (src == 'w') return Width::B2;
+    }
+    if (m == "movslq") return Width::B4;
+  }
+  // GP suffix.
+  if (m.size() > 1) {
+    switch (m.back()) {
+      case 'b':
+        if (m == "movb" || m == "cmpb" || m == "addb" || m == "subb" ||
+            m == "testb" || m == "andb" || m == "orb" || m == "xorb")
+          return Width::B1;
+        break;
+      case 'w':
+        if (m == "movw" || m == "cmpw" || m == "addw" || m == "subw")
+          return Width::B2;
+        break;
+      case 'l':
+        if (m == "movl" || m == "cmpl" || m == "addl" || m == "subl" ||
+            m == "imull" || m == "testl" || m == "andl" || m == "orl" ||
+            m == "xorl" || m == "shrl" || m == "shll" || m == "sarl" ||
+            m == "negl" || m == "incl" || m == "decl")
+          return Width::B4;
+        break;
+      case 'q':
+        if (m == "movq" || m == "cmpq" || m == "addq" || m == "subq" ||
+            m == "imulq" || m == "testq" || m == "andq" || m == "orq" ||
+            m == "xorq" || m == "shrq" || m == "shlq" || m == "sarq" ||
+            m == "negq" || m == "incq" || m == "decq" || m == "leaq")
+          return Width::B8;
+        break;
+      default:
+        break;
+    }
+  }
+  // Fall back to register operand width.
+  for (const auto& op : ins.ops) {
+    if (op.kind == Operand::Kind::Reg && isGp(op.reg.reg)) return op.reg.width;
+    if (op.kind == Operand::Kind::Reg && isXmm(op.reg.reg)) return Width::B16;
+  }
+  return std::nullopt;
+}
+
+}  // namespace cati::asmx

@@ -1,0 +1,101 @@
+#include "asmx/reg.h"
+
+#include <cassert>
+
+namespace cati::asmx {
+
+namespace {
+
+// Names of the 16 GP registers at each width.
+constexpr std::string_view kGp64[16] = {"rax", "rbx", "rcx", "rdx", "rsi",
+                                        "rdi", "rbp", "rsp", "r8",  "r9",
+                                        "r10", "r11", "r12", "r13", "r14",
+                                        "r15"};
+constexpr std::string_view kGp32[16] = {"eax", "ebx", "ecx",  "edx",  "esi",
+                                        "edi", "ebp", "esp",  "r8d",  "r9d",
+                                        "r10d", "r11d", "r12d", "r13d", "r14d",
+                                        "r15d"};
+constexpr std::string_view kGp16[16] = {"ax",  "bx",  "cx",   "dx",   "si",
+                                        "di",  "bp",  "sp",   "r8w",  "r9w",
+                                        "r10w", "r11w", "r12w", "r13w", "r14w",
+                                        "r15w"};
+constexpr std::string_view kGp8[16] = {"al",  "bl",  "cl",   "dl",   "sil",
+                                       "dil", "bpl", "spl",  "r8b",  "r9b",
+                                       "r10b", "r11b", "r12b", "r13b", "r14b",
+                                       "r15b"};
+
+int gpIndex(Reg r) {
+  return static_cast<int>(r) - static_cast<int>(Reg::Rax);
+}
+
+}  // namespace
+
+bool isGp(Reg r) { return r >= Reg::Rax && r <= Reg::R15; }
+
+bool isXmm(Reg r) { return r >= Reg::Xmm0 && r <= Reg::Xmm15; }
+
+bool isX87(Reg r) { return r >= Reg::St0 && r <= Reg::St7; }
+
+std::string regName(Reg r, Width w) {
+  if (r == Reg::Rip) return "rip";
+  if (isXmm(r)) {
+    return "xmm" + std::to_string(static_cast<int>(r) -
+                                  static_cast<int>(Reg::Xmm0));
+  }
+  if (isX87(r)) {
+    const int i = static_cast<int>(r) - static_cast<int>(Reg::St0);
+    return i == 0 ? "st" : "st(" + std::to_string(i) + ")";
+  }
+  assert(isGp(r));
+  const int i = gpIndex(r);
+  switch (w) {
+    case Width::B8:
+      return std::string(kGp64[i]);
+    case Width::B4:
+      return std::string(kGp32[i]);
+    case Width::B2:
+      return std::string(kGp16[i]);
+    case Width::B1:
+      return std::string(kGp8[i]);
+    default:
+      assert(false && "invalid GP width");
+      return std::string(kGp64[i]);
+  }
+}
+
+std::optional<RegRef> regFromName(std::string_view name) {
+  if (name == "rip") return RegRef{Reg::Rip, Width::B8};
+  if (name.starts_with("xmm")) {
+    int idx = 0;
+    for (char c : name.substr(3)) {
+      if (c < '0' || c > '9') return std::nullopt;
+      idx = idx * 10 + (c - '0');
+    }
+    if (idx > 15) return std::nullopt;
+    return RegRef{static_cast<Reg>(static_cast<int>(Reg::Xmm0) + idx),
+                  Width::B16};
+  }
+  if (name == "st") return RegRef{Reg::St0, Width::B10};
+  if (name.starts_with("st(") && name.ends_with(")") && name.size() == 5) {
+    const int idx = name[3] - '0';
+    if (idx < 0 || idx > 7) return std::nullopt;
+    return RegRef{static_cast<Reg>(static_cast<int>(Reg::St0) + idx),
+                  Width::B10};
+  }
+  const auto scan = [&](const std::string_view table[16],
+                        Width w) -> std::optional<RegRef> {
+    for (int i = 0; i < 16; ++i) {
+      if (table[i] == name) {
+        return RegRef{static_cast<Reg>(static_cast<int>(Reg::Rax) + i), w};
+      }
+    }
+    return std::nullopt;
+  };
+  if (auto r = scan(kGp64, Width::B8)) return r;
+  if (auto r = scan(kGp32, Width::B4)) return r;
+  if (auto r = scan(kGp16, Width::B2)) return r;
+  if (auto r = scan(kGp8, Width::B1)) return r;
+  return std::nullopt;
+}
+
+}  // namespace cati::asmx

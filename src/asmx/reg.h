@@ -1,0 +1,86 @@
+// x86-64 register model. A register reference is a base register plus an
+// access width, mirroring how AT&T syntax distinguishes %rax/%eax/%ax/%al.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace cati::asmx {
+
+enum class Reg : uint8_t {
+  None,
+  // General-purpose (64-bit base names).
+  Rax,
+  Rbx,
+  Rcx,
+  Rdx,
+  Rsi,
+  Rdi,
+  Rbp,
+  Rsp,
+  R8,
+  R9,
+  R10,
+  R11,
+  R12,
+  R13,
+  R14,
+  R15,
+  Rip,
+  // SSE.
+  Xmm0,
+  Xmm1,
+  Xmm2,
+  Xmm3,
+  Xmm4,
+  Xmm5,
+  Xmm6,
+  Xmm7,
+  Xmm8,
+  Xmm9,
+  Xmm10,
+  Xmm11,
+  Xmm12,
+  Xmm13,
+  Xmm14,
+  Xmm15,
+  // x87 stack.
+  St0,
+  St1,
+  St2,
+  St3,
+  St4,
+  St5,
+  St6,
+  St7,
+  kCount,
+};
+
+/// Operand access width in bytes. B10 is the x87 80-bit extended width,
+/// B16 the full SSE register.
+enum class Width : uint8_t { B1 = 1, B2 = 2, B4 = 4, B8 = 8, B10 = 10, B16 = 16 };
+
+struct RegRef {
+  Reg reg = Reg::None;
+  Width width = Width::B8;
+
+  bool operator==(const RegRef&) const = default;
+};
+
+bool isGp(Reg r);
+bool isXmm(Reg r);
+bool isX87(Reg r);
+
+/// AT&T name for the register at the given width, e.g. (Rax,B4) -> "eax",
+/// (R8,B1) -> "r8b", (Xmm3,*) -> "xmm3". Asserts on invalid combinations.
+std::string regName(Reg r, Width w);
+
+inline std::string regName(RegRef r) { return regName(r.reg, r.width); }
+
+/// Inverse of regName: parses "eax", "r10d", "xmm2", "st(3)"...; the width is
+/// recovered from the spelling. nullopt on unknown names.
+std::optional<RegRef> regFromName(std::string_view name);
+
+}  // namespace cati::asmx

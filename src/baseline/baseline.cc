@@ -1,0 +1,209 @@
+#include "baseline/baseline.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cati::baseline {
+
+// --- NaiveBayes ----------------------------------------------------------------
+
+void NaiveBayes::add(std::span<const std::string> features, int label) {
+  finalized_ = false;
+  if (counts_.empty()) {
+    counts_.resize(static_cast<size_t>(numClasses_));
+    classTotals_.assign(static_cast<size_t>(numClasses_), 0);
+    classDocs_.assign(static_cast<size_t>(numClasses_), 0);
+  }
+  ++classDocs_[static_cast<size_t>(label)];
+  ++totalDocs_;
+  for (const std::string& f : features) {
+    const auto [it, inserted] =
+        featIndex_.try_emplace(f, static_cast<uint32_t>(featIndex_.size()));
+    const uint32_t id = it->second;
+    auto& row = counts_[static_cast<size_t>(label)];
+    if (row.size() <= id) row.resize(featIndex_.size(), 0);
+    ++row[id];
+    ++classTotals_[static_cast<size_t>(label)];
+  }
+}
+
+void NaiveBayes::finalize() {
+  logPrior_.assign(static_cast<size_t>(numClasses_), -40.0);
+  for (int c = 0; c < numClasses_; ++c) {
+    if (classDocs_[static_cast<size_t>(c)] > 0) {
+      logPrior_[static_cast<size_t>(c)] =
+          std::log(static_cast<double>(classDocs_[static_cast<size_t>(c)]) /
+                   static_cast<double>(totalDocs_));
+    }
+    counts_[static_cast<size_t>(c)].resize(featIndex_.size(), 0);
+  }
+  finalized_ = true;
+}
+
+std::vector<float> NaiveBayes::scores(
+    std::span<const std::string> features) const {
+  std::vector<double> logp(logPrior_.begin(), logPrior_.end());
+  const double vocab = static_cast<double>(featIndex_.size()) + 1.0;
+  for (const std::string& f : features) {
+    const auto it = featIndex_.find(f);
+    for (int c = 0; c < numClasses_; ++c) {
+      const double count =
+          it == featIndex_.end()
+              ? 0.0
+              : static_cast<double>(counts_[static_cast<size_t>(c)][it->second]);
+      logp[static_cast<size_t>(c)] +=
+          std::log((count + 1.0) /
+                   (static_cast<double>(classTotals_[static_cast<size_t>(c)]) +
+                    vocab));
+    }
+  }
+  // Softmax for comparability with the CNN confidences.
+  const double maxv = *std::max_element(logp.begin(), logp.end());
+  double sum = 0.0;
+  std::vector<float> out(static_cast<size_t>(numClasses_));
+  for (int c = 0; c < numClasses_; ++c) {
+    const double e = std::exp(logp[static_cast<size_t>(c)] - maxv);
+    out[static_cast<size_t>(c)] = static_cast<float>(e);
+    sum += e;
+  }
+  for (float& v : out) v = static_cast<float>(v / sum);
+  return out;
+}
+
+int NaiveBayes::predict(std::span<const std::string> features) const {
+  const auto s = scores(features);
+  return static_cast<int>(std::max_element(s.begin(), s.end()) - s.begin());
+}
+
+// --- NoContextBaseline -----------------------------------------------------------
+
+std::vector<std::string> NoContextBaseline::features(const corpus::Vuc& vuc) {
+  const corpus::GenInstr& t = vuc.target();
+  // Tokens plus the full instruction text: the joint feature lets the model
+  // memorize exact target instructions, its best possible play at window 0.
+  return {t.mnem, "1:" + t.op1, "2:" + t.op2, "T:" + t.text()};
+}
+
+void NoContextBaseline::train(const corpus::Dataset& trainSet) {
+  for (const corpus::Vuc& v : trainSet.vucs) {
+    if (v.label == TypeLabel::kCount) continue;
+    nb_.add(features(v), static_cast<int>(v.label));
+  }
+  nb_.finalize();
+}
+
+TypeLabel NoContextBaseline::predictVuc(const corpus::Vuc& vuc) const {
+  return static_cast<TypeLabel>(nb_.predict(features(vuc)));
+}
+
+TypeLabel NoContextBaseline::predictVariable(
+    std::span<const corpus::Vuc> vucs) const {
+  std::array<float, kNumTypes> sums{};
+  for (const corpus::Vuc& v : vucs) {
+    const auto s = nb_.scores(features(v));
+    for (int c = 0; c < kNumTypes; ++c) sums[static_cast<size_t>(c)] += s[static_cast<size_t>(c)];
+  }
+  return static_cast<TypeLabel>(
+      std::max_element(sums.begin(), sums.end()) - sums.begin());
+}
+
+// --- NGramBaseline ----------------------------------------------------------------
+
+std::vector<std::string> NGramBaseline::features(
+    const corpus::Dataset& ds, std::span<const uint32_t> vucIdxs) {
+  std::vector<std::string> out;
+  for (const uint32_t i : vucIdxs) {
+    const corpus::GenInstr& t = ds.vucs[i].target();
+    // Unigrams and bigrams over the token triple.
+    out.push_back(t.mnem);
+    out.push_back(t.op1);
+    out.push_back(t.op2);
+    out.push_back(t.mnem + '|' + t.op1);
+    out.push_back(t.op1 + '|' + t.op2);
+    out.push_back(t.mnem + '|' + t.op1 + '|' + t.op2);
+  }
+  return out;
+}
+
+void NGramBaseline::train(const corpus::Dataset& trainSet) {
+  const auto byVar = trainSet.vucsByVar();
+  for (size_t v = 0; v < byVar.size(); ++v) {
+    if (byVar[v].empty()) continue;
+    if (trainSet.vars[v].label == TypeLabel::kCount) continue;
+    nb_.add(features(trainSet, byVar[v]),
+            static_cast<int>(trainSet.vars[v].label));
+  }
+  nb_.finalize();
+}
+
+TypeLabel NGramBaseline::predictVariable(
+    const corpus::Dataset& ds, std::span<const uint32_t> vucIdxs) const {
+  return static_cast<TypeLabel>(nb_.predict(features(ds, vucIdxs)));
+}
+
+// --- RuleBaseline ------------------------------------------------------------------
+
+namespace {
+
+/// IDA-flavoured single-instruction heuristics.
+TypeLabel ruleForTarget(const corpus::GenInstr& t) {
+  const std::string& m = t.mnem;
+  // SSE / x87.
+  if (m == "movss" || m == "ucomiss" || m.ends_with("ss")) {
+    return TypeLabel::Float;
+  }
+  if (m == "movsd" || m == "ucomisd" || m.ends_with("sd")) {
+    return TypeLabel::Double;
+  }
+  if (m.starts_with("fld") || m.starts_with("fstp")) {
+    return TypeLabel::LongDouble;
+  }
+  // Widening loads.
+  if (m == "movsbl") return TypeLabel::Char;
+  if (m == "movzbl") return TypeLabel::UChar;
+  if (m == "movswl") return TypeLabel::ShortInt;
+  if (m == "movzwl") return TypeLabel::UShortInt;
+  if (m == "movslq") return TypeLabel::Int;
+  // Address taken: aggregates.
+  if (m.starts_with("lea")) return TypeLabel::Struct;
+  // Byte ops: bool-ish.
+  if (m == "xorb" || m == "setne" || m == "sete") return TypeLabel::Bool;
+  if (m == "movb" || m == "cmpb") return TypeLabel::Char;
+  if (m == "movw" || m == "cmpw") return TypeLabel::ShortInt;
+  // Pointer-strength 64-bit idioms.
+  if (m == "cmpq") return TypeLabel::StructPtr;  // NULL checks dominate
+  if (m == "addq") return TypeLabel::ArithPtr;   // typed stride advance
+  if (m == "movq" || (m == "mov" && (t.op1 == "%rax" || t.op2 == "%rax" ||
+                                     t.op1.starts_with("%r") ||
+                                     t.op2.starts_with("%r")))) {
+    // 64-bit move: pointer or long — pointers dominate in real code.
+    return TypeLabel::StructPtr;
+  }
+  if (m == "movl" || m == "cmpl" || m == "addl" || m == "subl" ||
+      m == "imull") {
+    return TypeLabel::Int;
+  }
+  if (m == "shrl" || m == "andl" || m == "orl" || m == "divl") {
+    return TypeLabel::UInt;
+  }
+  if (m == "shrq" || m == "andq") return TypeLabel::ULongInt;
+  return TypeLabel::Int;
+}
+
+}  // namespace
+
+TypeLabel RuleBaseline::predictVuc(const corpus::Vuc& vuc) const {
+  return ruleForTarget(vuc.target());
+}
+
+TypeLabel RuleBaseline::predictVariable(
+    std::span<const corpus::Vuc> vucs) const {
+  std::array<int, kNumTypes> votes{};
+  for (const corpus::Vuc& v : vucs) {
+    ++votes[static_cast<size_t>(predictVuc(v))];
+  }
+  return static_cast<TypeLabel>(
+      std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+}  // namespace cati::baseline

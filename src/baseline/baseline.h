@@ -1,0 +1,94 @@
+// Baseline type-inference approaches CATI is compared against (§VII-B and
+// the ablations):
+//
+//  * RuleBaseline      — IDA-style hand-written heuristics on the target
+//                        instructions (mnemonic families, operand widths,
+//                        register classes, stride magnitudes).
+//  * NoContextBaseline — a learned classifier that sees ONLY the generalized
+//                        target instruction (window = 0). This models the
+//                        feature set prior learning-based work (DEBIN,
+//                        TypeMiner) can extract for orphan variables, and is
+//                        a Bayes-optimal classifier for that feature set —
+//                        so any CATI win over it is attributable to context.
+//  * NGramBaseline     — TypeMiner-style multinomial naive Bayes over token
+//                        n-grams of a variable's target instructions.
+//
+// See DESIGN.md §2 for why these stand in for the closed-source/closed-data
+// comparators of the paper.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "corpus/corpus.h"
+
+namespace cati::baseline {
+
+/// Multinomial naive Bayes with Laplace smoothing over string features.
+class NaiveBayes {
+ public:
+  explicit NaiveBayes(int numClasses) : numClasses_(numClasses) {}
+
+  void add(std::span<const std::string> features, int label);
+  /// Call once after all add()s; recomputes log priors/likelihoods.
+  void finalize();
+
+  int predict(std::span<const std::string> features) const;
+  /// Posterior distribution (softmax of log scores).
+  std::vector<float> scores(std::span<const std::string> features) const;
+
+ private:
+  int numClasses_;
+  bool finalized_ = false;
+  std::unordered_map<std::string, uint32_t> featIndex_;
+  std::vector<std::vector<uint64_t>> counts_;  // [class][feature]
+  std::vector<uint64_t> classTotals_;          // token totals per class
+  std::vector<uint64_t> classDocs_;            // document counts per class
+  std::vector<double> logPrior_;
+  uint64_t totalDocs_ = 0;
+};
+
+/// Window-0 learned baseline: predicts from the generalized target
+/// instruction's three tokens (plus their combination).
+class NoContextBaseline {
+ public:
+  NoContextBaseline() : nb_(kNumTypes) {}
+
+  void train(const corpus::Dataset& trainSet);
+  TypeLabel predictVuc(const corpus::Vuc& vuc) const;
+  /// Majority over the variable's per-VUC predictions.
+  TypeLabel predictVariable(std::span<const corpus::Vuc> vucs) const;
+
+ private:
+  static std::vector<std::string> features(const corpus::Vuc& vuc);
+  NaiveBayes nb_;
+};
+
+/// TypeMiner-style n-gram baseline: one prediction per variable from the
+/// token uni+bi-grams of all of its target instructions.
+class NGramBaseline {
+ public:
+  NGramBaseline() : nb_(kNumTypes) {}
+
+  void train(const corpus::Dataset& trainSet);
+  TypeLabel predictVariable(const corpus::Dataset& ds,
+                            std::span<const uint32_t> vucIdxs) const;
+
+ private:
+  static std::vector<std::string> features(const corpus::Dataset& ds,
+                                           std::span<const uint32_t> vucIdxs);
+  NaiveBayes nb_;
+};
+
+/// Hand-written heuristic rules, majority-voted over target instructions.
+class RuleBaseline {
+ public:
+  TypeLabel predictVuc(const corpus::Vuc& vuc) const;
+  TypeLabel predictVariable(std::span<const corpus::Vuc> vucs) const;
+};
+
+}  // namespace cati::baseline

@@ -1,0 +1,116 @@
+#include "baseline/svm.h"
+
+#include <algorithm>
+
+namespace cati::baseline {
+
+namespace {
+
+uint64_t fnv1a(std::string_view s, uint64_t h = 1469598103934665603ULL) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<uint32_t> SvmBaseline::features(const corpus::Vuc& vuc) const {
+  const uint32_t mask = (1U << cfg_.hashBits) - 1;
+  std::vector<uint32_t> out;
+  out.reserve(vuc.window.size() * 4);
+  const int centre = vuc.centre();
+  for (size_t k = 0; k < vuc.window.size(); ++k) {
+    const corpus::GenInstr& g = vuc.window[k];
+    if (g.mnem == corpus::kBlank) continue;
+    // Coarse position bucket: centre / near (|d|<=3) / far — keeps some
+    // positional signal without exploding the feature space.
+    const int d = std::abs(static_cast<int>(k) - centre);
+    const char bucket = !cfg_.positional ? 'a'
+                        : d == 0         ? 'c'
+                        : d <= 3         ? 'n'
+                                         : 'f';
+    const std::string text = g.text();
+    out.push_back(static_cast<uint32_t>(fnv1a(text) ^
+                                        static_cast<uint64_t>(bucket)) &
+                  mask);
+    out.push_back(static_cast<uint32_t>(
+                      fnv1a(g.mnem, 0x9e3779b97f4a7c15ULL) ^
+                      static_cast<uint64_t>(bucket)) &
+                  mask);
+  }
+  return out;
+}
+
+void SvmBaseline::train(const corpus::Dataset& trainSet) {
+  dim_ = (1U << cfg_.hashBits) + 1;  // +1 bias slot
+  weights_.assign(static_cast<size_t>(kNumTypes) * dim_, 0.0F);
+
+  std::vector<uint32_t> order;
+  for (uint32_t i = 0; i < trainSet.vucs.size(); ++i) {
+    if (trainSet.vucs[i].label != TypeLabel::kCount) order.push_back(i);
+  }
+  Rng rng(cfg_.seed);
+  std::vector<float> margin(kNumTypes);
+  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    rng.shuffle(order);
+    const float lr = cfg_.lr / static_cast<float>(1 + epoch);
+    for (const uint32_t idx : order) {
+      const corpus::Vuc& vuc = trainSet.vucs[idx];
+      const auto feats = features(vuc);
+      const int y = static_cast<int>(vuc.label);
+      // One-vs-rest hinge: for each class, want margin >= +1 (own class)
+      // or <= -1 (other classes); update only violators (and decay).
+      for (int cls = 0; cls < kNumTypes; ++cls) {
+        float* w = weights_.data() + static_cast<size_t>(cls) * dim_;
+        float score = w[dim_ - 1];
+        for (const uint32_t f : feats) score += w[f];
+        const float target = cls == y ? 1.0F : -1.0F;
+        if (score * target < 1.0F) {
+          const float g = lr * target;
+          for (const uint32_t f : feats) w[f] += g;
+          w[dim_ - 1] += g;
+        }
+      }
+    }
+    // L2 shrink once per epoch (cheap stand-in for per-step decay).
+    const float shrink = 1.0F - cfg_.reg * static_cast<float>(order.size());
+    if (shrink > 0.0F && shrink < 1.0F) {
+      for (float& w : weights_) w *= shrink;
+    }
+  }
+}
+
+void SvmBaseline::scores(const corpus::Vuc& vuc, std::span<float> out) const {
+  const auto feats = features(vuc);
+  for (int cls = 0; cls < kNumTypes; ++cls) {
+    const float* w = weights_.data() + static_cast<size_t>(cls) * dim_;
+    float score = w[dim_ - 1];
+    for (const uint32_t f : feats) score += w[f];
+    out[static_cast<size_t>(cls)] = score;
+  }
+}
+
+TypeLabel SvmBaseline::predictVuc(const corpus::Vuc& vuc) const {
+  std::array<float, kNumTypes> s{};
+  scores(vuc, s);
+  return static_cast<TypeLabel>(std::max_element(s.begin(), s.end()) -
+                                s.begin());
+}
+
+TypeLabel SvmBaseline::predictVariable(
+    std::span<const corpus::Vuc> vucs) const {
+  std::array<float, kNumTypes> sum{};
+  std::array<float, kNumTypes> s{};
+  for (const corpus::Vuc& v : vucs) {
+    scores(v, s);
+    for (int c = 0; c < kNumTypes; ++c) {
+      sum[static_cast<size_t>(c)] += s[static_cast<size_t>(c)];
+    }
+  }
+  return static_cast<TypeLabel>(std::max_element(sum.begin(), sum.end()) -
+                                sum.begin());
+}
+
+}  // namespace cati::baseline

@@ -1,0 +1,50 @@
+// Linear SVM baseline over *windowed* features: one-vs-rest hinge loss with
+// averaged SGD on hashed bag-of-token features of the whole VUC. Xu et al.
+// ("Learning types for binaries") used an SVM; here it also serves as the
+// model-class ablation — it sees the same context window as the CNN, so any
+// CNN advantage is attributable to the convolutional/positional structure,
+// not to the context itself.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "corpus/corpus.h"
+
+namespace cati::baseline {
+
+struct SvmConfig {
+  int hashBits = 16;      ///< feature space = 2^hashBits
+  int epochs = 3;
+  float lr = 0.1F;
+  float reg = 1e-6F;      ///< L2
+  uint64_t seed = 17;
+  bool positional = true; ///< tokens hashed with a coarse position bucket
+};
+
+class SvmBaseline {
+ public:
+  explicit SvmBaseline(SvmConfig cfg = SvmConfig{}) : cfg_(cfg) {}
+
+  void train(const corpus::Dataset& trainSet);
+
+  TypeLabel predictVuc(const corpus::Vuc& vuc) const;
+  /// Sum of per-class margins over the variable's VUCs, argmax.
+  TypeLabel predictVariable(std::span<const corpus::Vuc> vucs) const;
+
+ private:
+  /// Sparse hashed feature ids of one VUC (with counts folded in by
+  /// repetition).
+  std::vector<uint32_t> features(const corpus::Vuc& vuc) const;
+  void scores(const corpus::Vuc& vuc, std::span<float> out) const;
+
+  SvmConfig cfg_;
+  // weights_[class * dim + feature]; bias per class at the end of each row.
+  std::vector<float> weights_;
+  uint32_t dim_ = 0;
+};
+
+}  // namespace cati::baseline

@@ -1,0 +1,47 @@
+// TIE-style type inference (Lee/Avgerinos/Brumley, NDSS'11): a principled
+// static analysis that accumulates typing *evidence* per variable on a small
+// lattice (width, floatness, signedness, pointerness, aggregateness) from
+// all of the variable's target instructions, then resolves the lattice
+// element to the most specific of the 19 CATI labels.
+//
+// Unlike the learned baselines this uses no training data at all — it is the
+// rule-based endpoint of the spectrum the paper positions CATI against
+// ("TIE ... really perform[s] well in the rule-based method").
+#pragma once
+
+#include <span>
+
+#include "common/types.h"
+#include "corpus/corpus.h"
+
+namespace cati::baseline {
+
+/// Evidence accumulated from one variable's target instructions.
+struct TieEvidence {
+  int width = 0;  ///< widest access seen, in bytes (0 = unknown)
+  bool sse = false;
+  bool x87 = false;
+  int signedHits = 0;    ///< sign-extensions, signed compares
+  int unsignedHits = 0;  ///< zero-extensions, shifts/masks, unsigned compares
+  int pointerHits = 0;   ///< 8-byte null-compares, pointer-strength idioms
+  bool addressTaken = false;  ///< lea of the slot
+  bool boolish = false;       ///< setcc stores / 0-1 immediates / xorb
+  int memberStores = 0;       ///< byte/word stores typical of aggregates
+};
+
+class TieBaseline {
+ public:
+  /// Gathers evidence from the generalized target instructions of the
+  /// variable's VUCs.
+  static TieEvidence gather(std::span<const corpus::Vuc> vucs);
+
+  /// Resolves evidence to a type label (the lattice "most specific
+  /// consistent type" step of TIE, collapsed onto CATI's 19 labels).
+  static TypeLabel resolve(const TieEvidence& ev);
+
+  TypeLabel predictVariable(std::span<const corpus::Vuc> vucs) const {
+    return resolve(gather(vucs));
+  }
+};
+
+}  // namespace cati::baseline

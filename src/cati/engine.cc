@@ -1,0 +1,357 @@
+#include "cati/engine.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+
+#include "common/serialize.h"
+
+namespace cati {
+
+Engine::Engine(EngineConfig cfg) : cfg_(cfg) {}
+
+nn::Shape Engine::inputShape() const {
+  // Channel-major: embedding dimensions (3 tokens x dim) as channels over
+  // the 2w+1 instruction positions.
+  return {3 * cfg_.w2v.dim, 2 * cfg_.window + 1};
+}
+
+void Engine::encodeInput(const corpus::Vuc& vuc, int occlude,
+                         std::span<float> out) const {
+  const int rows = 2 * cfg_.window + 1;
+  const int cols = 3 * cfg_.w2v.dim;
+  if (static_cast<int>(vuc.window.size()) != rows) {
+    throw std::invalid_argument(
+        "Engine: VUC window length does not match the engine's window "
+        "configuration");
+  }
+  // Row-major [rows x cols] from the encoder, transposed to [cols x rows].
+  std::vector<float> rowMajor(static_cast<size_t>(rows) * cols);
+  if (occlude >= 0) {
+    encoder_->encodeOccluded(vuc, occlude, rowMajor);
+  } else {
+    encoder_->encode(vuc, rowMajor);
+  }
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      out[static_cast<size_t>(c) * rows + r] =
+          rowMajor[static_cast<size_t>(r) * cols + c];
+    }
+  }
+}
+
+namespace {
+
+/// Balanced subsample under a total budget: water-filling allocation —
+/// small classes keep every sample, the remaining budget is split evenly
+/// among the larger classes (bounded by balanceMultiplier x fair share so a
+/// single giant class cannot reclaim the whole budget). Deterministic in
+/// `rng`.
+std::vector<uint32_t> balancedSubsample(
+    const std::vector<std::vector<uint32_t>>& byClass, size_t totalCap,
+    double balanceMultiplier, Rng& rng) {
+  const size_t numClasses = byClass.size();
+  std::vector<size_t> order(numClasses);
+  for (size_t i = 0; i < numClasses; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return byClass[a].size() < byClass[b].size();
+  });
+  const size_t hardCap = std::max<size_t>(
+      1, static_cast<size_t>(balanceMultiplier * static_cast<double>(totalCap) /
+                             static_cast<double>(numClasses)));
+  std::vector<size_t> take(numClasses, 0);
+  size_t remaining = totalCap;
+  size_t classesLeft = numClasses;
+  for (const size_t c : order) {
+    const size_t fair = remaining / std::max<size_t>(1, classesLeft);
+    take[c] = std::min({byClass[c].size(), fair, hardCap});
+    remaining -= take[c];
+    --classesLeft;
+  }
+  std::vector<uint32_t> out;
+  out.reserve(totalCap);
+  for (size_t c = 0; c < numClasses; ++c) {
+    if (take[c] == byClass[c].size()) {
+      out.insert(out.end(), byClass[c].begin(), byClass[c].end());
+    } else {
+      std::vector<uint32_t> copy = byClass[c];
+      rng.shuffle(copy);
+      out.insert(out.end(), copy.begin(),
+                 copy.begin() + static_cast<long>(take[c]));
+    }
+  }
+  rng.shuffle(out);
+  return out;
+}
+
+}  // namespace
+
+void Engine::trainStage(Stage s, const corpus::Dataset& ds, uint64_t seed) {
+  Rng rng(seed);
+  const int classes = numClasses(s);
+
+  // Collect the VUCs whose ground-truth path passes through this stage.
+  std::vector<std::vector<uint32_t>> byClass(static_cast<size_t>(classes));
+  for (uint32_t i = 0; i < ds.vucs.size(); ++i) {
+    if (ds.vucs[i].label == TypeLabel::kCount) continue;
+    const int cls = stageClassOf(s, ds.vucs[i].label);
+    if (cls >= 0) byClass[static_cast<size_t>(cls)].push_back(i);
+  }
+  std::vector<uint32_t> train = balancedSubsample(
+      byClass, cfg_.maxTrainPerStage, cfg_.balanceMultiplier, rng);
+
+  auto& net = stages_[static_cast<size_t>(s)];
+  nn::Adam adam(net.params(), {.lr = cfg_.lr});
+
+  const auto inSize = static_cast<size_t>(inputShape().size());
+  std::vector<float> input(inSize);
+  std::vector<float> probs(static_cast<size_t>(classes));
+  std::vector<float> dLogits(static_cast<size_t>(classes));
+
+  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    rng.shuffle(train);
+    double lossSum = 0.0;
+    size_t correct = 0;
+    int inBatch = 0;
+    for (const uint32_t idx : train) {
+      const corpus::Vuc& vuc = ds.vucs[idx];
+      const int target = stageClassOf(s, vuc.label);
+      encodeInput(vuc, -1, input);
+      const auto logits = net.forward(input, /*train=*/true);
+      lossSum += nn::SoftmaxCE::forward(logits, target, probs);
+      const auto pred = static_cast<int>(
+          std::max_element(probs.begin(), probs.end()) - probs.begin());
+      if (pred == target) ++correct;
+      nn::SoftmaxCE::backward(probs, target, dLogits);
+      net.backward(dLogits);
+      if (++inBatch == cfg_.batchSize) {
+        adam.step(1.0F / static_cast<float>(inBatch));
+        inBatch = 0;
+      }
+    }
+    if (inBatch > 0) adam.step(1.0F / static_cast<float>(inBatch));
+    if (cfg_.verbose && !train.empty()) {
+      std::cerr << "  " << stageName(s) << " epoch " << epoch + 1 << '/'
+                << cfg_.epochs << ": n=" << train.size()
+                << " loss=" << lossSum / static_cast<double>(train.size())
+                << " acc="
+                << static_cast<double>(correct) /
+                       static_cast<double>(train.size())
+                << '\n';
+    }
+  }
+}
+
+void Engine::train(const corpus::Dataset& trainSet) {
+  if (trainSet.window != cfg_.window) {
+    throw std::invalid_argument("Engine::train: dataset window mismatch");
+  }
+  if (cfg_.verbose) std::cerr << "training word2vec embedding...\n";
+  embed::TokenizedCorpus tokens = embed::tokenize(trainSet);
+  embed::Word2Vec w2v;
+  w2v.train(tokens, cfg_.w2v);
+  encoder_.emplace(std::move(tokens.vocab), std::move(w2v));
+
+  Rng rng(cfg_.seed);
+  stages_.clear();
+  for (int s = 0; s < kNumStages; ++s) {
+    stages_.push_back(nn::makeCnn(inputShape(), cfg_.conv1, cfg_.conv2,
+                                  cfg_.fcHidden,
+                                  numClasses(static_cast<Stage>(s)),
+                                  cfg_.dropout, rng));
+  }
+  for (int s = 0; s < kNumStages; ++s) {
+    if (cfg_.verbose) {
+      std::cerr << "training " << stageName(static_cast<Stage>(s)) << "...\n";
+    }
+    trainStage(static_cast<Stage>(s), trainSet, rng.fork());
+  }
+}
+
+void Engine::runStage(Stage s, std::span<const float> input,
+                      std::span<float> probs) {
+  auto& net = stages_[static_cast<size_t>(s)];
+  const auto logits = net.forward(input, /*train=*/false);
+  nn::SoftmaxCE::forward(logits, -1, probs);
+}
+
+StageProbs Engine::predictVuc(const corpus::Vuc& vuc) {
+  if (!trained()) throw std::logic_error("Engine::predictVuc: not trained");
+  std::vector<float> input(static_cast<size_t>(inputShape().size()));
+  encodeInput(vuc, -1, input);
+  StageProbs out;
+  for (int s = 0; s < kNumStages; ++s) {
+    out.probs[static_cast<size_t>(s)].resize(
+        static_cast<size_t>(numClasses(static_cast<Stage>(s))));
+    runStage(static_cast<Stage>(s), input, out.probs[static_cast<size_t>(s)]);
+  }
+  return out;
+}
+
+namespace {
+
+int argmax(std::span<const float> v) {
+  return static_cast<int>(std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+}  // namespace
+
+TypeLabel Engine::routeVuc(const StageProbs& p) const {
+  Stage s = Stage::S1;
+  for (;;) {
+    const int cls = argmax(p.probs[static_cast<size_t>(s)]);
+    if (const auto leaf = leafOf(s, cls)) return *leaf;
+    const auto next = nextStage(s, cls);
+    if (!next) throw std::logic_error("routeVuc: broken stage tree");
+    s = *next;
+  }
+}
+
+VariableDecision Engine::voteVariable(
+    std::span<const StageProbs> vucProbs) const {
+  return voteVariable(vucProbs, cfg_.voteClip, cfg_.clipEnabled);
+}
+
+VariableDecision Engine::voteVariable(std::span<const StageProbs> vucProbs,
+                                      float clipThreshold,
+                                      bool clipEnabled) const {
+  if (vucProbs.empty()) {
+    throw std::invalid_argument("voteVariable: no VUCs");
+  }
+  VariableDecision d;
+  // Formula 3-4 per stage: clip high confidences to 1.0 and sum.
+  for (int s = 0; s < kNumStages; ++s) {
+    const int classes = numClasses(static_cast<Stage>(s));
+    std::vector<float> sums(static_cast<size_t>(classes), 0.0F);
+    for (const StageProbs& p : vucProbs) {
+      const auto& probs = p.probs[static_cast<size_t>(s)];
+      for (int c = 0; c < classes; ++c) {
+        float z = probs[static_cast<size_t>(c)];
+        if (clipEnabled && z >= clipThreshold) z = 1.0F;
+        sums[static_cast<size_t>(c)] += z;
+      }
+    }
+    d.stageClass[static_cast<size_t>(s)] = argmax(sums);
+  }
+  // Route the voted classes down the tree to the final type.
+  Stage s = Stage::S1;
+  for (;;) {
+    const int cls = d.stageClass[static_cast<size_t>(s)];
+    if (const auto leaf = leafOf(s, cls)) {
+      d.finalType = *leaf;
+      return d;
+    }
+    const auto next = nextStage(s, cls);
+    if (!next) throw std::logic_error("voteVariable: broken stage tree");
+    s = *next;
+  }
+}
+
+double Engine::occlusionEpsilon(const corpus::Vuc& vuc, int k, Stage u) {
+  if (!trained()) throw std::logic_error("occlusionEpsilon: not trained");
+  const auto inSize = static_cast<size_t>(inputShape().size());
+  std::vector<float> input(inSize);
+  std::vector<float> probs(static_cast<size_t>(numClasses(u)));
+
+  encodeInput(vuc, -1, input);
+  runStage(u, input, probs);
+  const int predicted = argmax(probs);
+  const double base = probs[static_cast<size_t>(predicted)];
+
+  encodeInput(vuc, k, input);
+  runStage(u, input, probs);
+  const double occluded = probs[static_cast<size_t>(predicted)];
+  return occluded / std::max(base, 1e-9);
+}
+
+std::vector<AnalyzedVariable> Engine::analyzeFunction(
+    std::span<const asmx::Instruction> insns) {
+  if (!trained()) throw std::logic_error("analyzeFunction: not trained");
+  const dataflow::RecoveryResult rec = dataflow::recoverVariables(insns);
+
+  std::vector<int32_t> varOfInsn(insns.size(), -1);
+  for (size_t v = 0; v < rec.vars.size(); ++v) {
+    for (const uint32_t idx : rec.vars[v].targetInsns) {
+      varOfInsn[idx] = static_cast<int32_t>(v);
+    }
+  }
+  const std::vector<TypeLabel> labels(rec.vars.size(), TypeLabel::kCount);
+  const corpus::Dataset ds =
+      corpus::extractFromFunction(insns, varOfInsn, labels, cfg_.window);
+
+  const auto byVar = ds.vucsByVar();
+  std::vector<AnalyzedVariable> out;
+  for (size_t v = 0; v < rec.vars.size(); ++v) {
+    if (byVar[v].empty()) continue;
+    std::vector<StageProbs> probs;
+    probs.reserve(byVar[v].size());
+    for (const uint32_t i : byVar[v]) probs.push_back(predictVuc(ds.vucs[i]));
+    const VariableDecision d = voteVariable(probs);
+
+    AnalyzedVariable av;
+    av.location = rec.vars[v];
+    av.type = d.finalType;
+    av.numVucs = byVar[v].size();
+    // Confidence: mean probability of the winning class at the leaf stage.
+    const StagePath path = pathOf(d.finalType);
+    const Stage leafStage = path.stages[static_cast<size_t>(path.length - 1)];
+    const int leafCls = stageClassOf(leafStage, d.finalType);
+    float sum = 0.0F;
+    for (const StageProbs& p : probs) {
+      sum += p.probs[static_cast<size_t>(leafStage)]
+                    [static_cast<size_t>(leafCls)];
+    }
+    av.confidence = sum / static_cast<float>(probs.size());
+    out.push_back(std::move(av));
+  }
+  return out;
+}
+
+void Engine::save(std::ostream& os) const {
+  if (!trained()) throw std::logic_error("Engine::save: not trained");
+  io::Writer w(os);
+  io::writeHeader(w, 0x43454e47 /*"CENG"*/, 1);
+  w.pod(cfg_.window);
+  w.pod(cfg_.w2v.dim);
+  w.pod(cfg_.conv1);
+  w.pod(cfg_.conv2);
+  w.pod(cfg_.fcHidden);
+  w.pod(cfg_.voteClip);
+  w.pod(static_cast<uint8_t>(cfg_.clipEnabled ? 1 : 0));
+  encoder_->save(os);
+  for (const auto& s : stages_) s.save(os);
+}
+
+Engine Engine::load(std::istream& is) {
+  io::Reader r(is);
+  io::expectHeader(r, 0x43454e47, 1, "engine");
+  EngineConfig cfg;
+  cfg.window = r.pod<int>();
+  cfg.w2v.dim = r.pod<int>();
+  cfg.conv1 = r.pod<int>();
+  cfg.conv2 = r.pod<int>();
+  cfg.fcHidden = r.pod<int>();
+  cfg.voteClip = r.pod<float>();
+  cfg.clipEnabled = r.pod<uint8_t>() != 0;
+  Engine e(cfg);
+  e.encoder_.emplace(embed::VucEncoder::load(is));
+  for (int s = 0; s < kNumStages; ++s) {
+    e.stages_.push_back(nn::Sequential::load(is));
+  }
+  return e;
+}
+
+void Engine::saveFile(const std::filesystem::path& p) const {
+  std::ofstream os(p, std::ios::binary);
+  if (!os) throw std::runtime_error("Engine::saveFile: cannot open " + p.string());
+  save(os);
+}
+
+Engine Engine::loadFile(const std::filesystem::path& p) {
+  std::ifstream is(p, std::ios::binary);
+  if (!is) throw std::runtime_error("Engine::loadFile: cannot open " + p.string());
+  return load(is);
+}
+
+}  // namespace cati

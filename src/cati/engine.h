@@ -1,0 +1,136 @@
+// The CATI engine: the paper's primary contribution. Ties together the
+// embedding (word2vec over generalized tokens), the six-stage tree of CNN
+// classifiers (Fig. 5), confidence-clipped voting over a variable's VUCs
+// (formulas 2-4) and the occlusion importance measure ε (formula 5); plus
+// the end-to-end path stripped-binary -> recovered variables -> types.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <filesystem>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "corpus/corpus.h"
+#include "dataflow/recovery.h"
+#include "embed/word2vec.h"
+#include "nn/nn.h"
+
+namespace cati {
+
+struct EngineConfig {
+  int window = 10;  ///< VUC half-window (paper: 10 -> 21 instructions)
+
+  embed::W2VConfig w2v{};  ///< dim 32 -> instruction vectors of 96 (paper)
+
+  // Per-stage CNN architecture (paper: conv 32-64, FC 1024; the FC default
+  // here is sized for the 1-core evaluation machine — see DESIGN.md §6).
+  int conv1 = 32;
+  int conv2 = 64;
+  int fcHidden = 128;
+  float dropout = 0.3F;
+
+  int epochs = 3;
+  float lr = 1e-3F;
+  int batchSize = 32;
+  /// Per-stage training-set cap; majority classes are subsampled first.
+  size_t maxTrainPerStage = 20000;
+  /// Per-class cap multiplier for balancing (cap = multiplier *
+  /// maxTrainPerStage / numClasses), so rare classes keep every sample.
+  double balanceMultiplier = 3.0;
+
+  float voteClip = 0.9F;  ///< formula 3 threshold
+  bool clipEnabled = true;
+
+  uint64_t seed = 42;
+  bool verbose = false;
+};
+
+/// Per-stage softmax distributions for one VUC. Every stage is always
+/// evaluated (the voting tables need all of them); probs[s] has
+/// numClasses(stage s) entries.
+struct StageProbs {
+  std::array<std::vector<float>, kNumStages> probs;
+};
+
+/// A variable-level decision after voting.
+struct VariableDecision {
+  /// Voted class per stage (always filled for all six stages).
+  std::array<int, kNumStages> stageClass{};
+  /// Leaf reached by routing the voted classes down the tree.
+  TypeLabel finalType = TypeLabel::Int;
+};
+
+/// A recovered-and-typed variable from the end-to-end stripped path.
+struct AnalyzedVariable {
+  dataflow::RecoveredVariable location;
+  TypeLabel type = TypeLabel::Int;
+  float confidence = 0.0F;  ///< mean leaf-stage confidence over its VUCs
+  size_t numVucs = 0;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig cfg = {});
+
+  /// Trains the embedding and all six stage classifiers from a labeled
+  /// dataset (the output of corpus::extractGroundTruth over the training
+  /// corpus). Replaces any previous model.
+  void train(const corpus::Dataset& trainSet);
+
+  bool trained() const { return encoder_.has_value(); }
+
+  // --- VUC-level inference ---
+  // (non-const: layers cache activations during forward, so an Engine is not
+  // shareable across threads; clone via save/load for parallel use.)
+  StageProbs predictVuc(const corpus::Vuc& vuc);
+  /// Hard routing of one VUC's stage distributions down the tree.
+  TypeLabel routeVuc(const StageProbs& p) const;
+
+  // --- variable-level voting (formulas 2-4) ---
+  VariableDecision voteVariable(std::span<const StageProbs> vucProbs) const;
+  /// Voting with explicit clipping parameters (used by the threshold
+  /// ablation bench); clipEnabled=false reduces to plain confidence sums.
+  VariableDecision voteVariable(std::span<const StageProbs> vucProbs,
+                                float clipThreshold, bool clipEnabled) const;
+
+  /// Occlusion importance (formula 5): the confidence of stage `u`'s
+  /// predicted class with instruction `k` blanked, divided by the original
+  /// confidence. Values < 1 mean instruction k supported the prediction.
+  double occlusionEpsilon(const corpus::Vuc& vuc, int k, Stage u);
+
+  // --- end-to-end stripped-binary analysis ---
+  /// Recovers variables from one function's instructions, extracts VUCs,
+  /// predicts and votes. The full §III pipeline with src/dataflow standing
+  /// in for IDA Pro.
+  std::vector<AnalyzedVariable> analyzeFunction(
+      std::span<const asmx::Instruction> insns);
+
+  // --- persistence ---
+  void save(std::ostream& os) const;
+  static Engine load(std::istream& is);
+  void saveFile(const std::filesystem::path& p) const;
+  static Engine loadFile(const std::filesystem::path& p);
+
+  const EngineConfig& config() const { return cfg_; }
+  const embed::VucEncoder& encoder() const { return *encoder_; }
+
+ private:
+  nn::Shape inputShape() const;
+  /// Encodes a VUC (optionally occluding instruction `k`) into the
+  /// channel-major layout the CNNs consume.
+  void encodeInput(const corpus::Vuc& vuc, int occlude,
+                   std::span<float> out) const;
+  void trainStage(Stage s, const corpus::Dataset& ds, uint64_t seed);
+  void runStage(Stage s, std::span<const float> input, std::span<float> probs);
+
+  EngineConfig cfg_;
+  std::optional<embed::VucEncoder> encoder_;
+  std::vector<nn::Sequential> stages_;  // kNumStages entries once trained
+};
+
+}  // namespace cati

@@ -1,0 +1,79 @@
+// Deterministic random helpers used across the synthetic corpus generator
+// and the learning code. All experiment randomness flows through Rng with an
+// explicit seed so every table in EXPERIMENTS.md is exactly reproducible.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace cati {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  uint64_t next() { return engine_(); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t uniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  float normal(float mean = 0.0F, float stddev = 1.0F) {
+    return std::normal_distribution<float>(mean, stddev)(engine_);
+  }
+
+  bool chance(double p) { return uniform() < p; }
+
+  /// Index drawn proportionally to non-negative weights; requires a
+  /// positive total weight.
+  size_t weightedIndex(std::span<const double> weights) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    assert(total > 0.0);
+    double x = uniform(0.0, total);
+    for (size_t i = 0; i < weights.size(); ++i) {
+      x -= weights[i];
+      if (x < 0.0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  template <typename T>
+  const T& choice(std::span<const T> items) {
+    assert(!items.empty());
+    return items[static_cast<size_t>(
+        uniformInt(0, static_cast<int64_t>(items.size()) - 1))];
+  }
+
+  template <typename T>
+  const T& choice(const std::vector<T>& items) {
+    return choice(std::span<const T>(items));
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    std::shuffle(items.begin(), items.end(), engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+  /// Derives an independent stream; used to give each generated function /
+  /// binary its own seed without correlated draws.
+  uint64_t fork() { return engine_() ^ 0x9e3779b97f4a7c15ULL; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace cati

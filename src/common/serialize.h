@@ -1,0 +1,113 @@
+// Minimal binary (de)serialization over iostreams. Used for model files,
+// cached datasets and the DWARF-like debug-info encoding.
+//
+// Format: little-endian PODs, length-prefixed strings/vectors. Readers throw
+// std::runtime_error on truncated or corrupt input; writers throw on I/O
+// failure, so callers never silently persist half a model.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace cati::io {
+
+class Writer {
+ public:
+  explicit Writer(std::ostream& os) : os_(os) {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void pod(const T& value) {
+    os_.write(reinterpret_cast<const char*>(&value), sizeof(T));
+    check();
+  }
+
+  void str(const std::string& s) {
+    pod<uint64_t>(s.size());
+    os_.write(s.data(), static_cast<std::streamsize>(s.size()));
+    check();
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void vec(const std::vector<T>& v) {
+    pod<uint64_t>(v.size());
+    os_.write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(v.size() * sizeof(T)));
+    check();
+  }
+
+ private:
+  void check() {
+    if (!os_) throw std::runtime_error("serialize: write failed");
+  }
+  std::ostream& os_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::istream& is) : is_(is) {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T pod() {
+    T value{};
+    is_.read(reinterpret_cast<char*>(&value), sizeof(T));
+    check();
+    return value;
+  }
+
+  std::string str() {
+    const auto n = pod<uint64_t>();
+    guardSize(n);
+    std::string s(n, '\0');
+    is_.read(s.data(), static_cast<std::streamsize>(n));
+    check();
+    return s;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> vec() {
+    const auto n = pod<uint64_t>();
+    guardSize(n * sizeof(T));
+    std::vector<T> v(n);
+    is_.read(reinterpret_cast<char*>(v.data()),
+             static_cast<std::streamsize>(n * sizeof(T)));
+    check();
+    return v;
+  }
+
+ private:
+  void check() {
+    if (!is_) throw std::runtime_error("serialize: truncated input");
+  }
+  // Rejects absurd length prefixes before allocating, so a corrupt file
+  // fails with a clear error instead of bad_alloc.
+  static void guardSize(uint64_t bytes) {
+    constexpr uint64_t kMax = 1ULL << 34;  // 16 GiB
+    if (bytes > kMax) throw std::runtime_error("serialize: corrupt length");
+  }
+  std::istream& is_;
+};
+
+/// Writes a 4-byte magic + version header; readers verify both.
+inline void writeHeader(Writer& w, uint32_t magic, uint32_t version) {
+  w.pod(magic);
+  w.pod(version);
+}
+
+inline void expectHeader(Reader& r, uint32_t magic, uint32_t version,
+                         const char* what) {
+  if (r.pod<uint32_t>() != magic)
+    throw std::runtime_error(std::string(what) + ": bad magic");
+  if (r.pod<uint32_t>() != version)
+    throw std::runtime_error(std::string(what) + ": unsupported version");
+}
+
+}  // namespace cati::io

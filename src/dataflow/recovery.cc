@@ -1,0 +1,203 @@
+#include "dataflow/recovery.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace cati::dataflow {
+
+using asmx::Instruction;
+using asmx::Operand;
+using asmx::Reg;
+
+namespace {
+
+bool isFrameReg(Reg r, bool rbpFrame) {
+  return r == (rbpFrame ? Reg::Rbp : Reg::Rsp);
+}
+
+/// Detects an rbp-based frame from the canonical prologue.
+bool detectRbpFrame(std::span<const Instruction> insns) {
+  for (size_t i = 0; i + 1 < insns.size() && i < 4; ++i) {
+    if (insns[i].mnem == "push" &&
+        insns[i].ops[0].kind == Operand::Kind::Reg &&
+        insns[i].ops[0].reg.reg == Reg::Rbp) {
+      const auto& next = insns[i + 1];
+      if (next.mnem == "mov" && next.ops[0].kind == Operand::Kind::Reg &&
+          next.ops[0].reg.reg == Reg::Rsp &&
+          next.ops[1].kind == Operand::Kind::Reg &&
+          next.ops[1].reg.reg == Reg::Rbp) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+/// Which GP register (if any) an instruction defines (writes).
+Reg definedReg(const Instruction& ins) {
+  if (ins.numOperands() == 0) return Reg::None;
+  // AT&T: destination is the last operand for mov/arith; lea defines dst.
+  const Operand& dst = ins.ops[1].kind != Operand::Kind::None
+                           ? ins.ops[1]
+                           : ins.ops[0];
+  if (dst.kind == Operand::Kind::Reg && asmx::isGp(dst.reg.reg)) {
+    // cmp/test do not write their destination operand.
+    if (ins.mnem.starts_with("cmp") || ins.mnem.starts_with("test") ||
+        ins.mnem.starts_with("ucomi")) {
+      return Reg::None;
+    }
+    return dst.reg.reg;
+  }
+  return Reg::None;
+}
+
+}  // namespace
+
+RecoveryResult recoverVariables(std::span<const Instruction> insns) {
+  RecoveryResult result;
+  result.rbpFrame = detectRbpFrame(insns);
+
+  struct SlotInfo {
+    bool addressTaken = false;
+    std::vector<uint32_t> insnIdx;
+  };
+  std::map<int64_t, SlotInfo> slots;
+
+  // Registers currently holding the address of a frame slot (set by lea).
+  std::unordered_map<int, int64_t> regPointsTo;  // Reg -> slot offset
+
+  for (size_t i = 0; i < insns.size(); ++i) {
+    const Instruction& ins = insns[i];
+
+    // Calls clobber caller-saved registers; conservatively drop all
+    // address-tracking across them (and across jumps, whose targets we do
+    // not resolve).
+    if (asmx::isCall(ins) || asmx::isJump(ins)) {
+      regPointsTo.clear();
+      continue;
+    }
+
+    // Frame-slot access through a memory operand.
+    for (int o = 0; o < 2; ++o) {
+      const Operand& op = ins.ops[o];
+      if (op.kind != Operand::Kind::Mem) continue;
+      const Reg base = op.mem.base.reg;
+      if (isFrameReg(base, result.rbpFrame) &&
+          op.mem.index.reg == Reg::None) {
+        // sub/add $N,%rsp style frame adjustment has no Mem operand, so any
+        // frame-based Mem here is a genuine slot access (incl. lea).
+        auto& slot = slots[op.mem.disp];
+        slot.insnIdx.push_back(static_cast<uint32_t>(i));
+        if (asmx::isLea(ins)) slot.addressTaken = true;
+      } else if (asmx::isGp(base) && !asmx::isLea(ins)) {
+        // Dereference through a register: attribute to the pointed slot if
+        // a live lea told us where it points.
+        const auto it = regPointsTo.find(static_cast<int>(base));
+        if (it != regPointsTo.end()) {
+          slots[it->second].insnIdx.push_back(static_cast<uint32_t>(i));
+        }
+      }
+    }
+
+    // Track lea frame-slot -> reg.
+    if (asmx::isLea(ins) && ins.ops[1].kind == Operand::Kind::Reg) {
+      const Operand& src = ins.ops[0];
+      if (src.kind == Operand::Kind::Mem &&
+          isFrameReg(src.mem.base.reg, result.rbpFrame) &&
+          src.mem.index.reg == Reg::None) {
+        regPointsTo[static_cast<int>(ins.ops[1].reg.reg)] = src.mem.disp;
+        continue;  // the definition *is* the tracked address
+      }
+    }
+
+    // Any other definition of a tracked register kills the tracking.
+    const Reg def = definedReg(ins);
+    if (def != Reg::None) regPointsTo.erase(static_cast<int>(def));
+  }
+
+  // Coalesce member slots into address-taken bases: an access at offset o
+  // with no lea of its own joins a preceding address-taken base b when
+  // 0 < o - b <= 80 and no other address-taken slot lies between. This is
+  // the aggregate heuristic real tools apply (and, like theirs, it is
+  // imperfect — scalar slots adjacent to a struct get absorbed).
+  std::vector<int64_t> bases;
+  for (const auto& [off, info] : slots) {
+    if (info.addressTaken) bases.push_back(off);
+  }
+  std::map<int64_t, RecoveredVariable> merged;
+  for (auto& [off, info] : slots) {
+    int64_t target = off;
+    if (!info.addressTaken) {
+      const auto it =
+          std::upper_bound(bases.begin(), bases.end(), off);
+      if (it != bases.begin()) {
+        const int64_t base = *std::prev(it);
+        if (off - base > 0 && off - base <= 80) target = base;
+      }
+    }
+    auto& var = merged[target];
+    var.rbpFrame = result.rbpFrame;
+    var.offset = target;
+    var.addressTaken |= slots[target].addressTaken;
+    var.targetInsns.insert(var.targetInsns.end(), info.insnIdx.begin(),
+                           info.insnIdx.end());
+  }
+  for (auto& [off, var] : merged) {
+    std::sort(var.targetInsns.begin(), var.targetInsns.end());
+    var.targetInsns.erase(
+        std::unique(var.targetInsns.begin(), var.targetInsns.end()),
+        var.targetInsns.end());
+    result.vars.push_back(std::move(var));
+  }
+  return result;
+}
+
+RecoveryScore score(const synth::FunctionCode& fn, const RecoveryResult& rec) {
+  RecoveryScore s;
+
+  // Ground truth: variable -> set of target instruction indices.
+  std::unordered_map<int32_t, std::set<uint32_t>> trueInsns;
+  for (size_t i = 0; i < fn.varOfInsn.size(); ++i) {
+    if (fn.varOfInsn[i] >= 0) {
+      trueInsns[fn.varOfInsn[i]].insert(static_cast<uint32_t>(i));
+    }
+  }
+  s.trueVars = trueInsns.size();
+  s.recoveredVars = rec.vars.size();
+  for (const auto& [v, set] : trueInsns) s.trueTargetInsns += set.size();
+
+  // Slot -> true var index.
+  std::unordered_map<int64_t, int32_t> slotToVar;
+  for (size_t v = 0; v < fn.vars.size(); ++v) {
+    slotToVar[fn.vars[v].frameOffset] = static_cast<int32_t>(v);
+  }
+
+  for (const RecoveredVariable& rv : rec.vars) {
+    const auto it = slotToVar.find(rv.offset);
+    if (it == slotToVar.end()) continue;
+    const auto t = trueInsns.find(it->second);
+    if (t == trueInsns.end()) continue;
+    ++s.matchedVars;
+    for (const uint32_t idx : rv.targetInsns) {
+      if (t->second.contains(idx)) ++s.matchedTargetInsns;
+    }
+  }
+  return s;
+}
+
+RecoveryScore scoreBinary(const synth::Binary& bin) {
+  RecoveryScore total;
+  for (const auto& fn : bin.funcs) {
+    const RecoveryScore s = score(fn, recoverVariables(fn.insns));
+    total.trueVars += s.trueVars;
+    total.recoveredVars += s.recoveredVars;
+    total.matchedVars += s.matchedVars;
+    total.trueTargetInsns += s.trueTargetInsns;
+    total.matchedTargetInsns += s.matchedTargetInsns;
+  }
+  return total;
+}
+
+}  // namespace cati::dataflow

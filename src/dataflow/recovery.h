@@ -1,0 +1,70 @@
+// Variable recovery from bare instruction streams — the pipeline slot IDA
+// Pro fills in the paper (§IV-A: "we assume that this task can be done
+// accurately enough by existing work"; §VII-B reports ~90% recovery).
+//
+// Given one function's instructions and no debug info, the pass:
+//   1. detects the frame discipline (rbp-based vs rsp-based);
+//   2. collects every frame-slot access (memory operands based on the frame
+//      register) and every address-taken slot (lea of a frame slot);
+//   3. coalesces aggregate member accesses into their address-taken base
+//      slot when the gap is small and no other base intervenes;
+//   4. tracks lea-loaded addresses through registers (local reaching
+//      definitions, killed at calls/jumps/redefinition) so dereference
+//      instructions are attributed to the pointed-to local.
+//
+// The result is a set of recovered variables, each with the instruction
+// indices that operate it — exactly the grouping the VUC voting stage needs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "asmx/instruction.h"
+#include "synth/synth.h"
+
+namespace cati::dataflow {
+
+struct RecoveredVariable {
+  bool rbpFrame = false;
+  int64_t offset = 0;          ///< frame-relative slot offset (base slot)
+  bool addressTaken = false;   ///< a lea of this slot exists
+  std::vector<uint32_t> targetInsns;  ///< instruction indices operating it
+};
+
+struct RecoveryResult {
+  bool rbpFrame = false;
+  std::vector<RecoveredVariable> vars;
+};
+
+/// Recovers variables from one function body.
+RecoveryResult recoverVariables(std::span<const asmx::Instruction> insns);
+
+/// Accuracy of a recovery against the generator's ground truth.
+struct RecoveryScore {
+  size_t trueVars = 0;       ///< ground-truth variables with >=1 target insn
+  size_t recoveredVars = 0;  ///< variables the pass produced
+  size_t matchedVars = 0;    ///< recovered vars whose slot is a true var slot
+  size_t trueTargetInsns = 0;
+  size_t matchedTargetInsns = 0;  ///< true target insns grouped correctly
+
+  double varRecall() const {
+    return trueVars ? static_cast<double>(matchedVars) / trueVars : 0.0;
+  }
+  double varPrecision() const {
+    return recoveredVars ? static_cast<double>(matchedVars) / recoveredVars
+                         : 0.0;
+  }
+  double insnRecall() const {
+    return trueTargetInsns
+               ? static_cast<double>(matchedTargetInsns) / trueTargetInsns
+               : 0.0;
+  }
+};
+
+RecoveryScore score(const synth::FunctionCode& fn, const RecoveryResult& rec);
+
+/// Aggregates scores over a whole binary.
+RecoveryScore scoreBinary(const synth::Binary& bin);
+
+}  // namespace cati::dataflow

@@ -1,0 +1,327 @@
+#include "debuginfo/debuginfo.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "common/serialize.h"
+
+namespace cati::debuginfo {
+
+namespace {
+constexpr uint32_t kMagic = 0x43444946;  // "CDIF"
+constexpr uint32_t kVersion = 1;
+
+void checkIndex(const Module& m, int32_t idx) {
+  if (idx < 0 || static_cast<size_t>(idx) >= m.types.size()) {
+    throw std::runtime_error("debuginfo: type index out of range: " +
+                             std::to_string(idx));
+  }
+}
+}  // namespace
+
+int32_t Module::addType(TypeDie t) {
+  types.push_back(std::move(t));
+  return static_cast<int32_t>(types.size()) - 1;
+}
+
+int32_t resolveTypedefs(const Module& m, int32_t typeIndex) {
+  checkIndex(m, typeIndex);
+  int32_t cur = typeIndex;
+  // A chain longer than the table implies a cycle.
+  for (size_t steps = 0; steps <= m.types.size(); ++steps) {
+    const TypeDie& die = m.types[static_cast<size_t>(cur)];
+    if (die.kind != TypeKind::Typedef) return cur;
+    checkIndex(m, die.refType);
+    cur = die.refType;
+  }
+  throw std::runtime_error("debuginfo: typedef cycle at index " +
+                           std::to_string(typeIndex));
+}
+
+namespace {
+
+std::optional<TypeLabel> classifyBase(const TypeDie& die) {
+  if (die.isBool) return TypeLabel::Bool;
+  if (die.isChar) {
+    return die.isSigned ? TypeLabel::Char : TypeLabel::UChar;
+  }
+  if (die.isFloat) {
+    switch (die.byteSize) {
+      case 4:
+        return TypeLabel::Float;
+      case 8:
+        return TypeLabel::Double;
+      default:
+        return TypeLabel::LongDouble;  // 10/12/16-byte extended
+    }
+  }
+  switch (die.byteSize) {
+    case 1:
+      return die.isSigned ? TypeLabel::Char : TypeLabel::UChar;
+    case 2:
+      return die.isSigned ? TypeLabel::ShortInt : TypeLabel::UShortInt;
+    case 4:
+      return die.isSigned ? TypeLabel::Int : TypeLabel::UInt;
+    case 8:
+      // x86-64 `long` and `long long` are both 8 bytes; the DIE name is the
+      // only distinguishing attribute, exactly as in real DWARF.
+      if (die.name.find("long long") != std::string::npos) {
+        return die.isSigned ? TypeLabel::LongLongInt : TypeLabel::ULongLongInt;
+      }
+      return die.isSigned ? TypeLabel::LongInt : TypeLabel::ULongInt;
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::optional<TypeLabel> classify(const Module& m, int32_t typeIndex) {
+  const int32_t resolved = resolveTypedefs(m, typeIndex);
+  const TypeDie& die = m.types[static_cast<size_t>(resolved)];
+  switch (die.kind) {
+    case TypeKind::Base:
+      return classifyBase(die);
+    case TypeKind::Struct:
+      return TypeLabel::Struct;
+    case TypeKind::Enum:
+      return TypeLabel::Enum;
+    case TypeKind::Array: {
+      checkIndex(m, die.refType);
+      return classify(m, die.refType);
+    }
+    case TypeKind::Pointer: {
+      if (die.refType < 0) return TypeLabel::VoidPtr;
+      const int32_t pointee = resolveTypedefs(m, die.refType);
+      const TypeDie& pd = m.types[static_cast<size_t>(pointee)];
+      switch (pd.kind) {
+        case TypeKind::Struct:
+          return TypeLabel::StructPtr;
+        case TypeKind::Array: {
+          // Pointer to array of struct still points at struct storage.
+          const int32_t elem = resolveTypedefs(m, pd.refType);
+          return m.types[static_cast<size_t>(elem)].kind == TypeKind::Struct
+                     ? TypeLabel::StructPtr
+                     : TypeLabel::ArithPtr;
+        }
+        default:
+          return TypeLabel::ArithPtr;
+      }
+    }
+    case TypeKind::Typedef:
+      throw std::logic_error("unreachable: typedef after resolution");
+  }
+  return std::nullopt;
+}
+
+void encode(const Module& m, std::ostream& os) {
+  io::Writer w(os);
+  io::writeHeader(w, kMagic, kVersion);
+  w.str(m.producer);
+  w.pod<uint64_t>(m.types.size());
+  for (const TypeDie& t : m.types) {
+    w.pod(static_cast<uint8_t>(t.kind));
+    w.str(t.name);
+    w.pod(t.byteSize);
+    w.pod(t.refType);
+    w.pod(t.arrayCount);
+    w.pod(static_cast<uint8_t>((t.isSigned ? 1 : 0) | (t.isFloat ? 2 : 0) |
+                               (t.isBool ? 4 : 0) | (t.isChar ? 8 : 0)));
+    w.pod<uint64_t>(t.members.size());
+    for (const StructMember& sm : t.members) {
+      w.str(sm.name);
+      w.pod(sm.typeIndex);
+      w.pod(sm.byteOffset);
+    }
+    w.pod<uint64_t>(t.enumerators.size());
+    for (const Enumerator& e : t.enumerators) {
+      w.str(e.name);
+      w.pod(e.value);
+    }
+  }
+  w.pod<uint64_t>(m.functions.size());
+  for (const FunctionDie& f : m.functions) {
+    w.str(f.name);
+    w.pod(f.lowPc);
+    w.pod(f.highPc);
+    w.pod<uint64_t>(f.variables.size());
+    for (const VariableDie& v : f.variables) {
+      w.str(v.name);
+      w.pod(v.typeIndex);
+      w.pod(static_cast<uint8_t>(v.inRegister ? 1 : 0));
+      w.pod(v.frameOffset);
+      w.pod(static_cast<uint8_t>(v.reg));
+    }
+  }
+}
+
+Module decode(std::istream& is) {
+  io::Reader r(is);
+  io::expectHeader(r, kMagic, kVersion, "debuginfo");
+  Module m;
+  m.producer = r.str();
+  const auto nTypes = r.pod<uint64_t>();
+  m.types.reserve(nTypes);
+  for (uint64_t i = 0; i < nTypes; ++i) {
+    TypeDie t;
+    t.kind = static_cast<TypeKind>(r.pod<uint8_t>());
+    t.name = r.str();
+    t.byteSize = r.pod<uint32_t>();
+    t.refType = r.pod<int32_t>();
+    t.arrayCount = r.pod<uint32_t>();
+    const auto flags = r.pod<uint8_t>();
+    t.isSigned = flags & 1;
+    t.isFloat = flags & 2;
+    t.isBool = flags & 4;
+    t.isChar = flags & 8;
+    const auto nm = r.pod<uint64_t>();
+    for (uint64_t j = 0; j < nm; ++j) {
+      StructMember sm;
+      sm.name = r.str();
+      sm.typeIndex = r.pod<int32_t>();
+      sm.byteOffset = r.pod<uint32_t>();
+      t.members.push_back(std::move(sm));
+    }
+    const auto ne = r.pod<uint64_t>();
+    for (uint64_t j = 0; j < ne; ++j) {
+      Enumerator e;
+      e.name = r.str();
+      e.value = r.pod<int64_t>();
+      t.enumerators.push_back(std::move(e));
+    }
+    m.types.push_back(std::move(t));
+  }
+  const auto nFuncs = r.pod<uint64_t>();
+  m.functions.reserve(nFuncs);
+  for (uint64_t i = 0; i < nFuncs; ++i) {
+    FunctionDie f;
+    f.name = r.str();
+    f.lowPc = r.pod<uint64_t>();
+    f.highPc = r.pod<uint64_t>();
+    const auto nv = r.pod<uint64_t>();
+    for (uint64_t j = 0; j < nv; ++j) {
+      VariableDie v;
+      v.name = r.str();
+      v.typeIndex = r.pod<int32_t>();
+      v.inRegister = r.pod<uint8_t>() != 0;
+      v.frameOffset = r.pod<int64_t>();
+      v.reg = static_cast<asmx::Reg>(r.pod<uint8_t>());
+      f.variables.push_back(std::move(v));
+    }
+    m.functions.push_back(std::move(f));
+  }
+  return m;
+}
+
+Module stripped(const Module& m) {
+  Module out;
+  out.producer.clear();
+  for (const FunctionDie& f : m.functions) {
+    FunctionDie sf;
+    sf.lowPc = f.lowPc;
+    sf.highPc = f.highPc;
+    out.functions.push_back(std::move(sf));
+  }
+  return out;
+}
+
+int32_t makeTypeFor(Module& m, TypeLabel label) {
+  const auto base = [&m](const char* name, uint32_t size, bool isSigned,
+                         bool isFloat, bool isBool, bool isChar) {
+    for (size_t i = 0; i < m.types.size(); ++i) {
+      if (m.types[i].kind == TypeKind::Base && m.types[i].name == name) {
+        return static_cast<int32_t>(i);
+      }
+    }
+    TypeDie t;
+    t.kind = TypeKind::Base;
+    t.name = name;
+    t.byteSize = size;
+    t.isSigned = isSigned;
+    t.isFloat = isFloat;
+    t.isBool = isBool;
+    t.isChar = isChar;
+    return m.addType(std::move(t));
+  };
+  const auto pointerTo = [&m](int32_t pointee) {
+    for (size_t i = 0; i < m.types.size(); ++i) {
+      if (m.types[i].kind == TypeKind::Pointer && m.types[i].refType == pointee)
+        return static_cast<int32_t>(i);
+    }
+    TypeDie t;
+    t.kind = TypeKind::Pointer;
+    t.byteSize = 8;
+    t.refType = pointee;
+    return m.addType(std::move(t));
+  };
+  const auto freshStruct = [&m, &base]() {
+    TypeDie t;
+    t.kind = TypeKind::Struct;
+    t.name = "anon_struct_" + std::to_string(m.types.size());
+    const int32_t intTy = base("int", 4, true, false, false, false);
+    t.members = {{"a", intTy, 0}, {"b", intTy, 4}};
+    t.byteSize = 8;
+    return m.addType(std::move(t));
+  };
+
+  switch (label) {
+    case TypeLabel::Bool:
+      return base("_Bool", 1, false, false, true, false);
+    case TypeLabel::Char:
+      return base("char", 1, true, false, false, true);
+    case TypeLabel::UChar:
+      return base("unsigned char", 1, false, false, false, true);
+    case TypeLabel::Float:
+      return base("float", 4, true, true, false, false);
+    case TypeLabel::Double:
+      return base("double", 8, true, true, false, false);
+    case TypeLabel::LongDouble:
+      return base("long double", 16, true, true, false, false);
+    case TypeLabel::Int:
+      return base("int", 4, true, false, false, false);
+    case TypeLabel::UInt:
+      return base("unsigned int", 4, false, false, false, false);
+    case TypeLabel::ShortInt:
+      return base("short int", 2, true, false, false, false);
+    case TypeLabel::UShortInt:
+      return base("short unsigned int", 2, false, false, false, false);
+    case TypeLabel::LongInt:
+      return base("long int", 8, true, false, false, false);
+    case TypeLabel::ULongInt:
+      return base("long unsigned int", 8, false, false, false, false);
+    case TypeLabel::LongLongInt:
+      return base("long long int", 8, true, false, false, false);
+    case TypeLabel::ULongLongInt:
+      return base("long long unsigned int", 8, false, false, false, false);
+    case TypeLabel::Enum: {
+      TypeDie t;
+      t.kind = TypeKind::Enum;
+      t.name = "anon_enum_" + std::to_string(m.types.size());
+      t.byteSize = 4;
+      t.enumerators = {{"A", 0}, {"B", 1}, {"C", 2}};
+      return m.addType(std::move(t));
+    }
+    case TypeLabel::Struct:
+      return freshStruct();
+    case TypeLabel::VoidPtr: {
+      TypeDie t;
+      t.kind = TypeKind::Pointer;
+      t.byteSize = 8;
+      t.refType = -1;
+      for (size_t i = 0; i < m.types.size(); ++i) {
+        if (m.types[i].kind == TypeKind::Pointer && m.types[i].refType == -1)
+          return static_cast<int32_t>(i);
+      }
+      return m.addType(std::move(t));
+    }
+    case TypeLabel::StructPtr:
+      return pointerTo(freshStruct());
+    case TypeLabel::ArithPtr:
+      return pointerTo(base("int", 4, true, false, false, false));
+    case TypeLabel::kCount:
+      break;
+  }
+  throw std::invalid_argument("makeTypeFor: bad label");
+}
+
+}  // namespace cati::debuginfo

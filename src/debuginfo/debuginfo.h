@@ -1,0 +1,116 @@
+// DWARF-like debug information model. The synthetic compiler emits a Module
+// alongside each binary; the dataset pipeline uses it exactly the way the
+// paper uses real DWARF: to pair every recovered variable with its
+// ground-truth type (resolving typedef chains to the base type, §IV-A), then
+// it is stripped for inference.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "asmx/reg.h"
+#include "common/types.h"
+
+namespace cati::debuginfo {
+
+enum class TypeKind : uint8_t {
+  Base,     ///< int, char, float, ... (name + size + encoding flags)
+  Typedef,  ///< alias chain; refType points at the aliased type
+  Pointer,  ///< refType = pointee; refType < 0 means `void*`
+  Struct,   ///< members = (name, typeIndex, byteOffset)
+  Enum,     ///< enumerators = (name, value)
+  Array,    ///< refType = element type, count elements
+};
+
+struct StructMember {
+  std::string name;
+  int32_t typeIndex = -1;
+  uint32_t byteOffset = 0;
+};
+
+struct Enumerator {
+  std::string name;
+  int64_t value = 0;
+};
+
+/// One entry of the type table (a DW_TAG_*_type DIE).
+struct TypeDie {
+  TypeKind kind = TypeKind::Base;
+  std::string name;
+  uint32_t byteSize = 0;
+  int32_t refType = -1;  // Typedef / Pointer / Array target
+  uint32_t arrayCount = 0;
+  // Base-type encoding, mirroring DW_AT_encoding.
+  bool isSigned = true;
+  bool isFloat = false;
+  bool isBool = false;
+  bool isChar = false;
+  std::vector<StructMember> members;
+  std::vector<Enumerator> enumerators;
+};
+
+/// Where a variable lives. Frame-relative offsets are relative to the
+/// canonical frame base (we use the entry %rsp, matching our generator).
+struct VariableDie {
+  std::string name;
+  int32_t typeIndex = -1;
+  bool inRegister = false;
+  int64_t frameOffset = 0;     // valid when !inRegister
+  asmx::Reg reg = asmx::Reg::None;  // valid when inRegister
+};
+
+struct FunctionDie {
+  std::string name;
+  uint64_t lowPc = 0;   // first instruction index within the binary
+  uint64_t highPc = 0;  // one past the last instruction index
+  std::vector<VariableDie> variables;
+};
+
+struct Module {
+  std::string producer;  // e.g. "synthcc (gcc dialect) -O2"
+  std::vector<TypeDie> types;
+  std::vector<FunctionDie> functions;
+
+  /// Appends a type and returns its index.
+  int32_t addType(TypeDie t);
+};
+
+// --- type resolution ---------------------------------------------------------
+
+/// Follows typedef chains to the underlying type index. Throws
+/// std::runtime_error on an out-of-range reference or a typedef cycle.
+int32_t resolveTypedefs(const Module& m, int32_t typeIndex);
+
+/// Maps a type-table entry onto CATI's 19-label taxonomy:
+///  - typedefs resolve recursively;
+///  - arrays classify as their element type (the paper's Fig. 2 labels a
+///    `struct attr_pair[8]` as `struct` and a char buffer as `char`);
+///  - pointers classify by resolved pointee: void* / struct* / arith*
+///    (pointer-to-pointer and pointer-to-array fold into arith*, matching the
+///    paper's catch-all "pointer to arithmetic" bucket for non-void,
+///    non-struct pointees);
+///  - base types classify by encoding + byte size.
+/// nullopt for types outside the taxonomy (e.g. union).
+std::optional<TypeLabel> classify(const Module& m, int32_t typeIndex);
+
+// --- (de)serialization -------------------------------------------------------
+
+void encode(const Module& m, std::ostream& os);
+Module decode(std::istream& is);
+
+/// Returns a copy with all debug info removed but function boundaries kept —
+/// what a stripped binary's symbol-less section layout still reveals.
+Module stripped(const Module& m);
+
+// --- convenience builders (used by the generator and tests) ------------------
+
+/// Ensures the canonical base/pointer types exist in `m` and returns the
+/// type index for the given label. Struct/enum labels create a fresh
+/// anonymous aggregate each call.
+int32_t makeTypeFor(Module& m, TypeLabel label);
+
+}  // namespace cati::debuginfo

@@ -1,0 +1,274 @@
+#include "embed/word2vec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/serialize.h"
+
+namespace cati::embed {
+
+Vocab::Vocab() {
+  add("BLANK");
+  add("UNK");
+  counts_[0] = 0;
+  counts_[1] = 0;
+}
+
+int32_t Vocab::add(std::string_view token) {
+  const auto [it, inserted] =
+      index_.try_emplace(std::string(token), size());
+  if (inserted) {
+    words_.emplace_back(token);
+    counts_.push_back(0);
+  }
+  ++counts_[static_cast<size_t>(it->second)];
+  return it->second;
+}
+
+int32_t Vocab::lookup(std::string_view token) const {
+  // transparent lookup without allocation is not worth the complexity here
+  const auto it = index_.find(std::string(token));
+  return it == index_.end() ? kUnkId : it->second;
+}
+
+void Vocab::save(std::ostream& os) const {
+  io::Writer w(os);
+  io::writeHeader(w, 0x43564f43 /*"CVOC"*/, 1);
+  w.pod<uint64_t>(words_.size());
+  for (size_t i = 0; i < words_.size(); ++i) {
+    w.str(words_[i]);
+    w.pod(counts_[i]);
+  }
+}
+
+Vocab Vocab::load(std::istream& is) {
+  io::Reader r(is);
+  io::expectHeader(r, 0x43564f43, 1, "vocab");
+  Vocab v;
+  const auto n = r.pod<uint64_t>();
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string word = r.str();
+    const auto count = r.pod<uint64_t>();
+    if (i < 2) {
+      // BLANK/UNK already exist from the constructor.
+      v.counts_[i] = count;
+      continue;
+    }
+    const int32_t idx = v.add(word);
+    v.counts_[static_cast<size_t>(idx)] = count;
+  }
+  return v;
+}
+
+TokenizedCorpus tokenize(const corpus::Dataset& ds) {
+  TokenizedCorpus out;
+  out.sentences.reserve(ds.vucs.size());
+  for (const corpus::Vuc& v : ds.vucs) {
+    std::vector<int32_t> sent;
+    sent.reserve(v.window.size() * 3);
+    for (const corpus::GenInstr& g : v.window) {
+      sent.push_back(out.vocab.add(g.mnem));
+      sent.push_back(out.vocab.add(g.op1));
+      sent.push_back(out.vocab.add(g.op2));
+    }
+    out.sentences.push_back(std::move(sent));
+  }
+  return out;
+}
+
+namespace {
+
+float sigmoid(float x) {
+  if (x > 8.0F) return 1.0F;
+  if (x < -8.0F) return 0.0F;
+  return 1.0F / (1.0F + std::exp(-x));
+}
+
+/// Unigram^0.75 negative-sampling table (word2vec's standard choice).
+std::vector<int32_t> buildUnigramTable(const Vocab& vocab, size_t tableSize) {
+  std::vector<int32_t> table;
+  table.reserve(tableSize);
+  double total = 0.0;
+  for (int32_t i = 2; i < vocab.size(); ++i) {
+    total += std::pow(static_cast<double>(vocab.count(i)), 0.75);
+  }
+  if (total == 0.0) return table;
+  double cum = 0.0;
+  int32_t word = 2;
+  for (size_t k = 0; k < tableSize; ++k) {
+    const double target = (static_cast<double>(k) + 0.5) / tableSize * total;
+    while (word < vocab.size() - 1 && cum + std::pow(static_cast<double>(
+                                                vocab.count(word)),
+                                            0.75) < target) {
+      cum += std::pow(static_cast<double>(vocab.count(word)), 0.75);
+      ++word;
+    }
+    table.push_back(word);
+  }
+  return table;
+}
+
+}  // namespace
+
+void Word2Vec::train(const TokenizedCorpus& corpus, const W2VConfig& cfg) {
+  const Vocab& vocab = corpus.vocab;
+  dim_ = cfg.dim;
+  const auto vocabSize = static_cast<size_t>(vocab.size());
+  vectors_.assign(vocabSize * static_cast<size_t>(dim_), 0.0F);
+  context_.assign(vocabSize * static_cast<size_t>(dim_), 0.0F);
+
+  Rng rng(cfg.seed);
+  for (size_t i = 2 * static_cast<size_t>(dim_); i < vectors_.size(); ++i) {
+    vectors_[i] = (static_cast<float>(rng.uniform()) - 0.5F) / dim_;
+  }
+
+  const std::vector<int32_t> table = buildUnigramTable(vocab, 1 << 18);
+  if (table.empty()) return;
+
+  uint64_t totalTokens = 0;
+  for (const auto& s : corpus.sentences) totalTokens += s.size();
+
+  // Subsampling keep-probability per token (frequent-token downsampling).
+  std::vector<float> keepProb(vocabSize, 1.0F);
+  for (int32_t t = 2; t < vocab.size(); ++t) {
+    const double f =
+        static_cast<double>(vocab.count(t)) / static_cast<double>(totalTokens);
+    if (f > cfg.subsample) {
+      keepProb[static_cast<size_t>(t)] =
+          static_cast<float>(std::sqrt(cfg.subsample / f));
+    }
+  }
+
+  std::vector<float> grad(static_cast<size_t>(dim_));
+  uint64_t processed = 0;
+  const uint64_t totalWork =
+      static_cast<uint64_t>(cfg.epochs) * std::max<uint64_t>(totalTokens, 1);
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    for (const auto& sentence : corpus.sentences) {
+      for (size_t pos = 0; pos < sentence.size(); ++pos) {
+        ++processed;
+        const int32_t centre = sentence[pos];
+        if (centre < 2) continue;  // never train BLANK/UNK as centre
+        if (keepProb[static_cast<size_t>(centre)] < 1.0F &&
+            rng.uniform() > keepProb[static_cast<size_t>(centre)]) {
+          continue;
+        }
+        const float lr =
+            cfg.lr * std::max(0.05F, 1.0F - static_cast<float>(processed) /
+                                               static_cast<float>(totalWork));
+        const auto win = static_cast<size_t>(
+            rng.uniformInt(1, cfg.window));  // dynamic window, as word2vec
+        const size_t lo = pos >= win ? pos - win : 0;
+        const size_t hi = std::min(sentence.size() - 1, pos + win);
+        float* vIn =
+            vectors_.data() + static_cast<size_t>(centre) * dim_;
+        for (size_t c = lo; c <= hi; ++c) {
+          if (c == pos) continue;
+          const int32_t ctx = sentence[c];
+          if (ctx < 2) continue;
+          std::fill(grad.begin(), grad.end(), 0.0F);
+          for (int neg = 0; neg <= cfg.negatives; ++neg) {
+            int32_t target;
+            float label;
+            if (neg == 0) {
+              target = ctx;
+              label = 1.0F;
+            } else {
+              target = table[static_cast<size_t>(rng.next() % table.size())];
+              if (target == ctx) continue;
+              label = 0.0F;
+            }
+            float* vOut =
+                context_.data() + static_cast<size_t>(target) * dim_;
+            float dot = 0.0F;
+            for (int d = 0; d < dim_; ++d) dot += vIn[d] * vOut[d];
+            const float g = (label - sigmoid(dot)) * lr;
+            for (int d = 0; d < dim_; ++d) {
+              grad[static_cast<size_t>(d)] += g * vOut[d];
+              vOut[d] += g * vIn[d];
+            }
+          }
+          for (int d = 0; d < dim_; ++d) vIn[d] += grad[static_cast<size_t>(d)];
+        }
+      }
+    }
+  }
+  // Pin BLANK (and UNK) to zero so padding carries no signal.
+  std::fill(vectors_.begin(), vectors_.begin() + dim_, 0.0F);
+}
+
+float Word2Vec::similarity(int32_t a, int32_t b) const {
+  const auto va = vec(a);
+  const auto vb = vec(b);
+  float dot = 0.0F;
+  float na = 0.0F;
+  float nb = 0.0F;
+  for (int d = 0; d < dim_; ++d) {
+    dot += va[static_cast<size_t>(d)] * vb[static_cast<size_t>(d)];
+    na += va[static_cast<size_t>(d)] * va[static_cast<size_t>(d)];
+    nb += vb[static_cast<size_t>(d)] * vb[static_cast<size_t>(d)];
+  }
+  if (na == 0.0F || nb == 0.0F) return 0.0F;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+void Word2Vec::save(std::ostream& os) const {
+  io::Writer w(os);
+  io::writeHeader(w, 0x43573256 /*"CW2V"*/, 1);
+  w.pod<int32_t>(dim_);
+  w.vec(vectors_);
+  w.vec(context_);
+}
+
+Word2Vec Word2Vec::load(std::istream& is) {
+  io::Reader r(is);
+  io::expectHeader(r, 0x43573256, 1, "word2vec");
+  Word2Vec v;
+  v.dim_ = r.pod<int32_t>();
+  v.vectors_ = r.vec<float>();
+  v.context_ = r.vec<float>();
+  if (v.dim_ <= 0 || v.vectors_.size() % static_cast<size_t>(v.dim_) != 0) {
+    throw std::runtime_error("word2vec: corrupt model");
+  }
+  return v;
+}
+
+void VucEncoder::encode(const corpus::Vuc& v, std::span<float> out) const {
+  encodeOccluded(v, -1, out);
+}
+
+void VucEncoder::encodeOccluded(const corpus::Vuc& v, int k,
+                                std::span<float> out) const {
+  const int dim = w2v_.dim();
+  const auto rowsN = v.window.size();
+  if (out.size() != rowsN * static_cast<size_t>(3 * dim)) {
+    throw std::invalid_argument("VucEncoder::encode: bad output size");
+  }
+  std::fill(out.begin(), out.end(), 0.0F);
+  for (size_t r = 0; r < rowsN; ++r) {
+    if (static_cast<int>(r) == k) continue;  // occluded row stays zero=BLANK
+    const corpus::GenInstr& g = v.window[r];
+    const std::string* toks[3] = {&g.mnem, &g.op1, &g.op2};
+    for (int p = 0; p < 3; ++p) {
+      const int32_t id = vocab_.lookup(*toks[p]);
+      const auto src = w2v_.vec(id);
+      float* dst = out.data() + r * static_cast<size_t>(3 * dim) +
+                   static_cast<size_t>(p * dim);
+      std::copy(src.begin(), src.end(), dst);
+    }
+  }
+}
+
+void VucEncoder::save(std::ostream& os) const {
+  vocab_.save(os);
+  w2v_.save(os);
+}
+
+VucEncoder VucEncoder::load(std::istream& is) {
+  Vocab vocab = Vocab::load(is);
+  Word2Vec w2v = Word2Vec::load(is);
+  return VucEncoder(std::move(vocab), std::move(w2v));
+}
+
+}  // namespace cati::embed

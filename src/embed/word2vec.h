@@ -1,0 +1,126 @@
+// Assembly-token embedding: a from-scratch word2vec (skip-gram with negative
+// sampling, the objective of paper eq. 1, window 5, dim 32) plus the VUC
+// encoder that turns a 21-instruction window into the [21 x 96] matrix the
+// CNN consumes (mnemonic/op1/op2 embeddings concatenated per instruction,
+// §IV-C / Fig. 4).
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "corpus/corpus.h"
+
+namespace cati::embed {
+
+/// Token vocabulary. Index 0 is reserved for BLANK (whose vector is held at
+/// zero so occlusion/padding is a true null signal); index 1 for UNK.
+class Vocab {
+ public:
+  Vocab();
+
+  /// Adds an occurrence, creating the token if new. Returns the index.
+  int32_t add(std::string_view token);
+  /// Lookup without insertion; UNK index for unseen tokens.
+  int32_t lookup(std::string_view token) const;
+
+  int32_t size() const { return static_cast<int32_t>(words_.size()); }
+  const std::string& word(int32_t idx) const {
+    return words_[static_cast<size_t>(idx)];
+  }
+  uint64_t count(int32_t idx) const { return counts_[static_cast<size_t>(idx)]; }
+
+  static constexpr int32_t kBlankId = 0;
+  static constexpr int32_t kUnkId = 1;
+
+  void save(std::ostream& os) const;
+  static Vocab load(std::istream& is);
+
+ private:
+  std::unordered_map<std::string, int32_t> index_;
+  std::vector<std::string> words_;
+  std::vector<uint64_t> counts_;
+};
+
+/// Builds the vocabulary and the token "sentences" (one per VUC: the 63
+/// mnemonic/operand tokens in order) from a training dataset.
+struct TokenizedCorpus {
+  Vocab vocab;
+  std::vector<std::vector<int32_t>> sentences;
+};
+TokenizedCorpus tokenize(const corpus::Dataset& ds);
+
+struct W2VConfig {
+  int dim = 32;         // paper: token vectors of length 32
+  int window = 5;       // paper: maximum distance m = 5
+  int negatives = 5;
+  int epochs = 3;
+  float lr = 0.025F;
+  uint64_t seed = 7;
+  double subsample = 1e-3;  // frequent-token downsampling threshold
+};
+
+class Word2Vec {
+ public:
+  Word2Vec() = default;
+
+  /// Trains skip-gram with negative sampling over the sentences. The BLANK
+  /// token's vector is pinned to zero.
+  void train(const TokenizedCorpus& corpus, const W2VConfig& cfg);
+
+  int dim() const { return dim_; }
+  int32_t vocabSize() const { return static_cast<int32_t>(vectors_.size()) / dim_; }
+
+  /// The embedding vector of a token (length dim()).
+  std::span<const float> vec(int32_t token) const {
+    return {vectors_.data() + static_cast<size_t>(token) * dim_,
+            static_cast<size_t>(dim_)};
+  }
+
+  /// Cosine similarity between two token vectors (0 when either is zero).
+  float similarity(int32_t a, int32_t b) const;
+
+  void save(std::ostream& os) const;
+  static Word2Vec load(std::istream& is);
+
+ private:
+  int dim_ = 0;
+  std::vector<float> vectors_;   // input vectors, row-major [vocab x dim]
+  std::vector<float> context_;   // output vectors
+};
+
+/// Encodes VUCs to CNN input matrices. Layout: row per instruction
+/// (2w+1 rows), 3*dim columns = [mnem | op1 | op2] embeddings.
+class VucEncoder {
+ public:
+  VucEncoder(Vocab vocab, Word2Vec w2v)
+      : vocab_(std::move(vocab)), w2v_(std::move(w2v)) {}
+
+  int rows(int window) const { return 2 * window + 1; }
+  int cols() const { return 3 * w2v_.dim(); }
+
+  /// Writes the [rows x cols] matrix for `v` into `out` (size rows*cols).
+  void encode(const corpus::Vuc& v, std::span<float> out) const;
+
+  /// Encodes with instruction `k` occluded by BLANK — the R(VUC, k) operator
+  /// of paper eq. 5.
+  void encodeOccluded(const corpus::Vuc& v, int k, std::span<float> out) const;
+
+  const Vocab& vocab() const { return vocab_; }
+  const Word2Vec& w2v() const { return w2v_; }
+
+  void save(std::ostream& os) const;
+  static VucEncoder load(std::istream& is);
+
+ private:
+  Vocab vocab_;
+  Word2Vec w2v_;
+};
+
+}  // namespace cati::embed

@@ -1,0 +1,131 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace cati::eval {
+
+std::vector<size_t> confusion(std::span<const int> yTrue,
+                              std::span<const int> yPred, int numClasses) {
+  if (yTrue.size() != yPred.size()) {
+    throw std::invalid_argument("confusion: size mismatch");
+  }
+  std::vector<size_t> m(static_cast<size_t>(numClasses) * numClasses, 0);
+  for (size_t i = 0; i < yTrue.size(); ++i) {
+    if (yTrue[i] < 0 || yTrue[i] >= numClasses || yPred[i] < 0 ||
+        yPred[i] >= numClasses) {
+      throw std::invalid_argument("confusion: label out of range");
+    }
+    ++m[static_cast<size_t>(yTrue[i]) * numClasses +
+        static_cast<size_t>(yPred[i])];
+  }
+  return m;
+}
+
+Report compute(std::span<const int> yTrue, std::span<const int> yPred,
+               int numClasses) {
+  const std::vector<size_t> cm = confusion(yTrue, yPred, numClasses);
+  Report r;
+  r.total = yTrue.size();
+  r.perClass.resize(static_cast<size_t>(numClasses));
+
+  size_t correct = 0;
+  for (int c = 0; c < numClasses; ++c) {
+    size_t tp = cm[static_cast<size_t>(c) * numClasses + c];
+    size_t rowSum = 0;  // true c
+    size_t colSum = 0;  // predicted c
+    for (int j = 0; j < numClasses; ++j) {
+      rowSum += cm[static_cast<size_t>(c) * numClasses + j];
+      colSum += cm[static_cast<size_t>(j) * numClasses + c];
+    }
+    correct += tp;
+    ClassMetrics& m = r.perClass[static_cast<size_t>(c)];
+    m.support = rowSum;
+    m.precision = colSum ? static_cast<double>(tp) / colSum : 0.0;
+    m.recall = rowSum ? static_cast<double>(tp) / rowSum : 0.0;
+    m.f1 = (m.precision + m.recall) > 0.0
+               ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
+               : 0.0;
+  }
+  r.accuracy = r.total ? static_cast<double>(correct) / r.total : 0.0;
+
+  double wp = 0.0;
+  double wr = 0.0;
+  double wf = 0.0;
+  double mf = 0.0;
+  int presentClasses = 0;
+  for (const ClassMetrics& m : r.perClass) {
+    wp += m.precision * static_cast<double>(m.support);
+    wr += m.recall * static_cast<double>(m.support);
+    wf += m.f1 * static_cast<double>(m.support);
+    if (m.support > 0) {
+      mf += m.f1;
+      ++presentClasses;
+    }
+  }
+  if (r.total > 0) {
+    wp /= static_cast<double>(r.total);
+    wr /= static_cast<double>(r.total);
+    wf /= static_cast<double>(r.total);
+  }
+  r.weightedPrecision = wp;
+  r.weightedRecall = wr;
+  r.weightedF1 = wf;
+  r.macroF1 = presentClasses ? mf / presentClasses : 0.0;
+  return r;
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::addRow(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("Table::addRow: wrong column count");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::str(int indent) const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  const std::string pad(static_cast<size_t>(indent), ' ');
+  const auto line = [&](const std::vector<std::string>& cells,
+                        bool leftFirst) {
+    os << pad;
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << "  ";
+      const auto w = static_cast<long>(width[c]) -
+                     static_cast<long>(cells[c].size());
+      if (c == 0 && leftFirst) {
+        os << cells[c] << std::string(static_cast<size_t>(std::max(0L, w)), ' ');
+      } else {
+        os << std::string(static_cast<size_t>(std::max(0L, w)), ' ')
+           << cells[c];
+      }
+    }
+    os << '\n';
+  };
+  line(header_, true);
+  size_t total = 0;
+  for (size_t c = 0; c < width.size(); ++c) total += width[c] + (c ? 2 : 0);
+  os << pad << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) line(row, true);
+  return os.str();
+}
+
+std::string fmt2(double value, bool present) {
+  if (!present) return "-";
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(2);
+  os << value;
+  return os.str();
+}
+
+}  // namespace cati::eval

@@ -1,0 +1,61 @@
+// Evaluation metrics (precision / recall / F1 per class, weighted and macro
+// averages, accuracy, confusion matrices) matching the paper's §VII-A
+// definitions, plus small table-formatting helpers shared by the benches.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cati::eval {
+
+struct ClassMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  size_t support = 0;  ///< number of true samples of this class
+};
+
+struct Report {
+  std::vector<ClassMetrics> perClass;
+  double accuracy = 0.0;
+  // Weighted by class support (what the paper's per-app P/R/F1 report).
+  double weightedPrecision = 0.0;
+  double weightedRecall = 0.0;
+  double weightedF1 = 0.0;
+  double macroF1 = 0.0;
+  size_t total = 0;
+};
+
+/// Computes metrics from parallel truth/prediction vectors with labels in
+/// [0, numClasses). Throws on size mismatch or out-of-range labels.
+Report compute(std::span<const int> yTrue, std::span<const int> yPred,
+               int numClasses);
+
+/// Row-major [numClasses x numClasses] confusion matrix; rows = truth.
+std::vector<size_t> confusion(std::span<const int> yTrue,
+                              std::span<const int> yPred, int numClasses);
+
+// --- table formatting ---------------------------------------------------------
+
+/// Plain-text table writer used by every bench binary to print paper-shaped
+/// tables: fixed-width columns, a header rule, right-aligned numbers.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> cells);
+  /// Renders with per-column widths; `indent` prefixes every line.
+  std::string str(int indent = 0) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "0.93" — two-decimal formatting used throughout the paper's tables;
+/// returns "-" when support is zero (the paper's dash for absent classes).
+std::string fmt2(double value, bool present = true);
+
+}  // namespace cati::eval

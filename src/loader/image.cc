@@ -1,0 +1,195 @@
+#include "loader/image.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "asmx/encode.h"
+#include "common/serialize.h"
+
+namespace cati::loader {
+
+namespace {
+constexpr uint32_t kMagic = 0x43454c46;  // "CELF"
+constexpr uint32_t kVersion = 1;
+constexpr size_t kPltStubSize = 16;
+}  // namespace
+
+Image buildImage(const synth::Binary& bin) {
+  Image img;
+
+  // First pass: collect distinct callees and lay out functions to learn
+  // the total text size (instruction lengths are needed before call targets
+  // can be fixed, so we encode twice: once with placeholder targets to get
+  // lengths — our encodings have fixed length for a given instruction since
+  // rel32 is always 4 bytes — then with final targets).
+  std::vector<std::string> callees;
+  std::unordered_map<std::string, size_t> calleeIdx;
+  for (const synth::FunctionCode& fn : bin.funcs) {
+    for (const asmx::Instruction& ins : fn.insns) {
+      if (asmx::isCall(ins) &&
+          ins.ops[1].kind == asmx::Operand::Kind::Func) {
+        const auto [it, inserted] =
+            calleeIdx.try_emplace(ins.ops[1].sym, callees.size());
+        if (inserted) callees.push_back(ins.ops[1].sym);
+      }
+    }
+  }
+
+  // Layout pass with placeholder targets.
+  std::vector<uint64_t> fnAddr(bin.funcs.size());
+  uint64_t pc = img.baseAddr;
+  for (size_t f = 0; f < bin.funcs.size(); ++f) {
+    fnAddr[f] = pc;
+    for (const asmx::Instruction& ins : bin.funcs[f].insns) {
+      asmx::Instruction copy = ins;
+      // Branch/call targets encode as rel32 regardless of value.
+      pc += asmx::encode(copy, pc).size();
+    }
+  }
+  const uint64_t pltBase = (pc + 15) / 16 * 16;
+
+  // Import stubs.
+  std::unordered_map<std::string, uint64_t> pltAddr;
+  for (size_t i = 0; i < callees.size(); ++i) {
+    pltAddr[callees[i]] = pltBase + i * kPltStubSize;
+  }
+
+  // Final pass: encode with call targets rewritten to PLT stubs.
+  pc = img.baseAddr;
+  for (size_t f = 0; f < bin.funcs.size(); ++f) {
+    const synth::FunctionCode& fn = bin.funcs[f];
+    const uint64_t start = pc;
+    for (const asmx::Instruction& ins : fn.insns) {
+      asmx::Instruction copy = ins;
+      if (asmx::isCall(copy) &&
+          copy.ops[1].kind == asmx::Operand::Kind::Func) {
+        copy.ops[0] = asmx::Operand::addr(
+            static_cast<int64_t>(pltAddr[copy.ops[1].sym]));
+      }
+      const auto bytes = asmx::encode(copy, pc);
+      img.text.insert(img.text.end(), bytes.begin(), bytes.end());
+      pc += bytes.size();
+    }
+    img.boundaries.push_back({start, pc});
+    img.symbols.push_back({fn.name, start, pc - start, false});
+  }
+  // Pad to the PLT and emit stubs (jmp back to self — the bytes only need
+  // to exist and decode; nothing executes them).
+  while (img.baseAddr + img.text.size() < pltBase) img.text.push_back(0x90);
+  for (const std::string& name : callees) {
+    const uint64_t addr = pltAddr[name];
+    const auto stub = asmx::encode(
+        {"jmp", asmx::Operand::addr(static_cast<int64_t>(addr))}, addr);
+    img.text.insert(img.text.end(), stub.begin(), stub.end());
+    for (size_t i = stub.size(); i < kPltStubSize; ++i) {
+      img.text.push_back(0x90);
+    }
+    img.symbols.push_back({name + "@plt", addr, kPltStubSize, true});
+  }
+
+  img.debug = bin.debug;
+  return img;
+}
+
+bool Image::stripped() const {
+  if (debug.has_value()) return false;
+  for (const Symbol& s : symbols) {
+    if (!s.isImport) return false;
+  }
+  return true;
+}
+
+void strip(Image& img) {
+  std::erase_if(img.symbols, [](const Symbol& s) { return !s.isImport; });
+  img.debug.reset();
+}
+
+void write(const Image& img, std::ostream& os) {
+  io::Writer w(os);
+  io::writeHeader(w, kMagic, kVersion);
+  w.pod(img.baseAddr);
+  w.vec(img.text);
+  w.pod<uint64_t>(img.boundaries.size());
+  for (const BoundaryEntry& b : img.boundaries) {
+    w.pod(b.start);
+    w.pod(b.end);
+  }
+  w.pod<uint64_t>(img.symbols.size());
+  for (const Symbol& s : img.symbols) {
+    w.str(s.name);
+    w.pod(s.value);
+    w.pod(s.size);
+    w.pod(static_cast<uint8_t>(s.isImport ? 1 : 0));
+  }
+  w.pod(static_cast<uint8_t>(img.debug.has_value() ? 1 : 0));
+  if (img.debug) debuginfo::encode(*img.debug, os);
+}
+
+Image read(std::istream& is) {
+  io::Reader r(is);
+  io::expectHeader(r, kMagic, kVersion, "image");
+  Image img;
+  img.baseAddr = r.pod<uint64_t>();
+  img.text = r.vec<uint8_t>();
+  const auto nb = r.pod<uint64_t>();
+  for (uint64_t i = 0; i < nb; ++i) {
+    BoundaryEntry b;
+    b.start = r.pod<uint64_t>();
+    b.end = r.pod<uint64_t>();
+    img.boundaries.push_back(b);
+  }
+  const auto ns = r.pod<uint64_t>();
+  for (uint64_t i = 0; i < ns; ++i) {
+    Symbol s;
+    s.name = r.str();
+    s.value = r.pod<uint64_t>();
+    s.size = r.pod<uint64_t>();
+    s.isImport = r.pod<uint8_t>() != 0;
+    img.symbols.push_back(std::move(s));
+  }
+  if (r.pod<uint8_t>() != 0) img.debug = debuginfo::decode(is);
+  return img;
+}
+
+std::vector<LoadedFunction> disassemble(const Image& img) {
+  // Address -> symbol for call re-attachment and function naming.
+  std::map<uint64_t, const Symbol*> byAddr;
+  for (const Symbol& s : img.symbols) byAddr[s.value] = &s;
+
+  std::vector<LoadedFunction> out;
+  for (const BoundaryEntry& b : img.boundaries) {
+    if (b.start < img.baseAddr ||
+        b.end > img.baseAddr + img.text.size() || b.end < b.start) {
+      throw std::runtime_error("disassemble: boundary outside .text");
+    }
+    LoadedFunction fn;
+    fn.addr = b.start;
+    const auto it = byAddr.find(b.start);
+    if (it != byAddr.end()) {
+      fn.name = it->second->name;
+    } else {
+      std::ostringstream name;
+      name << "fun_" << std::hex << b.start;
+      fn.name = name.str();
+    }
+    const std::span<const uint8_t> body(
+        img.text.data() + (b.start - img.baseAddr), b.end - b.start);
+    fn.insns = asmx::decodeAll(body, b.start);
+    // Symbolize call targets where the symbol table allows.
+    for (asmx::Instruction& ins : fn.insns) {
+      if (!asmx::isCall(ins)) continue;
+      const auto sym =
+          byAddr.find(static_cast<uint64_t>(ins.ops[0].imm));
+      if (sym != byAddr.end()) {
+        ins.ops[1] = asmx::Operand::func(sym->second->name);
+      }
+    }
+    out.push_back(std::move(fn));
+  }
+  return out;
+}
+
+}  // namespace cati::loader

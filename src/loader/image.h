@@ -1,0 +1,79 @@
+// A simplified ELF64-flavoured binary image tying the whole substrate
+// together: synthesized functions are *actually encoded to machine code*
+// (src/asmx encode) into a .text section, with a symbol table, a PLT-style
+// import stub region for library calls, a function-boundary table (the
+// .eh_frame analog — real stripped binaries keep unwind data, which is how
+// production tools recover boundaries without symbols), and an optional
+// .debug section holding the DWARF-like module.
+//
+// strip() removes symbols and debug info exactly like `strip(1)`:
+// disassembly of a stripped image yields bare instructions whose call
+// targets can no longer be symbolized — the input CATI is built for.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "asmx/instruction.h"
+#include "debuginfo/debuginfo.h"
+#include "synth/synth.h"
+
+namespace cati::loader {
+
+struct Symbol {
+  std::string name;
+  uint64_t value = 0;  ///< virtual address
+  uint64_t size = 0;
+  bool isImport = false;  ///< PLT stub for an external function
+};
+
+/// [start, end) virtual-address ranges of functions; survives stripping.
+struct BoundaryEntry {
+  uint64_t start = 0;
+  uint64_t end = 0;
+};
+
+struct Image {
+  uint64_t baseAddr = 0x401000;
+  std::vector<uint8_t> text;
+  std::vector<BoundaryEntry> boundaries;     // .eh_frame analog
+  std::vector<Symbol> symbols;               // imports only after strip()
+  std::optional<debuginfo::Module> debug;    // nullopt after strip()
+
+  bool stripped() const;
+};
+
+/// Encodes a synthesized binary into an image: machine code, per-function
+/// symbols, PLT stubs for every distinct callee (call targets are rewritten
+/// to their stub), boundaries and debug info.
+Image buildImage(const synth::Binary& bin);
+
+/// Removes the static symbol table and debug info, like strip(1):
+/// function symbols vanish, but *import* symbols survive (they live in
+/// .dynsym, which stripping never touches — objdump on a stripped binary
+/// still prints `call ... <memcpy@plt>`). Boundaries stay (.eh_frame).
+/// Idempotent.
+void strip(Image& img);
+
+/// Container (de)serialization: magic + section table.
+void write(const Image& img, std::ostream& os);
+Image read(std::istream& is);
+
+/// One disassembled function. When the image still has symbols, `name` is
+/// the function symbol and call instructions carry re-attached `<func>`
+/// operands; in a stripped image names are synthesized (`fun_401020`).
+struct LoadedFunction {
+  std::string name;
+  uint64_t addr = 0;
+  std::vector<asmx::Instruction> insns;
+};
+
+/// Disassembles .text using the boundary table, symbolizing what the
+/// symbol table still allows.
+std::vector<LoadedFunction> disassemble(const Image& img);
+
+}  // namespace cati::loader

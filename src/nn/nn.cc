@@ -1,0 +1,536 @@
+#include "nn/nn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/serialize.h"
+
+namespace cati::nn {
+
+void Layer::saveExtra(std::ostream&) const {}
+void Layer::loadExtra(std::istream&) {}
+
+namespace {
+
+void checkSize(std::span<const float> s, size_t expected, const char* what) {
+  if (s.size() != expected) {
+    throw std::invalid_argument(std::string(what) + ": bad span size " +
+                                std::to_string(s.size()) + " != " +
+                                std::to_string(expected));
+  }
+}
+
+float heInit(Rng& rng, int fanIn) {
+  return rng.normal(0.0F, std::sqrt(2.0F / static_cast<float>(fanIn)));
+}
+
+}  // namespace
+
+// --- Conv1d ------------------------------------------------------------------
+
+Conv1d::Conv1d(int inC, int outC, int kernel, Rng* initRng)
+    : inC_(inC),
+      outC_(outC),
+      k_(kernel),
+      w_(static_cast<size_t>(outC) * inC * kernel),
+      b_(static_cast<size_t>(outC)) {
+  if (initRng != nullptr) {
+    for (float& x : w_.value) x = heInit(*initRng, inC * kernel);
+  }
+}
+
+Shape Conv1d::outShape(Shape in) const {
+  if (in.c != inC_) throw std::invalid_argument("Conv1d: channel mismatch");
+  return {outC_, in.l};
+}
+
+void Conv1d::forward(std::span<const float> x, std::span<float> y, bool) {
+  len_ = static_cast<int>(x.size()) / inC_;
+  checkSize(x, static_cast<size_t>(inC_) * len_, "Conv1d::forward x");
+  checkSize(y, static_cast<size_t>(outC_) * len_, "Conv1d::forward y");
+  x_.assign(x.begin(), x.end());
+  const int pad = k_ / 2;
+  for (int o = 0; o < outC_; ++o) {
+    const float* wRow = w_.value.data() + static_cast<size_t>(o) * inC_ * k_;
+    float* yRow = y.data() + static_cast<size_t>(o) * len_;
+    const float bias = b_.value[static_cast<size_t>(o)];
+    for (int t = 0; t < len_; ++t) yRow[t] = bias;
+    for (int c = 0; c < inC_; ++c) {
+      const float* xRow = x.data() + static_cast<size_t>(c) * len_;
+      const float* wk = wRow + static_cast<size_t>(c) * k_;
+      for (int kk = 0; kk < k_; ++kk) {
+        const float wv = wk[kk];
+        const int shift = kk - pad;
+        const int lo = std::max(0, -shift);
+        const int hi = std::min(len_, len_ - shift);
+        for (int t = lo; t < hi; ++t) yRow[t] += wv * xRow[t + shift];
+      }
+    }
+  }
+}
+
+void Conv1d::backward(std::span<const float> dy, std::span<float> dx) {
+  checkSize(dy, static_cast<size_t>(outC_) * len_, "Conv1d::backward dy");
+  checkSize(dx, static_cast<size_t>(inC_) * len_, "Conv1d::backward dx");
+  std::fill(dx.begin(), dx.end(), 0.0F);
+  const int pad = k_ / 2;
+  for (int o = 0; o < outC_; ++o) {
+    const float* dyRow = dy.data() + static_cast<size_t>(o) * len_;
+    float* gwRow = w_.grad.data() + static_cast<size_t>(o) * inC_ * k_;
+    const float* wRow = w_.value.data() + static_cast<size_t>(o) * inC_ * k_;
+    float gb = 0.0F;
+    for (int t = 0; t < len_; ++t) gb += dyRow[t];
+    b_.grad[static_cast<size_t>(o)] += gb;
+    for (int c = 0; c < inC_; ++c) {
+      const float* xRow = x_.data() + static_cast<size_t>(c) * len_;
+      float* dxRow = dx.data() + static_cast<size_t>(c) * len_;
+      float* gwk = gwRow + static_cast<size_t>(c) * k_;
+      const float* wk = wRow + static_cast<size_t>(c) * k_;
+      for (int kk = 0; kk < k_; ++kk) {
+        const int shift = kk - pad;
+        const int lo = std::max(0, -shift);
+        const int hi = std::min(len_, len_ - shift);
+        float gw = 0.0F;
+        const float wv = wk[kk];
+        for (int t = lo; t < hi; ++t) {
+          gw += dyRow[t] * xRow[t + shift];
+          dxRow[t + shift] += dyRow[t] * wv;
+        }
+        gwk[kk] += gw;
+      }
+    }
+  }
+}
+
+void Conv1d::saveExtra(std::ostream& os) const {
+  io::Writer w(os);
+  w.pod(inC_);
+  w.pod(outC_);
+  w.pod(k_);
+  w.vec(w_.value);
+  w.vec(b_.value);
+}
+
+void Conv1d::loadExtra(std::istream& is) {
+  io::Reader r(is);
+  inC_ = r.pod<int>();
+  outC_ = r.pod<int>();
+  k_ = r.pod<int>();
+  w_.value = r.vec<float>();
+  w_.grad.assign(w_.value.size(), 0.0F);
+  b_.value = r.vec<float>();
+  b_.grad.assign(b_.value.size(), 0.0F);
+}
+
+// --- ReLU --------------------------------------------------------------------
+
+void ReLU::forward(std::span<const float> x, std::span<float> y, bool) {
+  checkSize(y, x.size(), "ReLU::forward");
+  mask_.resize(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    const bool pos = x[i] > 0.0F;
+    mask_[i] = pos ? 1 : 0;
+    y[i] = pos ? x[i] : 0.0F;
+  }
+}
+
+void ReLU::backward(std::span<const float> dy, std::span<float> dx) {
+  checkSize(dy, mask_.size(), "ReLU::backward");
+  for (size_t i = 0; i < dy.size(); ++i) {
+    dx[i] = mask_[i] != 0 ? dy[i] : 0.0F;
+  }
+}
+
+// --- MaxPool1d ----------------------------------------------------------------
+
+void MaxPool1d::forward(std::span<const float> x, std::span<float> y, bool) {
+  const int outL = in_.l / k_;
+  checkSize(x, static_cast<size_t>(in_.c) * in_.l, "MaxPool1d::forward x");
+  checkSize(y, static_cast<size_t>(in_.c) * outL, "MaxPool1d::forward y");
+  argmax_.assign(y.size(), 0);
+  for (int c = 0; c < in_.c; ++c) {
+    const float* xRow = x.data() + static_cast<size_t>(c) * in_.l;
+    float* yRow = y.data() + static_cast<size_t>(c) * outL;
+    int32_t* aRow = argmax_.data() + static_cast<size_t>(c) * outL;
+    for (int t = 0; t < outL; ++t) {
+      int best = t * k_;
+      for (int j = 1; j < k_; ++j) {
+        if (xRow[t * k_ + j] > xRow[best]) best = t * k_ + j;
+      }
+      yRow[t] = xRow[best];
+      aRow[t] = best;
+    }
+  }
+}
+
+void MaxPool1d::backward(std::span<const float> dy, std::span<float> dx) {
+  const int outL = in_.l / k_;
+  checkSize(dy, static_cast<size_t>(in_.c) * outL, "MaxPool1d::backward dy");
+  checkSize(dx, static_cast<size_t>(in_.c) * in_.l, "MaxPool1d::backward dx");
+  std::fill(dx.begin(), dx.end(), 0.0F);
+  for (int c = 0; c < in_.c; ++c) {
+    const float* dyRow = dy.data() + static_cast<size_t>(c) * outL;
+    float* dxRow = dx.data() + static_cast<size_t>(c) * in_.l;
+    const int32_t* aRow = argmax_.data() + static_cast<size_t>(c) * outL;
+    for (int t = 0; t < outL; ++t) dxRow[aRow[t]] += dyRow[t];
+  }
+}
+
+void MaxPool1d::saveExtra(std::ostream& os) const {
+  io::Writer w(os);
+  w.pod(k_);
+}
+
+void MaxPool1d::loadExtra(std::istream& is) {
+  io::Reader r(is);
+  k_ = r.pod<int>();
+}
+
+// --- GlobalMaxPool -------------------------------------------------------------
+
+void GlobalMaxPool::forward(std::span<const float> x, std::span<float> y,
+                            bool) {
+  checkSize(x, static_cast<size_t>(in_.c) * in_.l, "GlobalMaxPool x");
+  checkSize(y, static_cast<size_t>(in_.c), "GlobalMaxPool y");
+  argmax_.assign(static_cast<size_t>(in_.c), 0);
+  for (int c = 0; c < in_.c; ++c) {
+    const float* xRow = x.data() + static_cast<size_t>(c) * in_.l;
+    int best = 0;
+    for (int t = 1; t < in_.l; ++t) {
+      if (xRow[t] > xRow[best]) best = t;
+    }
+    y[static_cast<size_t>(c)] = xRow[best];
+    argmax_[static_cast<size_t>(c)] = best;
+  }
+}
+
+void GlobalMaxPool::backward(std::span<const float> dy, std::span<float> dx) {
+  checkSize(dy, static_cast<size_t>(in_.c), "GlobalMaxPool dy");
+  checkSize(dx, static_cast<size_t>(in_.c) * in_.l, "GlobalMaxPool dx");
+  std::fill(dx.begin(), dx.end(), 0.0F);
+  for (int c = 0; c < in_.c; ++c) {
+    dx[static_cast<size_t>(c) * in_.l + argmax_[static_cast<size_t>(c)]] =
+        dy[static_cast<size_t>(c)];
+  }
+}
+
+// --- Linear -------------------------------------------------------------------
+
+Linear::Linear(int in, int out, Rng* initRng)
+    : in_(in),
+      out_(out),
+      w_(static_cast<size_t>(out) * in),
+      b_(static_cast<size_t>(out)) {
+  if (initRng != nullptr) {
+    for (float& x : w_.value) x = heInit(*initRng, in);
+  }
+}
+
+Shape Linear::outShape(Shape in) const {
+  if (in.size() != in_) throw std::invalid_argument("Linear: size mismatch");
+  return {out_, 1};
+}
+
+void Linear::forward(std::span<const float> x, std::span<float> y, bool) {
+  checkSize(x, static_cast<size_t>(in_), "Linear::forward x");
+  checkSize(y, static_cast<size_t>(out_), "Linear::forward y");
+  x_.assign(x.begin(), x.end());
+  for (int o = 0; o < out_; ++o) {
+    const float* wRow = w_.value.data() + static_cast<size_t>(o) * in_;
+    float acc = b_.value[static_cast<size_t>(o)];
+    for (int i = 0; i < in_; ++i) acc += wRow[i] * x[static_cast<size_t>(i)];
+    y[static_cast<size_t>(o)] = acc;
+  }
+}
+
+void Linear::backward(std::span<const float> dy, std::span<float> dx) {
+  checkSize(dy, static_cast<size_t>(out_), "Linear::backward dy");
+  checkSize(dx, static_cast<size_t>(in_), "Linear::backward dx");
+  std::fill(dx.begin(), dx.end(), 0.0F);
+  for (int o = 0; o < out_; ++o) {
+    const float g = dy[static_cast<size_t>(o)];
+    if (g == 0.0F) continue;
+    float* gwRow = w_.grad.data() + static_cast<size_t>(o) * in_;
+    const float* wRow = w_.value.data() + static_cast<size_t>(o) * in_;
+    b_.grad[static_cast<size_t>(o)] += g;
+    for (int i = 0; i < in_; ++i) {
+      gwRow[i] += g * x_[static_cast<size_t>(i)];
+      dx[static_cast<size_t>(i)] += g * wRow[i];
+    }
+  }
+}
+
+void Linear::saveExtra(std::ostream& os) const {
+  io::Writer w(os);
+  w.pod(in_);
+  w.pod(out_);
+  w.vec(w_.value);
+  w.vec(b_.value);
+}
+
+void Linear::loadExtra(std::istream& is) {
+  io::Reader r(is);
+  in_ = r.pod<int>();
+  out_ = r.pod<int>();
+  w_.value = r.vec<float>();
+  w_.grad.assign(w_.value.size(), 0.0F);
+  b_.value = r.vec<float>();
+  b_.grad.assign(b_.value.size(), 0.0F);
+}
+
+// --- Dropout ------------------------------------------------------------------
+
+void Dropout::forward(std::span<const float> x, std::span<float> y,
+                      bool train) {
+  checkSize(y, x.size(), "Dropout::forward");
+  scale_.resize(x.size());
+  if (!train || p_ <= 0.0F) {
+    std::fill(scale_.begin(), scale_.end(), 1.0F);
+    std::copy(x.begin(), x.end(), y.begin());
+    return;
+  }
+  const float keep = 1.0F - p_;
+  for (size_t i = 0; i < x.size(); ++i) {
+    scale_[i] = rng_.chance(p_) ? 0.0F : 1.0F / keep;
+    y[i] = x[i] * scale_[i];
+  }
+}
+
+void Dropout::backward(std::span<const float> dy, std::span<float> dx) {
+  checkSize(dy, scale_.size(), "Dropout::backward");
+  for (size_t i = 0; i < dy.size(); ++i) dx[i] = dy[i] * scale_[i];
+}
+
+void Dropout::saveExtra(std::ostream& os) const {
+  io::Writer w(os);
+  w.pod(p_);
+}
+
+void Dropout::loadExtra(std::istream& is) {
+  io::Reader r(is);
+  p_ = r.pod<float>();
+}
+
+// --- Sequential ----------------------------------------------------------------
+
+void Sequential::add(std::unique_ptr<Layer> layer) {
+  const Shape in = layers_.empty() ? inShape_ : shapes_.back();
+  layer->setInShape(in);
+  const Shape out = layer->outShape(in);
+  shapes_.push_back(out);
+  layers_.push_back(std::move(layer));
+  acts_.emplace_back(static_cast<size_t>(out.size()), 0.0F);
+}
+
+Shape Sequential::outShape() const {
+  return shapes_.empty() ? inShape_ : shapes_.back();
+}
+
+std::span<const float> Sequential::forward(std::span<const float> x,
+                                           bool train) {
+  input_.assign(x.begin(), x.end());
+  std::span<const float> cur = input_;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->forward(cur, acts_[i], train);
+    cur = acts_[i];
+  }
+  return cur;
+}
+
+void Sequential::backward(std::span<const float> dOut) {
+  std::vector<float> dCur(dOut.begin(), dOut.end());
+  for (size_t i = layers_.size(); i-- > 0;) {
+    const size_t inSize =
+        i == 0 ? static_cast<size_t>(inShape_.size())
+               : static_cast<size_t>(shapes_[i - 1].size());
+    std::vector<float> dIn(inSize, 0.0F);
+    layers_[i]->backward(dCur, dIn);
+    dCur = std::move(dIn);
+  }
+}
+
+std::vector<Param*> Sequential::params() {
+  std::vector<Param*> out;
+  for (const auto& l : layers_) {
+    for (Param* p : l->params()) out.push_back(p);
+  }
+  return out;
+}
+
+void Sequential::zeroGrad() {
+  for (Param* p : params()) p->zeroGrad();
+}
+
+void Sequential::save(std::ostream& os) const {
+  io::Writer w(os);
+  io::writeHeader(w, 0x434e4e31 /*"CNN1"*/, 1);
+  w.pod(inShape_.c);
+  w.pod(inShape_.l);
+  w.pod<uint64_t>(layers_.size());
+  for (const auto& l : layers_) {
+    w.str(l->kind());
+    l->saveExtra(os);
+  }
+}
+
+Sequential Sequential::load(std::istream& is) {
+  io::Reader r(is);
+  io::expectHeader(r, 0x434e4e31, 1, "sequential");
+  Shape in{};
+  in.c = r.pod<int>();
+  in.l = r.pod<int>();
+  Sequential seq(in);
+  const auto n = r.pod<uint64_t>();
+  for (uint64_t i = 0; i < n; ++i) {
+    const std::string kind = r.str();
+    std::unique_ptr<Layer> layer;
+    if (kind == "conv1d") {
+      layer = std::make_unique<Conv1d>(1, 1, 1, nullptr);
+    } else if (kind == "relu") {
+      layer = std::make_unique<ReLU>();
+    } else if (kind == "maxpool1d") {
+      layer = std::make_unique<MaxPool1d>(2);
+    } else if (kind == "globalmaxpool") {
+      layer = std::make_unique<GlobalMaxPool>();
+    } else if (kind == "linear") {
+      layer = std::make_unique<Linear>(1, 1, nullptr);
+    } else if (kind == "dropout") {
+      layer = std::make_unique<Dropout>(0.0F, 0);
+    } else {
+      throw std::runtime_error("sequential: unknown layer kind " + kind);
+    }
+    layer->loadExtra(is);
+    seq.add(std::move(layer));
+  }
+  return seq;
+}
+
+// --- SoftmaxCE -----------------------------------------------------------------
+
+float SoftmaxCE::forward(std::span<const float> logits, int target,
+                         std::span<float> probs) {
+  checkSize(probs, logits.size(), "SoftmaxCE::forward");
+  float maxv = logits[0];
+  for (const float v : logits) maxv = std::max(maxv, v);
+  float sum = 0.0F;
+  for (size_t i = 0; i < logits.size(); ++i) {
+    probs[i] = std::exp(logits[i] - maxv);
+    sum += probs[i];
+  }
+  for (float& p : probs) p /= sum;
+  if (target < 0) return 0.0F;
+  return -std::log(std::max(probs[static_cast<size_t>(target)], 1e-12F));
+}
+
+void SoftmaxCE::backward(std::span<const float> probs, int target,
+                         std::span<float> dLogits) {
+  checkSize(dLogits, probs.size(), "SoftmaxCE::backward");
+  std::copy(probs.begin(), probs.end(), dLogits.begin());
+  dLogits[static_cast<size_t>(target)] -= 1.0F;
+}
+
+// --- Adam ----------------------------------------------------------------------
+
+Adam::Adam(std::vector<Param*> params, Config cfg)
+    : cfg_(cfg), params_(std::move(params)) {
+  for (const Param* p : params_) {
+    m_.emplace_back(p->value.size(), 0.0F);
+    v_.emplace_back(p->value.size(), 0.0F);
+  }
+}
+
+void Adam::step(float gradScale) {
+  ++t_;
+  const float bc1 = 1.0F - std::pow(cfg_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0F - std::pow(cfg_.beta2, static_cast<float>(t_));
+  for (size_t p = 0; p < params_.size(); ++p) {
+    Param& par = *params_[p];
+    for (size_t i = 0; i < par.value.size(); ++i) {
+      const float g = par.grad[i] * gradScale;
+      m_[p][i] = cfg_.beta1 * m_[p][i] + (1.0F - cfg_.beta1) * g;
+      v_[p][i] = cfg_.beta2 * v_[p][i] + (1.0F - cfg_.beta2) * g * g;
+      const float mhat = m_[p][i] / bc1;
+      const float vhat = v_[p][i] / bc2;
+      par.value[i] -= cfg_.lr * mhat / (std::sqrt(vhat) + cfg_.eps);
+    }
+    par.zeroGrad();
+  }
+}
+
+// --- factory / gradient check ---------------------------------------------------
+
+Sequential makeCnn(Shape in, int conv1, int conv2, int hidden, int classes,
+                   float dropout, Rng& rng) {
+  // Two conv blocks, then the pooled feature map is *flattened* (not
+  // globally pooled) into the FC layer: the target instruction sits at a
+  // fixed position in the VUC, so the classifier must stay position-aware
+  // (the paper's Fig. 6 shows the centre instruction dominating).
+  Sequential net(in);
+  net.add(std::make_unique<Conv1d>(in.c, conv1, 3, &rng));
+  net.add(std::make_unique<ReLU>());
+  int len = in.l;
+  if (len >= 2) {  // tiny windows (ablation sweeps) skip pooling
+    net.add(std::make_unique<MaxPool1d>(2));
+    len /= 2;
+  }
+  net.add(std::make_unique<Conv1d>(conv1, conv2, 3, &rng));
+  net.add(std::make_unique<ReLU>());
+  if (len >= 2) {
+    net.add(std::make_unique<MaxPool1d>(2));
+    len /= 2;
+  }
+  net.add(std::make_unique<Linear>(conv2 * len, hidden, &rng));
+  net.add(std::make_unique<ReLU>());
+  if (dropout > 0.0F) {
+    net.add(std::make_unique<Dropout>(dropout, rng.next()));
+  }
+  net.add(std::make_unique<Linear>(hidden, classes, &rng));
+  return net;
+}
+
+double gradientCheck(Sequential& net, std::span<const float> x, int target,
+                     double eps) {
+  const int classes = net.outShape().size();
+  std::vector<float> probs(static_cast<size_t>(classes));
+  std::vector<float> dLogits(static_cast<size_t>(classes));
+
+  const auto loss = [&]() {
+    const auto logits = net.forward(x, /*train=*/false);
+    return SoftmaxCE::forward(logits, target, probs);
+  };
+
+  // Analytic gradients.
+  net.zeroGrad();
+  loss();
+  SoftmaxCE::backward(probs, target, dLogits);
+  net.backward(dLogits);
+
+  std::vector<double> rels;
+  for (Param* p : net.params()) {
+    // Spot-check a subset of indices for large blocks.
+    const size_t stride = std::max<size_t>(1, p->value.size() / 25);
+    for (size_t i = 0; i < p->value.size(); i += stride) {
+      const float orig = p->value[i];
+      p->value[i] = orig + static_cast<float>(eps);
+      const double lp = loss();
+      p->value[i] = orig - static_cast<float>(eps);
+      const double lm = loss();
+      p->value[i] = orig;
+      const double numeric = (lp - lm) / (2.0 * eps);
+      const double analytic = p->grad[i];
+      const double denom = std::max({std::abs(numeric), std::abs(analytic),
+                                     1e-4});
+      rels.push_back(std::abs(numeric - analytic) / denom);
+    }
+  }
+  // Report the 95th percentile: a perturbed weight can flip a ReLU sign or
+  // a max-pool argmax, making the central difference straddle a kink where
+  // the (one-sided) analytic gradient is still correct — a handful of such
+  // indices is expected; systematic backprop bugs blow up the bulk.
+  std::sort(rels.begin(), rels.end());
+  if (rels.empty()) return 0.0;
+  return rels[static_cast<size_t>(0.95 * static_cast<double>(rels.size() - 1))];
+}
+
+}  // namespace cati::nn

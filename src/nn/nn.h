@@ -1,0 +1,261 @@
+// Minimal from-scratch neural-network library: exactly what the paper's
+// per-stage classifier needs (Conv1d over the VUC sequence, ReLU, max
+// pooling, fully-connected layers, softmax cross-entropy, Adam), with
+// sample-at-a-time forward/backward, model (de)serialization and a numeric
+// gradient checker used by the test suite.
+//
+// Data layout: a sample is a [channels x length] row-major matrix; linear
+// layers treat it as a flat vector. The CATI input is [96 x 21]: embedding
+// dimensions as channels over the 21 instruction positions.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace cati::nn {
+
+struct Shape {
+  int c = 1;
+  int l = 1;
+  int size() const { return c * l; }
+  bool operator==(const Shape&) const = default;
+};
+
+/// A learnable parameter block with its gradient accumulator.
+struct Param {
+  std::vector<float> value;
+  std::vector<float> grad;
+
+  explicit Param(size_t n = 0) : value(n, 0.0F), grad(n, 0.0F) {}
+  void zeroGrad() { std::fill(grad.begin(), grad.end(), 0.0F); }
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual Shape outShape(Shape in) const = 0;
+
+  /// Called once by Sequential::add with the layer's input shape; layers
+  /// whose forward needs the shape (pooling) store it here.
+  virtual void setInShape(Shape) {}
+
+  /// Computes y from x. Layers may cache activations for backward; a
+  /// Sequential therefore processes one sample at a time.
+  virtual void forward(std::span<const float> x, std::span<float> y,
+                       bool train) = 0;
+
+  /// Accumulates parameter gradients and writes dL/dx. Must be called right
+  /// after the forward of the same sample.
+  virtual void backward(std::span<const float> dy, std::span<float> dx) = 0;
+
+  virtual std::vector<Param*> params() { return {}; }
+
+  virtual std::string kind() const = 0;
+  virtual void saveExtra(std::ostream& os) const;
+  virtual void loadExtra(std::istream& is);
+};
+
+/// 1-D convolution with `same` zero padding: [inC x L] -> [outC x L].
+class Conv1d final : public Layer {
+ public:
+  Conv1d(int inC, int outC, int kernel, Rng* initRng);
+
+  Shape outShape(Shape in) const override;
+  void forward(std::span<const float> x, std::span<float> y,
+               bool train) override;
+  void backward(std::span<const float> dy, std::span<float> dx) override;
+  std::vector<Param*> params() override { return {&w_, &b_}; }
+  std::string kind() const override { return "conv1d"; }
+  void saveExtra(std::ostream& os) const override;
+  void loadExtra(std::istream& is) override;
+
+ private:
+  int inC_;
+  int outC_;
+  int k_;
+  int len_ = 0;  // input length seen by the last forward
+  Param w_;      // [outC x inC x k]
+  Param b_;      // [outC]
+  std::vector<float> x_;  // cached input
+};
+
+class ReLU final : public Layer {
+ public:
+  Shape outShape(Shape in) const override { return in; }
+  void forward(std::span<const float> x, std::span<float> y,
+               bool train) override;
+  void backward(std::span<const float> dy, std::span<float> dx) override;
+  std::string kind() const override { return "relu"; }
+
+ private:
+  std::vector<uint8_t> mask_;
+};
+
+/// Non-overlapping max pooling along the length axis (stride == kernel);
+/// trailing remainder positions are dropped, as in common frameworks.
+class MaxPool1d final : public Layer {
+ public:
+  explicit MaxPool1d(int kernel) : k_(kernel) {}
+
+  Shape outShape(Shape in) const override { return {in.c, in.l / k_}; }
+  void setInShape(Shape in) override { in_ = in; }
+  void forward(std::span<const float> x, std::span<float> y,
+               bool train) override;
+  void backward(std::span<const float> dy, std::span<float> dx) override;
+  std::string kind() const override { return "maxpool1d"; }
+  void saveExtra(std::ostream& os) const override;
+  void loadExtra(std::istream& is) override;
+
+ private:
+  int k_;
+  Shape in_{};
+  std::vector<int32_t> argmax_;
+};
+
+/// Max over the whole length axis: [C x L] -> [C x 1].
+class GlobalMaxPool final : public Layer {
+ public:
+  Shape outShape(Shape in) const override { return {in.c, 1}; }
+  void setInShape(Shape in) override { in_ = in; }
+  void forward(std::span<const float> x, std::span<float> y,
+               bool train) override;
+  void backward(std::span<const float> dy, std::span<float> dx) override;
+  std::string kind() const override { return "globalmaxpool"; }
+
+ private:
+  Shape in_{};
+  std::vector<int32_t> argmax_;
+};
+
+class Linear final : public Layer {
+ public:
+  Linear(int in, int out, Rng* initRng);
+
+  Shape outShape(Shape in) const override;
+  void forward(std::span<const float> x, std::span<float> y,
+               bool train) override;
+  void backward(std::span<const float> dy, std::span<float> dx) override;
+  std::vector<Param*> params() override { return {&w_, &b_}; }
+  std::string kind() const override { return "linear"; }
+  void saveExtra(std::ostream& os) const override;
+  void loadExtra(std::istream& is) override;
+
+ private:
+  int in_;
+  int out_;
+  Param w_;  // [out x in]
+  Param b_;  // [out]
+  std::vector<float> x_;
+};
+
+/// Inverted dropout; identity at inference.
+class Dropout final : public Layer {
+ public:
+  Dropout(float p, uint64_t seed) : p_(p), rng_(seed) {}
+
+  Shape outShape(Shape in) const override { return in; }
+  void forward(std::span<const float> x, std::span<float> y,
+               bool train) override;
+  void backward(std::span<const float> dy, std::span<float> dx) override;
+  std::string kind() const override { return "dropout"; }
+  void saveExtra(std::ostream& os) const override;
+  void loadExtra(std::istream& is) override;
+
+ private:
+  float p_;
+  Rng rng_;
+  std::vector<float> scale_;
+};
+
+/// An owning layer pipeline with fixed input shape.
+class Sequential {
+ public:
+  explicit Sequential(Shape inShape) : inShape_(inShape) {}
+
+  Sequential(Sequential&&) = default;
+  Sequential& operator=(Sequential&&) = default;
+
+  void add(std::unique_ptr<Layer> layer);
+
+  Shape inShape() const { return inShape_; }
+  Shape outShape() const;
+
+  /// Runs all layers; returns the final activation.
+  std::span<const float> forward(std::span<const float> x, bool train);
+
+  /// Backward from dL/d(output); parameter grads accumulate.
+  void backward(std::span<const float> dOut);
+
+  std::vector<Param*> params();
+  void zeroGrad();
+
+  size_t numLayers() const { return layers_.size(); }
+  Layer& layer(size_t i) { return *layers_[i]; }
+
+  void save(std::ostream& os) const;
+  static Sequential load(std::istream& is);
+
+ private:
+  Shape inShape_;
+  std::vector<std::unique_ptr<Layer>> layers_;
+  std::vector<Shape> shapes_;               // per-layer output shapes
+  std::vector<std::vector<float>> acts_;    // per-layer activations
+  std::vector<float> input_;                // cached input for backward
+};
+
+/// Softmax + cross-entropy head. probs/logits have length C.
+struct SoftmaxCE {
+  /// Fills `probs` with softmax(logits); returns -log probs[target]
+  /// (target < 0 skips the loss and returns 0 — inference mode).
+  static float forward(std::span<const float> logits, int target,
+                       std::span<float> probs);
+  /// dL/dlogits = probs - onehot(target).
+  static void backward(std::span<const float> probs, int target,
+                       std::span<float> dLogits);
+};
+
+class Adam {
+ public:
+  struct Config {
+    float lr = 1e-3F;
+    float beta1 = 0.9F;
+    float beta2 = 0.999F;
+    float eps = 1e-8F;
+  };
+
+  explicit Adam(std::vector<Param*> params) : Adam(std::move(params), Config{}) {}
+  Adam(std::vector<Param*> params, Config cfg);
+
+  /// Applies one update from the accumulated grads (scaled by 1/batchSize)
+  /// and zeroes them.
+  void step(float gradScale = 1.0F);
+
+ private:
+  Config cfg_;
+  std::vector<Param*> params_;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+  int64_t t_ = 0;
+};
+
+/// Builds the paper's per-stage architecture: Conv(3,c1)-ReLU-MaxPool(2)-
+/// Conv(3,c2)-ReLU-GlobalMaxPool-FC(hidden)-ReLU-[Dropout]-FC(classes).
+Sequential makeCnn(Shape in, int conv1, int conv2, int hidden, int classes,
+                   float dropout, Rng& rng);
+
+/// Central-difference gradient check of a sequential + softmax head on one
+/// sample; returns the 95th-percentile relative error over sampled
+/// parameters (the extreme tail is dominated by ReLU / max-pool kink
+/// crossings, not backprop errors).
+double gradientCheck(Sequential& net, std::span<const float> x, int target,
+                     double eps = 1e-3);
+
+}  // namespace cati::nn

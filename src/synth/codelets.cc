@@ -1,0 +1,884 @@
+// Per-type codelet emitters. Each codelet is a short, locally-consistent
+// instruction burst of the kind GCC/Clang emit for one use of a variable.
+// The catalogue deliberately overlaps across types on the *target
+// instruction* (the generalized `movl $IMM,off(%rsp)` is emitted for int,
+// unsigned int, enum and struct members alike) while differing in the
+// *surrounding* instructions — reproducing the paper's uncertain samples and
+// the same-type clustering phenomenon that CATI exploits.
+#include <cassert>
+
+#include "synth/emitter.h"
+
+namespace cati::synth::detail {
+
+using asmx::Instruction;
+using asmx::Operand;
+using asmx::Reg;
+using asmx::Width;
+
+asmx::Width widthOf(TypeLabel label) {
+  switch (label) {
+    case TypeLabel::Bool:
+    case TypeLabel::Char:
+    case TypeLabel::UChar:
+      return Width::B1;
+    case TypeLabel::ShortInt:
+    case TypeLabel::UShortInt:
+      return Width::B2;
+    case TypeLabel::Int:
+    case TypeLabel::UInt:
+    case TypeLabel::Enum:
+    case TypeLabel::Float:
+      return Width::B4;
+    case TypeLabel::LongDouble:
+      return Width::B10;
+    default:
+      return Width::B8;
+  }
+}
+
+std::string suffixed(const char* stem, Width w) {
+  std::string s = stem;
+  switch (w) {
+    case Width::B1:
+      return s + "b";
+    case Width::B2:
+      return s + "w";
+    case Width::B4:
+      return s + "l";
+    case Width::B8:
+      return s + "q";
+    default:
+      return s;
+  }
+}
+
+void Emitter::ins(Instruction i, int32_t var) {
+  for (const Operand& op : i.ops) {
+    if (op.kind == Operand::Kind::Reg) cur_.regs.insert(op.reg.reg);
+    if (op.kind == Operand::Kind::Mem) {
+      if (op.mem.base.reg != Reg::None) cur_.regs.insert(op.mem.base.reg);
+      if (op.mem.index.reg != Reg::None) cur_.regs.insert(op.mem.index.reg);
+    }
+  }
+  cur_.insns.push_back(std::move(i));
+  cur_.varOfInsn.push_back(var);
+}
+
+Operand Emitter::slot(int32_t varId, int64_t memberOff) const {
+  const Variable& v = fn_.vars[static_cast<size_t>(varId)];
+  asmx::MemRef m;
+  m.base = {fn_.rbpFrame ? Reg::Rbp : Reg::Rsp, Width::B8};
+  m.disp = v.frameOffset + memberOff;
+  return Operand::m(m);
+}
+
+int64_t Emitter::imm() {
+  const double r = rng_.uniform();
+  if (r < 0.4) return rng_.uniformInt(0, 8);
+  if (r < 0.7) return rng_.uniformInt(9, 255);
+  if (r < 0.9) return rng_.uniformInt(256, 65535);
+  return rng_.uniformInt(65536, 1 << 26);
+}
+
+asmx::Reg Emitter::gp() {
+  // Dialect-specific scratch preference order; a skewed random pick keeps
+  // the head of the list most frequent, as real allocators do.
+  static constexpr Reg kGccOrder[] = {Reg::Rax, Reg::Rdx, Reg::Rcx, Reg::Rsi,
+                                      Reg::Rdi, Reg::R8,  Reg::R9,  Reg::R10};
+  static constexpr Reg kClangOrder[] = {Reg::Rax, Reg::Rcx, Reg::Rdx,
+                                        Reg::Rsi, Reg::Rdi, Reg::R8,
+                                        Reg::R9,  Reg::R11};
+  const Reg* order = dialect_ == Dialect::Gcc ? kGccOrder : kClangOrder;
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const auto idx = static_cast<size_t>(
+        std::min<int64_t>(rng_.uniformInt(0, 7), rng_.uniformInt(0, 7)));
+    if (!cur_.regs.contains(order[idx])) return order[idx];
+  }
+  return order[rng_.uniformInt(0, 7)];
+}
+
+asmx::Reg Emitter::xmm() {
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const auto r = static_cast<Reg>(static_cast<int>(Reg::Xmm0) +
+                                    rng_.uniformInt(0, 5));
+    if (!cur_.regs.contains(r)) return r;
+  }
+  return Reg::Xmm7;
+}
+
+void Emitter::zero(Reg r, Width w) {
+  if (dialect_ == Dialect::Gcc) {
+    ins({"mov", Operand::i(0), Operand::r(r, Width::B4)});
+  } else {
+    ins({"xor", Operand::r(r, w), Operand::r(r, w)});
+  }
+}
+
+namespace {
+
+// Loads a variable's slot into a fresh GP register at its natural width;
+// returns the register. Tags the load with the variable.
+Reg loadGp(Emitter& em, int32_t v, Width w) {
+  const Reg r = em.gp();
+  em.ins({"mov", em.slot(v), Operand::r(r, w)}, v);
+  return r;
+}
+
+void storeGp(Emitter& em, int32_t v, Reg r, Width w) {
+  em.ins({"mov", Operand::r(r, w), em.slot(v)}, v);
+}
+
+// ---------------------------------------------------------------------------
+// Integer family
+// ---------------------------------------------------------------------------
+
+void intCodelet(Emitter& em, int32_t v, int useIdx, int32_t helper) {
+  auto& rng = em.rng();
+  if (useIdx == 0 && rng.chance(0.7)) {
+    // Initialization: identical to enum/uint/struct-member stores.
+    em.ins({"movl", Operand::i(em.imm()), em.slot(v)}, v);
+    return;
+  }
+  switch (rng.uniformInt(0, 5)) {
+    case 0: {  // load-compute-store
+      const Reg r = loadGp(em, v, Width::B4);
+      em.ins({em.pick({"add", "sub", "imul"}), Operand::i(em.imm()),
+              Operand::r(r, Width::B4)});
+      storeGp(em, v, r, Width::B4);
+      break;
+    }
+    case 1: {  // signed compare + branch (jg/jl/jle: signed cc is the signal)
+      em.ins({"cmpl", Operand::i(em.imm()), em.slot(v)}, v);
+      em.jcc(em.pick({"g", "le", "l", "ge", "e"}).c_str());
+      break;
+    }
+    case 2:  // in-place increment/decrement
+      em.ins({em.pick({"addl", "subl"}), Operand::i(1), em.slot(v)}, v);
+      break;
+    case 3: {  // sign-extend to 64-bit (array index / promotion)
+      const Reg r = em.gp();
+      em.ins({"movslq", em.slot(v), Operand::r(r, Width::B8)}, v);
+      em.ins({"add", Operand::i(em.imm()), Operand::r(r, Width::B8)});
+      break;
+    }
+    case 4: {  // var-op-var with another int-like variable (clustering)
+      const Reg r = loadGp(em, v, Width::B4);
+      if (helper >= 0) {
+        em.ins({"add", em.slot(helper), Operand::r(r, Width::B4)}, helper);
+      } else {
+        em.ins({"add", Operand::i(em.imm()), Operand::r(r, Width::B4)});
+      }
+      storeGp(em, v, r, Width::B4);
+      break;
+    }
+    default: {  // call argument / return value
+      if (rng.chance(0.5)) {
+        em.ins({"mov", em.slot(v), Operand::r(Reg::Rsi, Width::B4)}, v);
+        em.call("helper");
+      } else {
+        em.call("helper");
+        em.ins({"mov", Operand::r(Reg::Rax, Width::B4), em.slot(v)}, v);
+      }
+      break;
+    }
+  }
+}
+
+void uintCodelet(Emitter& em, int32_t v, int useIdx, int32_t) {
+  auto& rng = em.rng();
+  if (useIdx == 0 && rng.chance(0.7)) {
+    em.ins({"movl", Operand::i(em.imm()), em.slot(v)}, v);
+    return;
+  }
+  switch (rng.uniformInt(0, 4)) {
+    case 0: {  // shifts/masks: the unsigned fingerprint
+      const Reg r = loadGp(em, v, Width::B4);
+      const std::string op = em.pick({"shr", "and", "or", "xor"});
+      const int64_t imm = op == "shr" ? rng.uniformInt(1, 31) : em.imm();
+      em.ins({op, Operand::i(imm), Operand::r(r, Width::B4)});
+      storeGp(em, v, r, Width::B4);
+      break;
+    }
+    case 1: {  // unsigned compare: ja/jb/jae instead of jg/jl
+      em.ins({"cmpl", Operand::i(em.imm()), em.slot(v)}, v);
+      em.jcc(em.pick({"a", "b", "ae", "be", "e"}).c_str());
+      break;
+    }
+    case 2: {  // zero-extend to 64-bit
+      const Reg r = em.gp();
+      em.ins({"mov", em.slot(v), Operand::r(r, Width::B4)}, v);
+      // 32->64 zero extension is implicit; typical follow-up is scaled use.
+      asmx::MemRef m;
+      m.base = {em.gp(), Width::B8};
+      m.index = {r, Width::B8};
+      m.scale = 4;
+      const Reg d = em.gp();
+      em.ins({"lea", Operand::m(m), Operand::r(d, Width::B8)});
+      break;
+    }
+    case 3: {  // unsigned division idiom
+      em.ins({"mov", em.slot(v), Operand::r(Reg::Rax, Width::B4)}, v);
+      em.zero(Reg::Rdx);
+      const Reg d = em.gp();
+      em.ins({"mov", Operand::i(em.imm()), Operand::r(d, Width::B4)});
+      em.ins({"div", Operand::r(d, Width::B4)});
+      break;
+    }
+    default:
+      em.ins({"addl", Operand::i(1), em.slot(v)}, v);
+      break;
+  }
+}
+
+void enumCodelet(Emitter& em, int32_t v, int useIdx, int32_t) {
+  auto& rng = em.rng();
+  const auto small = [&rng] { return rng.uniformInt(0, 7); };
+  if (useIdx == 0 && rng.chance(0.8)) {
+    // Identical generalized form to the int/uint init — uncertain sample.
+    em.ins({"movl", Operand::i(small()), em.slot(v)}, v);
+    return;
+  }
+  switch (rng.uniformInt(0, 2)) {
+    case 0: {  // switch dispatch: chain of compare-with-small-constant
+      const int arms = static_cast<int>(rng.uniformInt(2, 4));
+      for (int i = 0; i < arms; ++i) {
+        em.ins({"cmpl", Operand::i(small()), em.slot(v)}, v);
+        em.jcc("e");
+      }
+      break;
+    }
+    case 1: {  // bounded jump-table guard
+      const Reg r = loadGp(em, v, Width::B4);
+      em.ins({"cmp", Operand::i(small()), Operand::r(r, Width::B4)});
+      em.jcc("a");
+      break;
+    }
+    default:
+      em.ins({"movl", Operand::i(small()), em.slot(v)}, v);
+      break;
+  }
+}
+
+void longCodelet(Emitter& em, int32_t v, int useIdx, int32_t helper,
+                 bool isUnsigned) {
+  auto& rng = em.rng();
+  if (useIdx == 0 && rng.chance(0.6)) {
+    em.ins({"movq", Operand::i(em.imm()), em.slot(v)}, v);
+    return;
+  }
+  switch (rng.uniformInt(0, 4)) {
+    case 0: {
+      const Reg r = loadGp(em, v, Width::B8);
+      if (isUnsigned) {
+        const std::string op = em.pick({"shr", "and"});
+        const int64_t imm = op == "shr" ? rng.uniformInt(1, 63) : em.imm();
+        em.ins({op, Operand::i(imm), Operand::r(r, Width::B8)});
+      } else {
+        em.ins({em.pick({"add", "sub", "imul"}), Operand::i(em.imm()),
+                Operand::r(r, Width::B8)});
+      }
+      storeGp(em, v, r, Width::B8);
+      break;
+    }
+    case 1: {
+      em.ins({"cmpq", Operand::i(em.imm()), em.slot(v)}, v);
+      em.jcc(isUnsigned ? em.pick({"a", "b", "e"}).c_str()
+                        : em.pick({"g", "l", "e"}).c_str());
+      break;
+    }
+    case 2: {  // size_t-style memcpy length argument (common for unsigned)
+      em.ins({"mov", em.slot(v), Operand::r(Reg::Rdx, Width::B8)}, v);
+      em.call(em.pick({"memcpy", "memset", "memmove"}));
+      break;
+    }
+    case 3: {
+      em.ins({"addq", Operand::i(1), em.slot(v)}, v);
+      break;
+    }
+    default: {
+      const Reg r = loadGp(em, v, Width::B8);
+      if (helper >= 0) {
+        em.ins({"add", em.slot(helper), Operand::r(r, Width::B8)}, helper);
+      }
+      storeGp(em, v, r, Width::B8);
+      break;
+    }
+  }
+}
+
+void shortCodelet(Emitter& em, int32_t v, int useIdx, bool isUnsigned) {
+  auto& rng = em.rng();
+  if (useIdx == 0 && rng.chance(0.7)) {
+    em.ins({"movw", Operand::i(em.imm() & 0x7fff), em.slot(v)}, v);
+    return;
+  }
+  switch (rng.uniformInt(0, 2)) {
+    case 0: {  // widening load: movswl vs movzwl is the signedness signal
+      const Reg r = em.gp();
+      em.ins({isUnsigned ? "movzwl" : "movswl", em.slot(v),
+              Operand::r(r, Width::B4)},
+             v);
+      em.ins({"add", Operand::i(em.imm()), Operand::r(r, Width::B4)});
+      break;
+    }
+    case 1: {
+      const Reg r = em.gp();
+      em.ins({"mov", em.slot(v), Operand::r(r, Width::B2)}, v);
+      em.ins({"mov", Operand::r(r, Width::B2), em.slot(v)}, v);
+      break;
+    }
+    default:
+      em.ins({"cmpw", Operand::i(em.imm() & 0x7fff), em.slot(v)}, v);
+      em.jcc(isUnsigned ? "a" : "g");
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Char / bool
+// ---------------------------------------------------------------------------
+
+void charCodelet(Emitter& em, int32_t v, int useIdx, bool isUnsigned) {
+  auto& rng = em.rng();
+  if (useIdx == 0 && rng.chance(0.6)) {
+    // Printable-character or NUL initialization — shared with bool/struct.
+    const int64_t c = rng.chance(0.3) ? 0 : rng.uniformInt(0x20, 0x7e);
+    em.ins({"movb", Operand::i(c), em.slot(v)}, v);
+    return;
+  }
+  switch (rng.uniformInt(0, 3)) {
+    case 0: {  // widening load; 15% cross-noise mirrors real compilers that
+               // zero-extend plain char on some paths (stage 3-1 confusable)
+      const bool z = isUnsigned ? !rng.chance(0.15) : rng.chance(0.15);
+      const Reg r = em.gp();
+      em.ins({z ? "movzbl" : "movsbl", em.slot(v), Operand::r(r, Width::B4)},
+             v);
+      em.ins({em.pick({"add", "sub", "and"}), Operand::i(em.imm() & 0xff),
+              Operand::r(r, Width::B4)});
+      break;
+    }
+    case 1: {  // compare against a character constant
+      em.ins({"cmpb", Operand::i(rng.uniformInt(0x20, 0x7e)), em.slot(v)}, v);
+      em.jcc(isUnsigned ? em.pick({"a", "e", "ne"}).c_str()
+                        : em.pick({"g", "e", "ne"}).c_str());
+      break;
+    }
+    case 2: {  // store from the low byte of a register
+      const Reg r = em.gp();
+      em.ins({"mov", Operand::r(r, Width::B1), em.slot(v)}, v);
+      break;
+    }
+    default: {  // unsigned-char mask idiom
+      const Reg r = em.gp();
+      em.ins({isUnsigned ? "movzbl" : "movsbl", em.slot(v),
+              Operand::r(r, Width::B4)},
+             v);
+      if (isUnsigned) {
+        em.ins({"and", Operand::i(0xf), Operand::r(r, Width::B4)});
+      }
+      break;
+    }
+  }
+}
+
+void boolCodelet(Emitter& em, int32_t v, int useIdx, int32_t) {
+  auto& rng = em.rng();
+  if (useIdx == 0 && rng.chance(0.6)) {
+    em.ins({"movb", Operand::i(rng.uniformInt(0, 1)), em.slot(v)}, v);
+    return;
+  }
+  switch (rng.uniformInt(0, 3)) {
+    case 0: {  // flag store from a comparison: the bool fingerprint
+      const Reg a = em.gp();
+      const Reg b = em.gp();
+      em.ins({"cmp", Operand::r(a, Width::B4), Operand::r(b, Width::B4)});
+      em.ins({em.pick({"sete", "setne", "setg", "setb"}),
+              Operand::r(Reg::Rax, Width::B1)});
+      em.ins({"mov", Operand::r(Reg::Rax, Width::B1), em.slot(v)}, v);
+      break;
+    }
+    case 1: {  // truth test + branch
+      em.ins({"cmpb", Operand::i(0), em.slot(v)}, v);
+      em.jcc(em.pick({"e", "ne"}).c_str());
+      break;
+    }
+    case 2: {  // load + testl
+      const Reg r = em.gp();
+      em.ins({"movzbl", em.slot(v), Operand::r(r, Width::B4)}, v);
+      em.ins({"test", Operand::r(r, Width::B4), Operand::r(r, Width::B4)});
+      em.jcc("e");
+      break;
+    }
+    default:  // toggle
+      em.ins({"xorb", Operand::i(1), em.slot(v)}, v);
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Float family
+// ---------------------------------------------------------------------------
+
+void sseCodelet(Emitter& em, int32_t v, int useIdx, bool isDouble) {
+  auto& rng = em.rng();
+  const char* mov = isDouble ? "movsd" : "movss";
+  const auto arith = [&] {
+    return isDouble ? em.pick({"addsd", "mulsd", "subsd", "divsd"})
+                    : em.pick({"addss", "mulss", "subss", "divss"});
+  };
+  if (useIdx == 0 && rng.chance(0.6)) {
+    // Constant-pool load (rip-relative), then spill to the slot.
+    const Reg x = em.xmm();
+    asmx::MemRef cp;
+    cp.base = {Reg::Rip, Width::B8};
+    cp.disp = rng.uniformInt(0x100, 0xffff);
+    em.ins({mov, Operand::m(cp), Operand::r(x, Width::B16)});
+    em.ins({mov, Operand::r(x, Width::B16), em.slot(v)}, v);
+    return;
+  }
+  switch (rng.uniformInt(0, 3)) {
+    case 0: {  // load-compute-store in xmm
+      const Reg x = em.xmm();
+      const Reg y = em.xmm();
+      em.ins({mov, em.slot(v), Operand::r(x, Width::B16)}, v);
+      em.ins({arith(), Operand::r(y, Width::B16), Operand::r(x, Width::B16)});
+      em.ins({mov, Operand::r(x, Width::B16), em.slot(v)}, v);
+      break;
+    }
+    case 1: {  // float compare
+      const Reg x = em.xmm();
+      em.ins({isDouble ? "ucomisd" : "ucomiss", em.slot(v),
+              Operand::r(x, Width::B16)},
+             v);
+      em.jcc(em.pick({"a", "be", "p"}).c_str());
+      break;
+    }
+    case 2: {  // conversion (promotion for varargs / mixed arithmetic)
+      const Reg x = em.xmm();
+      em.ins({mov, em.slot(v), Operand::r(x, Width::B16)}, v);
+      em.ins({isDouble ? "cvtsd2ss" : "cvtss2sd", Operand::r(x, Width::B16),
+              Operand::r(x, Width::B16)});
+      if (rng.chance(0.5)) em.call(em.pick({"printf", "log", "exp", "sqrt"}));
+      break;
+    }
+    default: {  // call returning a float in xmm0
+      em.call(em.pick({"atof", "strtod", "sin", "cos"}));
+      em.ins({mov, Operand::r(Reg::Xmm0, Width::B16), em.slot(v)}, v);
+      break;
+    }
+  }
+}
+
+void longDoubleCodelet(Emitter& em, int32_t v, int useIdx, int32_t) {
+  auto& rng = em.rng();
+  if (useIdx == 0 && rng.chance(0.5)) {
+    em.ins({"fldt", em.slot(v)}, v);
+    em.ins({"fstpt", em.slot(v)}, v);
+    return;
+  }
+  switch (rng.uniformInt(0, 2)) {
+    case 0: {  // x87 load-op-store
+      em.ins({"fldt", em.slot(v)}, v);
+      em.ins({em.pick({"fmulp", "faddp", "fsubp"}),
+              Operand::r(Reg::St0, Width::B10),
+              Operand::r(Reg::St1, Width::B10)});
+      em.ins({"fstpt", em.slot(v)}, v);
+      break;
+    }
+    case 1: {
+      em.ins({"fldt", em.slot(v)}, v);
+      em.ins({"fucomip", Operand::r(Reg::St1, Width::B10),
+              Operand::r(Reg::St0, Width::B10)});
+      em.jcc("a");
+      break;
+    }
+    default:
+      em.ins({"fldt", em.slot(v)}, v);
+      em.ins(Instruction("fchs"));
+      em.ins({"fstpt", em.slot(v)}, v);
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregates & pointers
+// ---------------------------------------------------------------------------
+
+// Width/mnemonic for a struct member slot chosen pseudo-randomly but
+// consistently small-typed — struct bodies mix movl/movb/movq stores.
+void structMemberStore(Emitter& em, int32_t v, int64_t off) {
+  switch (em.rng().uniformInt(0, 3)) {
+    case 0:
+      em.ins({"movl", Operand::i(em.imm()), em.slot(v, off)}, v);
+      break;
+    case 1:
+      em.ins({"movb", Operand::i(em.rng().uniformInt(0, 1)), em.slot(v, off)},
+             v);
+      break;
+    case 2:
+      em.ins({"movq", Operand::i(0), em.slot(v, off)}, v);
+      break;
+    default: {
+      const Reg r = em.gp();
+      em.ins({"mov", Operand::r(r, Width::B8), em.slot(v, off)}, v);
+      break;
+    }
+  }
+}
+
+void structCodelet(Emitter& em, int32_t v, int useIdx, int32_t helper) {
+  auto& rng = em.rng();
+  const auto& var = em.fn().vars[static_cast<size_t>(v)];
+  const auto memberOff = [&]() {
+    const int64_t maxOff =
+        std::max<int64_t>(8, static_cast<int64_t>(var.byteSize) - 8);
+    return (rng.uniformInt(0, maxOff / 8)) * 8;
+  };
+  if (useIdx == 0 && rng.chance(0.7)) {
+    // Member-wise initialization: a run of same-variable stores at adjacent
+    // offsets — the strongest clustering driver (paper Fig. 2).
+    const int n = static_cast<int>(rng.uniformInt(2, 5));
+    int64_t off = 0;
+    for (int i = 0; i < n; ++i) {
+      structMemberStore(em, v, off);
+      off += rng.uniformInt(1, 2) * 8;
+    }
+    return;
+  }
+  switch (rng.uniformInt(0, 4)) {
+    case 0: {  // take address, pass to a callee
+      const Reg r = em.gp();
+      em.ins({"lea", em.slot(v), Operand::r(r, Width::B8)}, v);
+      em.ins({"mov", Operand::r(r, Width::B8), Operand::r(Reg::Rdi, Width::B8)});
+      em.call(em.pick({"init", "process", "push", "emit"}));
+      break;
+    }
+    case 1: {  // member read-modify-write
+      const int64_t off = memberOff();
+      const Reg r = em.gp();
+      em.ins({"mov", em.slot(v, off), Operand::r(r, Width::B4)}, v);
+      em.ins({"add", Operand::i(1), Operand::r(r, Width::B4)});
+      em.ins({"mov", Operand::r(r, Width::B4), em.slot(v, off)}, v);
+      break;
+    }
+    case 2: {  // memcpy from another struct (tags both — clustering)
+      em.ins({"lea", em.slot(v), Operand::r(Reg::Rdi, Width::B8)}, v);
+      if (helper >= 0 &&
+          em.fn().vars[static_cast<size_t>(helper)].label ==
+              TypeLabel::Struct) {
+        em.ins({"lea", em.slot(helper), Operand::r(Reg::Rsi, Width::B8)},
+               helper);
+      } else {
+        em.ins({"mov", Operand::r(em.gp(), Width::B8),
+                Operand::r(Reg::Rsi, Width::B8)});
+      }
+      em.ins({"mov", Operand::i(static_cast<int64_t>(var.byteSize)),
+              Operand::r(Reg::Rdx, Width::B4)});
+      em.call("memcpy");
+      break;
+    }
+    case 3: {  // memset-to-zero
+      em.ins({"lea", em.slot(v), Operand::r(Reg::Rdi, Width::B8)}, v);
+      em.zero(Reg::Rsi);
+      em.ins({"mov", Operand::i(static_cast<int64_t>(var.byteSize)),
+              Operand::r(Reg::Rdx, Width::B4)});
+      em.call("memset");
+      break;
+    }
+    default:
+      structMemberStore(em, v, memberOff());
+      break;
+  }
+}
+
+// Behaviour every pointer kind shares — NULL checks, argument passing,
+// pointer copies, spill/reload. Real code spends most pointer instructions
+// here, which is exactly why the paper's Stage 2-1 is its weakest stage
+// ("the behavior of pointer variables is too uncertain to capture").
+void genericPtrCodelet(Emitter& em, int32_t v, int32_t helper) {
+  auto& rng = em.rng();
+  switch (rng.uniformInt(0, 3)) {
+    case 0: {  // NULL check
+      em.ins({"cmpq", Operand::i(0), em.slot(v)}, v);
+      em.jcc(em.pick({"e", "ne"}).c_str());
+      break;
+    }
+    case 1: {  // argument passing
+      em.ins({"mov", em.slot(v),
+              Operand::r(rng.chance(0.5) ? Reg::Rdi : Reg::Rsi, Width::B8)},
+             v);
+      em.call(em.pick({"process", "handle", "check", "free", "visit"}));
+      break;
+    }
+    case 2: {  // pointer copy
+      const Reg r = loadGp(em, v, Width::B8);
+      if (helper >= 0 &&
+          isPointer(em.fn().vars[static_cast<size_t>(helper)].label)) {
+        em.ins({"mov", Operand::r(r, Width::B8), em.slot(helper)}, helper);
+      } else {
+        em.ins({"mov", Operand::r(r, Width::B8),
+                Operand::r(em.gp(), Width::B8)});
+      }
+      break;
+    }
+    default: {  // spill/reload around a call
+      em.ins({"mov", em.slot(v), Operand::r(Reg::Rdi, Width::B8)}, v);
+      em.call("helper");
+      em.ins({"mov", Operand::r(Reg::Rax, Width::B8), em.slot(v)}, v);
+      break;
+    }
+  }
+}
+
+void structPtrCodelet(Emitter& em, int32_t v, int useIdx, int32_t helper) {
+  auto& rng = em.rng();
+  const int64_t structSize = 8 * rng.uniformInt(1, 8);
+  if (useIdx == 0) {
+    if (helper >= 0 &&
+        em.fn().vars[static_cast<size_t>(helper)].label == TypeLabel::Struct &&
+        rng.chance(0.6)) {
+      // p = &local_struct (tags the struct too).
+      const Reg r = em.gp();
+      em.ins({"lea", em.slot(helper), Operand::r(r, Width::B8)}, helper);
+      em.ins({"mov", Operand::r(r, Width::B8), em.slot(v)}, v);
+    } else if (rng.chance(0.5)) {
+      // p = malloc(sizeof *p)
+      em.ins({"mov", Operand::i(structSize), Operand::r(Reg::Rdi, Width::B4)});
+      em.call(em.pick({"malloc", "calloc", "xmalloc"}));
+      em.ins({"mov", Operand::r(Reg::Rax, Width::B8), em.slot(v)}, v);
+    } else {
+      em.ins({"movq", Operand::i(0), em.slot(v)}, v);  // p = NULL
+    }
+    return;
+  }
+  // Most pointer uses are kind-agnostic (the paper's Stage 2-1 uncertainty).
+  if (rng.chance(0.45)) {
+    genericPtrCodelet(em, v, helper);
+    return;
+  }
+  switch (rng.uniformInt(0, 2)) {
+    case 0: {  // member read; disp 0 = first member, overlapping arith* deref
+      const Reg p = loadGp(em, v, Width::B8);
+      const Reg d = em.gp();
+      asmx::MemRef m;
+      m.base = {p, Width::B8};
+      m.disp = 8 * rng.uniformInt(0, 6);
+      em.ins({"mov", Operand::m(m), Operand::r(d, Width::B4)});
+      break;
+    }
+    case 1: {  // member write through the pointer
+      const Reg p = loadGp(em, v, Width::B8);
+      asmx::MemRef m;
+      m.base = {p, Width::B8};
+      m.disp = 8 * rng.uniformInt(0, 6);
+      em.ins({"movl", Operand::i(em.imm()), Operand::m(m)});
+      break;
+    }
+    default:  // advance by element size (8..64: overlaps arith* at 8)
+      em.ins({"addq", Operand::i(structSize), em.slot(v)}, v);
+      break;
+  }
+}
+
+void voidPtrCodelet(Emitter& em, int32_t v, int useIdx, int32_t helper) {
+  auto& rng = em.rng();
+  if (useIdx == 0) {
+    if (rng.chance(0.6)) {
+      em.ins({"mov", Operand::r(em.gp(), Width::B8),
+              Operand::r(Reg::Rdi, Width::B8)});
+      em.call(em.pick({"malloc", "realloc"}));
+      em.ins({"mov", Operand::r(Reg::Rax, Width::B8), em.slot(v)}, v);
+    } else {
+      em.ins({"movq", Operand::i(0), em.slot(v)}, v);
+    }
+    return;
+  }
+  // void* is opaque: it is copied, compared and passed — never dereferenced
+  // and never advanced by a typed stride. Its only distinguishing feature is
+  // the *absence* of typed behaviour, hence the generic codelet dominates.
+  if (rng.chance(0.7)) {
+    genericPtrCodelet(em, v, helper);
+    return;
+  }
+  // memcpy/memset destination: the one void*-flavoured idiom.
+  em.ins({"mov", em.slot(v), Operand::r(Reg::Rdi, Width::B8)}, v);
+  em.ins({"mov", Operand::r(em.gp(), Width::B8),
+          Operand::r(Reg::Rsi, Width::B8)});
+  em.ins({"mov", Operand::i(em.imm()), Operand::r(Reg::Rdx, Width::B4)});
+  em.call(em.pick({"memcpy", "memset", "memmove"}));
+}
+
+void arithPtrCodelet(Emitter& em, int32_t v, int useIdx, int32_t helper) {
+  auto& rng = em.rng();
+  const int64_t stride = rng.chance(0.6) ? 4 : 8;
+  if (useIdx == 0) {
+    if (helper >= 0 && !isPointer(em.fn()
+                                      .vars[static_cast<size_t>(helper)]
+                                      .label) &&
+        rng.chance(0.6)) {
+      // p = &scalar_local (tags the scalar too).
+      const Reg r = em.gp();
+      em.ins({"lea", em.slot(helper), Operand::r(r, Width::B8)}, helper);
+      em.ins({"mov", Operand::r(r, Width::B8), em.slot(v)}, v);
+    } else {
+      em.ins({"mov", Operand::i(stride * rng.uniformInt(4, 64)),
+              Operand::r(Reg::Rdi, Width::B4)});
+      em.call("malloc");
+      em.ins({"mov", Operand::r(Reg::Rax, Width::B8), em.slot(v)}, v);
+    }
+    return;
+  }
+  if (rng.chance(0.3)) {
+    genericPtrCodelet(em, v, helper);
+    return;
+  }
+  switch (rng.uniformInt(0, 3)) {
+    case 0: {  // dereference *p (small disp overlaps struct* first members)
+      const Reg p = loadGp(em, v, Width::B8);
+      const Reg d = em.gp();
+      asmx::MemRef m;
+      m.base = {p, Width::B8};
+      if (rng.chance(0.3)) m.disp = stride * rng.uniformInt(1, 3);
+      em.ins({"mov", Operand::m(m),
+              Operand::r(d, stride == 4 ? Width::B4 : Width::B8)});
+      break;
+    }
+    case 1: {  // *p = imm
+      const Reg p = loadGp(em, v, Width::B8);
+      asmx::MemRef m;
+      m.base = {p, Width::B8};
+      em.ins({stride == 4 ? "movl" : "movq", Operand::i(em.imm()),
+              Operand::m(m)});
+      break;
+    }
+    case 2: {  // scaled element access p[i]: the element-width signal
+      const Reg p = loadGp(em, v, Width::B8);
+      const Reg i = em.gp();
+      const Reg d = em.gp();
+      asmx::MemRef m;
+      m.base = {p, Width::B8};
+      m.index = {i, Width::B8};
+      m.scale = static_cast<uint8_t>(stride);
+      em.ins({"mov", Operand::m(m),
+              Operand::r(d, stride == 4 ? Width::B4 : Width::B8)});
+      break;
+    }
+    default:  // p += 1 (small typed stride; 8 overlaps small struct*)
+      em.ins({"addq", Operand::i(stride), em.slot(v)}, v);
+      break;
+  }
+}
+
+}  // namespace
+
+CodeletStream makeCodelet(Emitter& em, int32_t varId, int useIdx,
+                          int32_t helperVar) {
+  em.begin();
+  const TypeLabel label = em.fn().vars[static_cast<size_t>(varId)].label;
+  switch (label) {
+    case TypeLabel::Int:
+      intCodelet(em, varId, useIdx, helperVar);
+      break;
+    case TypeLabel::UInt:
+      uintCodelet(em, varId, useIdx, helperVar);
+      break;
+    case TypeLabel::Enum:
+      enumCodelet(em, varId, useIdx, helperVar);
+      break;
+    // `long` and `long long` are both 8 bytes on x86-64, so the generator
+    // emits *identical* idioms for them — exactly why the paper measures
+    // 0.00 recall for long long (Table V).
+    case TypeLabel::LongInt:
+    case TypeLabel::LongLongInt:
+      longCodelet(em, varId, useIdx, helperVar, /*isUnsigned=*/false);
+      break;
+    case TypeLabel::ULongInt:
+    case TypeLabel::ULongLongInt:
+      longCodelet(em, varId, useIdx, helperVar, /*isUnsigned=*/true);
+      break;
+    case TypeLabel::ShortInt:
+      shortCodelet(em, varId, useIdx, /*isUnsigned=*/false);
+      break;
+    case TypeLabel::UShortInt:
+      shortCodelet(em, varId, useIdx, /*isUnsigned=*/true);
+      break;
+    case TypeLabel::Char:
+      charCodelet(em, varId, useIdx, /*isUnsigned=*/false);
+      break;
+    case TypeLabel::UChar:
+      charCodelet(em, varId, useIdx, /*isUnsigned=*/true);
+      break;
+    case TypeLabel::Bool:
+      boolCodelet(em, varId, useIdx, helperVar);
+      break;
+    case TypeLabel::Float:
+      sseCodelet(em, varId, useIdx, /*isDouble=*/false);
+      break;
+    case TypeLabel::Double:
+      sseCodelet(em, varId, useIdx, /*isDouble=*/true);
+      break;
+    case TypeLabel::LongDouble:
+      longDoubleCodelet(em, varId, useIdx, helperVar);
+      break;
+    case TypeLabel::Struct:
+      structCodelet(em, varId, useIdx, helperVar);
+      break;
+    case TypeLabel::StructPtr:
+      structPtrCodelet(em, varId, useIdx, helperVar);
+      break;
+    case TypeLabel::VoidPtr:
+      voidPtrCodelet(em, varId, useIdx, helperVar);
+      break;
+    case TypeLabel::ArithPtr:
+      arithPtrCodelet(em, varId, useIdx, helperVar);
+      break;
+    case TypeLabel::kCount:
+      assert(false);
+      break;
+  }
+  return em.take();
+}
+
+CodeletStream makeNoiseCodelet(Emitter& em) {
+  em.begin();
+  auto& rng = em.rng();
+  using asmx::Operand;
+  switch (rng.uniformInt(0, 3)) {
+    case 0: {  // register shuffling before a call
+      const Reg a = em.gp();
+      em.ins({"mov", Operand::r(a, Width::B8), Operand::r(Reg::Rdi, Width::B8)});
+      if (rng.chance(0.5)) {
+        em.ins({"mov", Operand::r(em.gp(), Width::B8),
+                Operand::r(Reg::Rsi, Width::B8)});
+      }
+      em.call(em.pick({"strlen", "strcmp", "printf", "fprintf", "error"}));
+      break;
+    }
+    case 1: {  // pure register arithmetic
+      const Reg a = em.gp();
+      const Reg b = em.gp();
+      em.ins({"mov", Operand::r(a, Width::B8), Operand::r(b, Width::B8)});
+      em.ins({em.pick({"add", "sub", "and"}), Operand::r(a, Width::B8),
+              Operand::r(b, Width::B8)});
+      break;
+    }
+    case 2: {  // test + branch on a register
+      const Reg a = em.gp();
+      if (em.dialect() == Dialect::Gcc) {
+        em.ins({"test", Operand::r(a, Width::B4), Operand::r(a, Width::B4)});
+      } else {
+        em.ins({"cmp", Operand::i(0), Operand::r(a, Width::B4)});
+      }
+      em.jcc(em.pick({"e", "ne", "s"}).c_str());
+      break;
+    }
+    default: {  // unconditional jump (loop back-edge)
+      em.ins({"jmp", Operand::addr(em.fakeAddr())});
+      break;
+    }
+  }
+  return em.take();
+}
+
+}  // namespace cati::synth::detail

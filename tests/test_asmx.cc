@@ -1,0 +1,210 @@
+// Tests for the x86-64 instruction model: register naming, AT&T printing,
+// parsing, printer∘parser round-trips and instruction properties.
+#include "asmx/instruction.h"
+
+#include <gtest/gtest.h>
+
+#include "asmx/reg.h"
+
+namespace cati::asmx {
+namespace {
+
+TEST(Reg, GpNamesAtAllWidths) {
+  EXPECT_EQ(regName(Reg::Rax, Width::B8), "rax");
+  EXPECT_EQ(regName(Reg::Rax, Width::B4), "eax");
+  EXPECT_EQ(regName(Reg::Rax, Width::B2), "ax");
+  EXPECT_EQ(regName(Reg::Rax, Width::B1), "al");
+  EXPECT_EQ(regName(Reg::R10, Width::B8), "r10");
+  EXPECT_EQ(regName(Reg::R10, Width::B4), "r10d");
+  EXPECT_EQ(regName(Reg::R10, Width::B2), "r10w");
+  EXPECT_EQ(regName(Reg::R10, Width::B1), "r10b");
+  EXPECT_EQ(regName(Reg::Rsi, Width::B1), "sil");
+  EXPECT_EQ(regName(Reg::Rbp, Width::B8), "rbp");
+}
+
+TEST(Reg, SpecialNames) {
+  EXPECT_EQ(regName(Reg::Rip, Width::B8), "rip");
+  EXPECT_EQ(regName(Reg::Xmm0, Width::B16), "xmm0");
+  EXPECT_EQ(regName(Reg::Xmm15, Width::B16), "xmm15");
+  EXPECT_EQ(regName(Reg::St0, Width::B10), "st");
+  EXPECT_EQ(regName(Reg::St3, Width::B10), "st(3)");
+}
+
+TEST(Reg, NameRoundTripAllGpWidths) {
+  for (int r = static_cast<int>(Reg::Rax); r <= static_cast<int>(Reg::R15);
+       ++r) {
+    for (const Width w : {Width::B8, Width::B4, Width::B2, Width::B1}) {
+      const auto reg = static_cast<Reg>(r);
+      const auto parsed = regFromName(regName(reg, w));
+      ASSERT_TRUE(parsed.has_value()) << regName(reg, w);
+      EXPECT_EQ(parsed->reg, reg);
+      EXPECT_EQ(parsed->width, w);
+    }
+  }
+}
+
+TEST(Reg, BadNamesRejected) {
+  EXPECT_FALSE(regFromName("").has_value());
+  EXPECT_FALSE(regFromName("rqx").has_value());
+  EXPECT_FALSE(regFromName("xmm16").has_value());
+  EXPECT_FALSE(regFromName("st(8)").has_value());
+  EXPECT_FALSE(regFromName("xmmx").has_value());
+}
+
+TEST(Instruction, PrintBasicForms) {
+  EXPECT_EQ(toString({"mov", Operand::r(Reg::Rax, Width::B8),
+                      Operand::m(Reg::Rsp, 0xb0)}),
+            "mov %rax,0xb0(%rsp)");
+  EXPECT_EQ(toString({"movl", Operand::i(0x100), Operand::m(Reg::Rsp, 0xb8)}),
+            "movl $0x100,0xb8(%rsp)");
+  EXPECT_EQ(toString({"movb", Operand::i(0), Operand::m(Reg::Rsp, 0xc0)}),
+            "movb $0x0,0xc0(%rsp)");
+  EXPECT_EQ(toString({"add", Operand::i(-0xd0), Operand::r(Reg::Rax, Width::B8)}),
+            "add $-0xd0,%rax");
+  EXPECT_EQ(toString(Instruction{"ret"}), "ret");
+}
+
+TEST(Instruction, PrintScaledMemOperand) {
+  MemRef m;
+  m.base = {Reg::Rbp, Width::B8};
+  m.index = {Reg::R9, Width::B8};
+  m.scale = 4;
+  m.disp = -0x300;
+  EXPECT_EQ(toString({"lea", Operand::m(m), Operand::r(Reg::Rax, Width::B8)}),
+            "lea -0x300(%rbp,%r9,4),%rax");
+}
+
+TEST(Instruction, PrintCallWithSymbol) {
+  EXPECT_EQ(toString({"callq", Operand::addr(0x3bc59),
+                      Operand::func("bfd_zalloc")}),
+            "callq 3bc59 <bfd_zalloc>");
+}
+
+TEST(Instruction, PrintNegativeRbpDisp) {
+  EXPECT_EQ(toString({"movl", Operand::i(5), Operand::m(Reg::Rbp, -0x14)}),
+            "movl $0x5,-0x14(%rbp)");
+}
+
+TEST(Instruction, ParseBasic) {
+  const auto ins = parse("mov %rax,0xb0(%rsp)");
+  ASSERT_TRUE(ins.has_value());
+  EXPECT_EQ(ins->mnem, "mov");
+  EXPECT_EQ(ins->ops[0].kind, Operand::Kind::Reg);
+  EXPECT_EQ(ins->ops[0].reg.reg, Reg::Rax);
+  EXPECT_EQ(ins->ops[1].kind, Operand::Kind::Mem);
+  EXPECT_EQ(ins->ops[1].mem.base.reg, Reg::Rsp);
+  EXPECT_EQ(ins->ops[1].mem.disp, 0xb0);
+}
+
+TEST(Instruction, ParseRejectsGarbage) {
+  EXPECT_FALSE(parse("").has_value());
+  EXPECT_FALSE(parse("mov %nosuch,%rax").has_value());
+  EXPECT_FALSE(parse("mov $zz,%rax").has_value());
+  EXPECT_FALSE(parse("mov %rax,%rbx,%rcx").has_value());
+}
+
+// Property: printing then parsing reproduces the instruction exactly, over a
+// generated set covering every operand kind.
+class RoundTrip : public ::testing::TestWithParam<Instruction> {};
+
+TEST_P(RoundTrip, PrintParseIdentity) {
+  const Instruction& ins = GetParam();
+  const auto back = parse(toString(ins));
+  ASSERT_TRUE(back.has_value()) << toString(ins);
+  EXPECT_EQ(*back, ins) << toString(ins);
+}
+
+std::vector<Instruction> roundTripCases() {
+  std::vector<Instruction> v;
+  v.emplace_back("ret");
+  v.emplace_back("leave");
+  v.push_back({"push", Operand::r(Reg::Rbp, Width::B8)});
+  v.push_back({"jmp", Operand::addr(0x3bc59)});
+  v.push_back({"je", Operand::addr(0x4179f5)});
+  v.push_back({"callq", Operand::addr(0x4044d0), Operand::func("memchr")});
+  v.push_back({"mov", Operand::r(Reg::Rax, Width::B8), Operand::m(Reg::Rsp, 0xc8)});
+  v.push_back({"movzbl", Operand::m(Reg::Rbp, -0x21), Operand::r(Reg::Rax, Width::B4)});
+  v.push_back({"movss", Operand::m(Reg::Rip, 0x2f60), Operand::r(Reg::Xmm3, Width::B16)});
+  v.push_back({"fstpt", Operand::m(Reg::Rsp, 0x40)});
+  v.push_back({"movl", Operand::i(0), Operand::r(Reg::Rax, Width::B4)});
+  v.push_back({"xorl", Operand::r(Reg::Rax, Width::B4), Operand::r(Reg::Rax, Width::B4)});
+  v.push_back({"sete", Operand::r(Reg::Rax, Width::B1)});
+  v.push_back({"cmpq", Operand::i(0), Operand::m(Reg::Rsp, 0x18)});
+  v.push_back({"imulq", Operand::i(0x18), Operand::r(Reg::Rdx, Width::B8)});
+  {
+    MemRef m;
+    m.base = {Reg::Rdi, Width::B8};
+    m.index = {Reg::Rsi, Width::B8};
+    m.scale = 1;
+    v.push_back({"lea", Operand::m(m), Operand::r(Reg::R15, Width::B8)});
+  }
+  {
+    MemRef m;
+    m.base = {Reg::Rax, Width::B8};
+    m.index = {Reg::Rcx, Width::B8};
+    m.scale = 8;
+    m.disp = 0x10;
+    v.push_back({"mov", Operand::m(m), Operand::r(Reg::Rdx, Width::B8)});
+  }
+  return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOperandKinds, RoundTrip,
+                         ::testing::ValuesIn(roundTripCases()));
+
+TEST(Instruction, ParseListing) {
+  const auto insns = parseListing(
+      "# prologue\n"
+      "push %rbp\n"
+      "mov %rsp,%rbp\n"
+      "\n"
+      "movl $0x5,-0x14(%rbp)\n");
+  ASSERT_EQ(insns.size(), 3U);
+  EXPECT_EQ(insns[2].mnem, "movl");
+}
+
+TEST(Instruction, ParseListingReportsLine) {
+  try {
+    parseListing("ret\nbogus %%%\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Properties, CallJumpLea) {
+  EXPECT_TRUE(isCall(*parse("callq 4044d0 <memchr>")));
+  EXPECT_FALSE(isJump(*parse("callq 4044d0 <memchr>")));
+  EXPECT_TRUE(isJump(*parse("jmp 3bc59")));
+  EXPECT_TRUE(isJump(*parse("je 3bc59")));
+  EXPECT_TRUE(isJump(*parse("ja 3bc59")));
+  EXPECT_FALSE(isJump(*parse("mov %rax,%rbx")));
+  EXPECT_TRUE(isLea(*parse("lea 0x220(%rsp),%rax")));
+}
+
+TEST(Properties, MemOperandIndex) {
+  EXPECT_EQ(memOperandIndex(*parse("mov %rax,0xb0(%rsp)")), 1);
+  EXPECT_EQ(memOperandIndex(*parse("mov 0xb0(%rsp),%rax")), 0);
+  EXPECT_EQ(memOperandIndex(*parse("mov %rax,%rbx")), -1);
+  // lea computes an address, it does not access memory.
+  EXPECT_EQ(memOperandIndex(*parse("lea 0x220(%rsp),%rax")), -1);
+}
+
+TEST(Properties, AccessWidths) {
+  EXPECT_EQ(accessWidth(*parse("movb $0x0,0xc0(%rsp)")), Width::B1);
+  EXPECT_EQ(accessWidth(*parse("movw $0x10,0x8(%rsp)")), Width::B2);
+  EXPECT_EQ(accessWidth(*parse("movl $0x100,0xb8(%rsp)")), Width::B4);
+  EXPECT_EQ(accessWidth(*parse("movq $0x0,0xa8(%rsp)")), Width::B8);
+  EXPECT_EQ(accessWidth(*parse("movss 0x8(%rsp),%xmm0")), Width::B4);
+  EXPECT_EQ(accessWidth(*parse("movsd 0x8(%rsp),%xmm0")), Width::B8);
+  EXPECT_EQ(accessWidth(*parse("fldt 0x40(%rsp)")), Width::B10);
+  EXPECT_EQ(accessWidth(*parse("movzbl 0x8(%rsp),%eax")), Width::B1);
+  EXPECT_EQ(accessWidth(*parse("movswl 0x8(%rsp),%eax")), Width::B2);
+  EXPECT_EQ(accessWidth(*parse("movslq 0x8(%rsp),%rax")), Width::B4);
+  // Falls back to register width.
+  EXPECT_EQ(accessWidth(*parse("mov %eax,0x8(%rsp)")), Width::B4);
+  EXPECT_EQ(accessWidth(*parse("mov %rax,0x8(%rsp)")), Width::B8);
+}
+
+}  // namespace
+}  // namespace cati::asmx

@@ -1,0 +1,160 @@
+// Tests for the baseline classifiers: naive-Bayes mechanics, the window-0
+// learned baseline, the n-gram baseline and the rule baseline — plus the
+// key comparative property: CATI's context features beat the no-context
+// baseline on uncertain samples (the paper's central claim).
+#include "baseline/baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/synth.h"
+
+namespace cati::baseline {
+namespace {
+
+TEST(NaiveBayes, LearnsSeparableClasses) {
+  NaiveBayes nb(2);
+  const std::vector<std::string> a = {"x", "y"};
+  const std::vector<std::string> b = {"p", "q"};
+  for (int i = 0; i < 10; ++i) {
+    nb.add(a, 0);
+    nb.add(b, 1);
+  }
+  nb.finalize();
+  EXPECT_EQ(nb.predict(a), 0);
+  EXPECT_EQ(nb.predict(b), 1);
+  const auto s = nb.scores(a);
+  EXPECT_GT(s[0], 0.9F);
+}
+
+TEST(NaiveBayes, PriorsDecideUnseenFeatures) {
+  NaiveBayes nb(2);
+  for (int i = 0; i < 9; ++i) nb.add(std::vector<std::string>{"x"}, 0);
+  nb.add(std::vector<std::string>{"y"}, 1);
+  nb.finalize();
+  const std::vector<std::string> unseen = {"zzz"};
+  EXPECT_EQ(nb.predict(unseen), 0);  // majority prior wins
+}
+
+TEST(NaiveBayes, ScoresSumToOne) {
+  NaiveBayes nb(3);
+  nb.add(std::vector<std::string>{"a"}, 0);
+  nb.add(std::vector<std::string>{"b"}, 1);
+  nb.add(std::vector<std::string>{"c"}, 2);
+  nb.finalize();
+  const auto s = nb.scores(std::vector<std::string>{"a"});
+  float sum = 0.0F;
+  for (const float v : s) sum += v;
+  EXPECT_NEAR(sum, 1.0F, 1e-5F);
+}
+
+corpus::Dataset makeTrain() {
+  const auto bins = synth::generateCorpus(4, 10, synth::Dialect::Gcc, 31);
+  return corpus::extractAll(bins, 10);
+}
+
+corpus::Dataset makeTest() {
+  const synth::Binary bin = synth::generateBinary(
+      synth::defaultProfile("bl", 0x6, 20), synth::Dialect::Gcc, 2, 91);
+  return corpus::extractGroundTruth(bin, 10);
+}
+
+double variableAccuracy(const corpus::Dataset& test,
+                        const std::function<TypeLabel(
+                            const corpus::Dataset&,
+                            const std::vector<uint32_t>&)>& predict) {
+  const auto byVar = test.vucsByVar();
+  size_t correct = 0;
+  size_t total = 0;
+  for (size_t v = 0; v < byVar.size(); ++v) {
+    if (byVar[v].empty() || test.vars[v].label == TypeLabel::kCount) continue;
+    ++total;
+    if (predict(test, byVar[v]) == test.vars[v].label) ++correct;
+  }
+  return total ? static_cast<double>(correct) / static_cast<double>(total)
+               : 0.0;
+}
+
+TEST(NoContext, BeatsChanceOnUnseenBinary) {
+  const corpus::Dataset train = makeTrain();
+  const corpus::Dataset test = makeTest();
+  NoContextBaseline nc;
+  nc.train(train);
+  const double acc = variableAccuracy(
+      test, [&](const corpus::Dataset& ds, const std::vector<uint32_t>& idxs) {
+        std::vector<corpus::Vuc> vucs;
+        for (const uint32_t i : idxs) vucs.push_back(ds.vucs[i]);
+        return nc.predictVariable(vucs);
+      });
+  // 19 classes, majority class ~25%: the target-instruction-only model must
+  // beat both chance and majority voting for the top class.
+  EXPECT_GT(acc, 0.30);
+}
+
+TEST(NGram, BeatsChanceOnUnseenBinary) {
+  const corpus::Dataset train = makeTrain();
+  const corpus::Dataset test = makeTest();
+  NGramBaseline ng;
+  ng.train(train);
+  const double acc = variableAccuracy(
+      test, [&](const corpus::Dataset& ds, const std::vector<uint32_t>& idxs) {
+        return ng.predictVariable(ds, idxs);
+      });
+  EXPECT_GT(acc, 0.30);
+}
+
+TEST(Rules, KnownPatterns) {
+  RuleBaseline rules;
+  const auto mk = [](const char* mnem, const char* op1, const char* op2) {
+    corpus::Vuc v;
+    v.window.resize(21);
+    v.posLabel.assign(21, -1);
+    v.window[10] = {mnem, op1, op2};
+    return v;
+  };
+  EXPECT_EQ(rules.predictVuc(mk("movss", "IMM(%rsp)", "%xmm0")),
+            TypeLabel::Float);
+  EXPECT_EQ(rules.predictVuc(mk("movsd", "IMM(%rsp)", "%xmm0")),
+            TypeLabel::Double);
+  EXPECT_EQ(rules.predictVuc(mk("fldt", "IMM(%rsp)", "BLANK")),
+            TypeLabel::LongDouble);
+  EXPECT_EQ(rules.predictVuc(mk("movsbl", "IMM(%rsp)", "%eax")),
+            TypeLabel::Char);
+  EXPECT_EQ(rules.predictVuc(mk("movzbl", "IMM(%rsp)", "%eax")),
+            TypeLabel::UChar);
+  EXPECT_EQ(rules.predictVuc(mk("lea", "IMM(%rsp)", "%rax")),
+            TypeLabel::Struct);
+  EXPECT_EQ(rules.predictVuc(mk("movl", "$IMM", "IMM(%rsp)")), TypeLabel::Int);
+}
+
+TEST(Rules, MajorityVoteAcrossVucs) {
+  RuleBaseline rules;
+  corpus::Vuc f;
+  f.window.resize(21);
+  f.posLabel.assign(21, -1);
+  f.window[10] = {"movss", "IMM(%rsp)", "%xmm0"};
+  corpus::Vuc i = f;
+  i.window[10] = {"movl", "$IMM", "IMM(%rsp)"};
+  const std::vector<corpus::Vuc> vucs = {f, f, i};
+  EXPECT_EQ(rules.predictVariable(vucs), TypeLabel::Float);
+}
+
+// The reproduction's core claim: on *uncertain samples* (identical target
+// instruction, different types) the no-context baseline cannot do better
+// than guessing the group majority, by construction — its features are
+// identical for both. This pins down why context is needed.
+TEST(NoContext, CannotSeparateUncertainSamples) {
+  const corpus::Dataset train = makeTrain();
+  NoContextBaseline nc;
+  nc.train(train);
+  const auto pairs = corpus::findUncertainPairs(train, 50);
+  ASSERT_FALSE(pairs.empty());
+  for (const auto& [i, j] : pairs) {
+    // Identical generalized target instruction => identical prediction.
+    EXPECT_EQ(nc.predictVuc(train.vucs[i]), nc.predictVuc(train.vucs[j]));
+    // ...but the ground truths differ, so at least one is wrong.
+    EXPECT_NE(train.vucs[i].label, train.vucs[j].label);
+  }
+}
+
+}  // namespace
+}  // namespace cati::baseline

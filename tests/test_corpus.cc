@@ -1,0 +1,244 @@
+// Tests for the dataset pipeline: Table II generalization rules, VUC window
+// construction and padding, labeling, merging, statistics and serialization.
+#include "corpus/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "synth/synth.h"
+
+namespace cati::corpus {
+namespace {
+
+using asmx::parse;
+
+// The exact examples of the paper's Table II.
+struct GenCase {
+  const char* input;
+  const char* mnem;
+  const char* op1;
+  const char* op2;
+};
+
+class Generalization : public ::testing::TestWithParam<GenCase> {};
+
+TEST_P(Generalization, MatchesTableII) {
+  const GenCase& c = GetParam();
+  const auto ins = parse(c.input);
+  ASSERT_TRUE(ins.has_value()) << c.input;
+  const GenInstr g = generalize(*ins);
+  EXPECT_EQ(g.mnem, c.mnem) << c.input;
+  EXPECT_EQ(g.op1, c.op1) << c.input;
+  EXPECT_EQ(g.op2, c.op2) << c.input;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableII, Generalization,
+    ::testing::Values(
+        // add -0xD0,%rax -> add -0xIMM,%rax  (immediates -> IMM)
+        GenCase{"add $-0xd0,%rax", "add", "$IMM", "%rax"},
+        // lea -0x300(%rbp,%r9,4),%rax: offset generalized, scale kept.
+        GenCase{"lea -0x300(%rbp,%r9,4),%rax", "lea", "IMM(%rbp,%r9,4)",
+                "%rax"},
+        // jmp 3bc59 -> jmp ADDR BLANK
+        GenCase{"jmp 3bc59", "jmp", "ADDR", "BLANK"},
+        // callq 3bc59 <bfd_zalloc> -> callq ADDR <FUNC>
+        GenCase{"callq 3bc59 <bfd_zalloc>", "callq", "ADDR", "FUNC"},
+        // Plain register/memory forms.
+        GenCase{"mov %rax,0xb0(%rsp)", "mov", "%rax", "IMM(%rsp)"},
+        GenCase{"movl $0x100,0xb8(%rsp)", "movl", "$IMM", "IMM(%rsp)"},
+        GenCase{"movss 0x2f60(%rip),%xmm0", "movss", "IMM(%rip)", "%xmm0"},
+        GenCase{"mov (%rax),%edx", "mov", "(%rax)", "%edx"},
+        GenCase{"mov 0x10(%rax,%rcx,8),%rdx", "mov", "IMM(%rax,%rcx,8)",
+                "%rdx"},
+        GenCase{"ret", "ret", "BLANK", "BLANK"},
+        GenCase{"sete %al", "sete", "%al", "BLANK"}));
+
+TEST(Generalization, ScaleFactorsPreserved) {
+  // Scale relates to element width (§IV-B) and must survive generalization.
+  const GenInstr g4 = generalize(*parse("mov (%rax,%rcx,4),%edx"));
+  const GenInstr g8 = generalize(*parse("mov (%rax,%rcx,8),%rdx"));
+  EXPECT_NE(g4.op1, g8.op1);
+  EXPECT_NE(g4.op1.find(",4)"), std::string::npos);
+}
+
+TEST(Generalization, DifferentOffsetsSameToken) {
+  // Fig. 1's note: offsets are generalized, so two accesses to different
+  // slots produce the *same* generalized instruction.
+  EXPECT_EQ(generalize(*parse("movl $0x5,0x8(%rsp)")),
+            generalize(*parse("movl $0x1234,0x98(%rsp)")));
+}
+
+synth::Binary smallBin(uint64_t seed = 3) {
+  return synth::generateBinary(synth::defaultProfile("c", 0x11, 6),
+                               synth::Dialect::Gcc, 2, seed);
+}
+
+TEST(Extract, WindowShapeAndCentre) {
+  const Dataset ds = extractGroundTruth(smallBin(), 10);
+  ASSERT_FALSE(ds.vucs.empty());
+  for (const Vuc& v : ds.vucs) {
+    ASSERT_EQ(v.window.size(), 21U);
+    ASSERT_EQ(v.posLabel.size(), 21U);
+    EXPECT_EQ(v.centre(), 10);
+    // The centre instruction operates the labeled variable, so its
+    // position label must equal the VUC label.
+    EXPECT_EQ(v.posLabel[10], static_cast<int8_t>(v.label));
+    EXPECT_NE(v.target().mnem, kBlank);
+  }
+}
+
+TEST(Extract, CountsMatchGroundTruth) {
+  const synth::Binary bin = smallBin();
+  const Dataset ds = extractGroundTruth(bin, 10);
+  size_t tagged = 0;
+  size_t vars = 0;
+  for (const auto& fn : bin.funcs) {
+    vars += fn.vars.size();
+    for (const int32_t v : fn.varOfInsn) {
+      if (v >= 0) ++tagged;
+    }
+  }
+  EXPECT_EQ(ds.vucs.size(), tagged);
+  EXPECT_EQ(ds.vars.size(), vars);
+  // numVucs bookkeeping is consistent.
+  size_t sum = 0;
+  for (const VarInfo& v : ds.vars) sum += v.numVucs;
+  EXPECT_EQ(sum, ds.vucs.size());
+}
+
+TEST(Extract, BordersPadWithBlank) {
+  // A VUC whose centre sits near the function start must keep BLANK rows
+  // at the out-of-range positions.
+  const Dataset ds = extractGroundTruth(smallBin(), 10);
+  bool sawPadded = false;
+  for (const Vuc& v : ds.vucs) {
+    if (v.window.front().mnem == kBlank) {
+      sawPadded = true;
+      EXPECT_EQ(v.window.front().op1, kBlank);
+      EXPECT_EQ(v.posLabel.front(), -1);
+    }
+  }
+  EXPECT_TRUE(sawPadded);
+}
+
+TEST(Extract, WindowSizeConfigurable) {
+  const Dataset d3 = extractGroundTruth(smallBin(), 3);
+  ASSERT_FALSE(d3.vucs.empty());
+  EXPECT_EQ(d3.vucs[0].window.size(), 7U);
+  EXPECT_EQ(d3.vucs[0].centre(), 3);
+}
+
+TEST(Extract, RecoveredPathProducesVucs) {
+  const Dataset ds = extractRecovered(smallBin(), 10);
+  EXPECT_FALSE(ds.vucs.empty());
+  // Most recovered slots match debug info and get labels.
+  size_t labeled = 0;
+  for (const Vuc& v : ds.vucs) {
+    if (v.label != TypeLabel::kCount) ++labeled;
+  }
+  EXPECT_GT(labeled, ds.vucs.size() / 2);
+}
+
+TEST(Dataset, AppendRemapsIds) {
+  Dataset a = extractGroundTruth(smallBin(1), 10);
+  const Dataset b = extractGroundTruth(smallBin(2), 10);
+  const size_t varsA = a.vars.size();
+  const size_t vucsA = a.vucs.size();
+  a.append(b);
+  EXPECT_EQ(a.appNames.size(), 2U);
+  EXPECT_EQ(a.vars.size(), varsA + b.vars.size());
+  for (size_t i = vucsA; i < a.vucs.size(); ++i) {
+    EXPECT_GE(a.vucs[i].varId, varsA);
+    EXPECT_LT(a.vucs[i].varId, a.vars.size());
+  }
+  for (size_t i = varsA; i < a.vars.size(); ++i) {
+    EXPECT_EQ(a.vars[i].appId, 1U);
+  }
+}
+
+TEST(Dataset, AppendWindowMismatchThrows) {
+  Dataset a = extractGroundTruth(smallBin(1), 10);
+  const Dataset b = extractGroundTruth(smallBin(2), 5);
+  EXPECT_THROW(a.append(b), std::invalid_argument);
+}
+
+TEST(Stats, OrphanAndUncertainCounts) {
+  Dataset ds = extractGroundTruth(smallBin(), 10);
+  const DatasetStats st = computeStats(ds);
+  EXPECT_EQ(st.numVars, ds.vars.size());
+  EXPECT_EQ(st.numVucs, ds.vucs.size());
+  EXPECT_LE(st.uncertain1, st.varsWith1Vuc);
+  EXPECT_LE(st.uncertain2, st.varsWith2Vucs);
+  EXPECT_GE(st.cntAll, st.cntSame);
+  EXPECT_GE(st.clusterRate, 0.0);
+  EXPECT_LE(st.clusterRate, 1.0);
+}
+
+TEST(Stats, UncertainDetectsMixedGroups) {
+  // Construct a two-variable dataset sharing one generalized target
+  // instruction but with different labels: both are uncertain samples.
+  Dataset ds;
+  ds.window = 1;
+  ds.appNames = {"x"};
+  const auto mk = [](TypeLabel label, uint32_t var) {
+    Vuc v;
+    v.window.resize(3);
+    v.posLabel.assign(3, -1);
+    v.window[1] = {"movl", "$IMM", "IMM(%rsp)"};
+    v.posLabel[1] = static_cast<int8_t>(label);
+    v.label = label;
+    v.varId = var;
+    return v;
+  };
+  ds.vucs = {mk(TypeLabel::Int, 0), mk(TypeLabel::Enum, 1)};
+  ds.vars = {{TypeLabel::Int, 0, 1}, {TypeLabel::Enum, 0, 1}};
+  const DatasetStats st = computeStats(ds);
+  EXPECT_EQ(st.varsWith1Vuc, 2U);
+  EXPECT_EQ(st.uncertain1, 2U);
+
+  const auto pairs = findUncertainPairs(ds, 10);
+  ASSERT_EQ(pairs.size(), 1U);
+}
+
+TEST(Stats, PerTypeClusteringConsistent) {
+  const Dataset ds = extractGroundTruth(smallBin(), 10);
+  const auto per = perTypeClustering(ds);
+  size_t total = 0;
+  for (const auto& t : per) {
+    total += t.support;
+    EXPECT_GE(t.cntAll, t.cntSame);
+  }
+  size_t labeled = 0;
+  for (const Vuc& v : ds.vucs) {
+    if (v.label != TypeLabel::kCount) ++labeled;
+  }
+  EXPECT_EQ(total, labeled);
+}
+
+TEST(Serialize, SaveLoadIdentity) {
+  const Dataset ds = extractGroundTruth(smallBin(), 10);
+  std::stringstream ss;
+  save(ds, ss);
+  const Dataset back = load(ss);
+  EXPECT_EQ(back.window, ds.window);
+  EXPECT_EQ(back.appNames, ds.appNames);
+  ASSERT_EQ(back.vars.size(), ds.vars.size());
+  ASSERT_EQ(back.vucs.size(), ds.vucs.size());
+  for (size_t i = 0; i < ds.vucs.size(); ++i) {
+    EXPECT_EQ(back.vucs[i].label, ds.vucs[i].label);
+    EXPECT_EQ(back.vucs[i].varId, ds.vucs[i].varId);
+    EXPECT_EQ(back.vucs[i].window.size(), ds.vucs[i].window.size());
+    EXPECT_EQ(back.vucs[i].target(), ds.vucs[i].target());
+    EXPECT_EQ(back.vucs[i].posLabel, ds.vucs[i].posLabel);
+  }
+}
+
+TEST(Serialize, CorruptInputThrows) {
+  std::stringstream ss("garbage data here");
+  EXPECT_THROW(load(ss), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cati::corpus

@@ -1,0 +1,198 @@
+// Tests for the DWARF-like debug-info model: typedef resolution, the 19-type
+// classification, encode/decode round-trips and stripping.
+#include "debuginfo/debuginfo.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cati::debuginfo {
+namespace {
+
+TEST(Classify, AllLabelsRoundTripThroughMakeTypeFor) {
+  Module m;
+  for (const TypeLabel t : allTypes()) {
+    const int32_t idx = makeTypeFor(m, t);
+    const auto cls = classify(m, idx);
+    ASSERT_TRUE(cls.has_value()) << typeName(t);
+    EXPECT_EQ(*cls, t) << typeName(t);
+  }
+}
+
+TEST(Classify, TypedefChainsResolve) {
+  Module m;
+  const int32_t base = makeTypeFor(m, TypeLabel::UInt);
+  // size_t -> __uint32_t -> unsigned int (a three-deep chain).
+  TypeDie t1;
+  t1.kind = TypeKind::Typedef;
+  t1.name = "__uint32_t";
+  t1.refType = base;
+  const int32_t mid = m.addType(t1);
+  TypeDie t2;
+  t2.kind = TypeKind::Typedef;
+  t2.name = "myuint";
+  t2.refType = mid;
+  const int32_t top = m.addType(t2);
+  EXPECT_EQ(resolveTypedefs(m, top), base);
+  EXPECT_EQ(classify(m, top), TypeLabel::UInt);
+}
+
+TEST(Classify, TypedefCycleThrows) {
+  Module m;
+  TypeDie a;
+  a.kind = TypeKind::Typedef;
+  a.refType = 1;
+  m.addType(a);
+  TypeDie b;
+  b.kind = TypeKind::Typedef;
+  b.refType = 0;
+  m.addType(b);
+  EXPECT_THROW(resolveTypedefs(m, 0), std::runtime_error);
+}
+
+TEST(Classify, OutOfRangeIndexThrows) {
+  Module m;
+  makeTypeFor(m, TypeLabel::Int);
+  EXPECT_THROW(classify(m, 99), std::runtime_error);
+  EXPECT_THROW(classify(m, -1), std::runtime_error);
+}
+
+TEST(Classify, ArraysClassifyAsElementType) {
+  Module m;
+  const int32_t charTy = makeTypeFor(m, TypeLabel::Char);
+  TypeDie arr;
+  arr.kind = TypeKind::Array;
+  arr.refType = charTy;
+  arr.arrayCount = 64;
+  arr.byteSize = 64;
+  const int32_t arrTy = m.addType(arr);
+  EXPECT_EQ(classify(m, arrTy), TypeLabel::Char);  // paper Fig. 2: char buf
+
+  const int32_t structTy = makeTypeFor(m, TypeLabel::Struct);
+  TypeDie sArr;
+  sArr.kind = TypeKind::Array;
+  sArr.refType = structTy;
+  sArr.arrayCount = 8;
+  const int32_t sArrTy = m.addType(sArr);
+  EXPECT_EQ(classify(m, sArrTy), TypeLabel::Struct);  // attr_pair[8] -> struct
+}
+
+TEST(Classify, PointerPointeeKinds) {
+  Module m;
+  // Pointer to typedef'd struct is still struct*.
+  const int32_t structTy = makeTypeFor(m, TypeLabel::Struct);
+  TypeDie td;
+  td.kind = TypeKind::Typedef;
+  td.name = "node_t";
+  td.refType = structTy;
+  const int32_t alias = m.addType(td);
+  TypeDie ptr;
+  ptr.kind = TypeKind::Pointer;
+  ptr.byteSize = 8;
+  ptr.refType = alias;
+  EXPECT_EQ(classify(m, m.addType(ptr)), TypeLabel::StructPtr);
+
+  // Pointer to pointer folds into arith*.
+  TypeDie pp;
+  pp.kind = TypeKind::Pointer;
+  pp.byteSize = 8;
+  pp.refType = makeTypeFor(m, TypeLabel::ArithPtr);
+  EXPECT_EQ(classify(m, m.addType(pp)), TypeLabel::ArithPtr);
+}
+
+TEST(Classify, LongVsLongLongByName) {
+  Module m;
+  TypeDie ll;
+  ll.kind = TypeKind::Base;
+  ll.name = "long long int";
+  ll.byteSize = 8;
+  ll.isSigned = true;
+  EXPECT_EQ(classify(m, m.addType(ll)), TypeLabel::LongLongInt);
+  TypeDie l;
+  l.kind = TypeKind::Base;
+  l.name = "long int";
+  l.byteSize = 8;
+  l.isSigned = true;
+  EXPECT_EQ(classify(m, m.addType(l)), TypeLabel::LongInt);
+}
+
+Module sampleModule() {
+  Module m;
+  m.producer = "synthcc (gcc) -O2";
+  const int32_t intTy = makeTypeFor(m, TypeLabel::Int);
+  const int32_t ptrTy = makeTypeFor(m, TypeLabel::StructPtr);
+  FunctionDie f;
+  f.name = "foo";
+  f.lowPc = 0;
+  f.highPc = 42;
+  f.variables.push_back({"x", intTy, false, -0x14, asmx::Reg::None});
+  f.variables.push_back({"p", ptrTy, false, 0x20, asmx::Reg::None});
+  f.variables.push_back({"r", intTy, true, 0, asmx::Reg::R12});
+  m.functions.push_back(std::move(f));
+  return m;
+}
+
+TEST(Serialize, EncodeDecodeIdentity) {
+  const Module m = sampleModule();
+  std::stringstream ss;
+  encode(m, ss);
+  const Module back = decode(ss);
+  EXPECT_EQ(back.producer, m.producer);
+  ASSERT_EQ(back.types.size(), m.types.size());
+  for (size_t i = 0; i < m.types.size(); ++i) {
+    EXPECT_EQ(back.types[i].kind, m.types[i].kind);
+    EXPECT_EQ(back.types[i].name, m.types[i].name);
+    EXPECT_EQ(back.types[i].byteSize, m.types[i].byteSize);
+    EXPECT_EQ(back.types[i].refType, m.types[i].refType);
+    EXPECT_EQ(back.types[i].members.size(), m.types[i].members.size());
+  }
+  ASSERT_EQ(back.functions.size(), 1U);
+  const FunctionDie& f = back.functions[0];
+  EXPECT_EQ(f.name, "foo");
+  ASSERT_EQ(f.variables.size(), 3U);
+  EXPECT_EQ(f.variables[0].frameOffset, -0x14);
+  EXPECT_TRUE(f.variables[2].inRegister);
+  EXPECT_EQ(f.variables[2].reg, asmx::Reg::R12);
+}
+
+TEST(Serialize, TruncatedInputThrows) {
+  const Module m = sampleModule();
+  std::stringstream ss;
+  encode(m, ss);
+  std::string bytes = ss.str();
+  bytes.resize(bytes.size() / 2);
+  std::stringstream half(bytes);
+  EXPECT_THROW(decode(half), std::runtime_error);
+}
+
+TEST(Serialize, BadMagicThrows) {
+  std::stringstream ss;
+  ss << "not a debuginfo file at all, padding padding padding";
+  EXPECT_THROW(decode(ss), std::runtime_error);
+}
+
+TEST(Strip, RemovesSymbolsKeepsBoundaries) {
+  const Module m = sampleModule();
+  const Module s = stripped(m);
+  EXPECT_TRUE(s.producer.empty());
+  EXPECT_TRUE(s.types.empty());
+  ASSERT_EQ(s.functions.size(), 1U);
+  EXPECT_TRUE(s.functions[0].name.empty());
+  EXPECT_TRUE(s.functions[0].variables.empty());
+  EXPECT_EQ(s.functions[0].lowPc, 0U);
+  EXPECT_EQ(s.functions[0].highPc, 42U);
+}
+
+TEST(MakeTypeFor, BaseTypesAreDeduplicated) {
+  Module m;
+  const int32_t a = makeTypeFor(m, TypeLabel::Int);
+  const int32_t b = makeTypeFor(m, TypeLabel::Int);
+  EXPECT_EQ(a, b);
+  // Aggregates are fresh each time (distinct struct definitions).
+  const int32_t s1 = makeTypeFor(m, TypeLabel::Struct);
+  const int32_t s2 = makeTypeFor(m, TypeLabel::Struct);
+  EXPECT_NE(s1, s2);
+}
+
+}  // namespace
+}  // namespace cati::debuginfo

@@ -1,0 +1,160 @@
+// Tests for x86-64 machine-code encoding/decoding: golden byte patterns
+// checked against real assembler output, and the decode∘encode identity
+// over every instruction the synthetic compiler can produce.
+#include "asmx/encode.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/synth.h"
+
+namespace cati::asmx {
+namespace {
+
+std::vector<uint8_t> enc(const char* text, uint64_t pc = 0x401000) {
+  const auto ins = parse(text);
+  EXPECT_TRUE(ins.has_value()) << text;
+  return encode(*ins, pc);
+}
+
+std::string hex(const std::vector<uint8_t>& v) {
+  std::string s;
+  char buf[4];
+  for (const uint8_t b : v) {
+    std::snprintf(buf, sizeof buf, "%02x ", b);
+    s += buf;
+  }
+  if (!s.empty()) s.pop_back();
+  return s;
+}
+
+// Golden encodings verified against GNU as/objdump.
+TEST(Encode, GoldenBytes) {
+  EXPECT_EQ(hex(enc("ret")), "c3");
+  EXPECT_EQ(hex(enc("leave")), "c9");
+  EXPECT_EQ(hex(enc("push %rbp")), "55");
+  EXPECT_EQ(hex(enc("push %r12")), "41 54");
+  EXPECT_EQ(hex(enc("pop %rbp")), "5d");
+  EXPECT_EQ(hex(enc("mov %rsp,%rbp")), "48 89 e5");
+  EXPECT_EQ(hex(enc("mov %eax,%edx")), "89 c2");
+  EXPECT_EQ(hex(enc("mov $0x0,%eax")), "b8 00 00 00 00");
+  EXPECT_EQ(hex(enc("xor %eax,%eax")), "31 c0");
+  EXPECT_EQ(hex(enc("sub $0x20,%rsp")), "48 83 ec 20");
+  EXPECT_EQ(hex(enc("add $0x200,%rsp")), "48 81 c4 00 02 00 00");
+  EXPECT_EQ(hex(enc("movl $0x5,0x8(%rsp)")),
+            "c7 44 24 08 05 00 00 00");
+  EXPECT_EQ(hex(enc("movl $0x7,-0x14(%rbp)")),
+            "c7 45 ec 07 00 00 00");
+  EXPECT_EQ(hex(enc("movb $0x0,0xc0(%rsp)")),
+            "c6 84 24 c0 00 00 00 00");
+  EXPECT_EQ(hex(enc("mov 0x8(%rsp),%eax")), "8b 44 24 08");
+  EXPECT_EQ(hex(enc("mov %rax,0xb0(%rsp)")),
+            "48 89 84 24 b0 00 00 00");
+  EXPECT_EQ(hex(enc("lea 0x220(%rsp),%rax")),
+            "48 8d 84 24 20 02 00 00");
+  EXPECT_EQ(hex(enc("movzbl 0x8(%rsp),%eax")), "0f b6 44 24 08");
+  EXPECT_EQ(hex(enc("movslq 0x8(%rsp),%rax")), "48 63 44 24 08");
+  EXPECT_EQ(hex(enc("movss 0x8(%rsp),%xmm0")),
+            "f3 0f 10 44 24 08");
+  EXPECT_EQ(hex(enc("movsd %xmm0,0x10(%rsp)")),
+            "f2 0f 11 44 24 10");
+  EXPECT_EQ(hex(enc("addss %xmm1,%xmm0")), "f3 0f 58 c1");
+  EXPECT_EQ(hex(enc("cmpq $0x0,0x18(%rsp)")), "48 83 7c 24 18 00");
+  EXPECT_EQ(hex(enc("test %eax,%eax")), "85 c0");
+  EXPECT_EQ(hex(enc("sete %al")), "0f 94 c0");
+  EXPECT_EQ(hex(enc("fldt 0x40(%rsp)")), "db 6c 24 40");
+  EXPECT_EQ(hex(enc("mov (%rax,%rcx,4),%edx")), "8b 14 88");
+  EXPECT_EQ(hex(enc("mov %sil,0x8(%rsp)")), "40 88 74 24 08");
+}
+
+TEST(Encode, Rel32Branches) {
+  // call to pc+5+0x100: rel32 = 0x100.
+  const auto call = enc("callq 401105", 0x401000);
+  EXPECT_EQ(hex(call), "e8 00 01 00 00");
+  // Backward jump.
+  const auto jmp = enc("jmp 400f00", 0x401000);
+  EXPECT_EQ(jmp[0], 0xE9);
+  const auto je = enc("je 401100", 0x401000);
+  EXPECT_EQ(je[0], 0x0F);
+  EXPECT_EQ(je[1], 0x84);
+}
+
+TEST(Encode, UnsupportedThrows) {
+  EXPECT_THROW(encode(*parse("mov %rax,%st"), 0), std::invalid_argument);
+  Instruction weird("frobnicate");
+  EXPECT_THROW(encode(weird, 0), std::invalid_argument);
+}
+
+TEST(Decode, RejectsGarbage) {
+  const std::vector<uint8_t> junk = {0x0F, 0xFF, 0xFF};
+  EXPECT_FALSE(decode(junk, 0).has_value());
+  const std::vector<uint8_t> empty;
+  EXPECT_FALSE(decode(empty, 0).has_value());
+  // Truncated instruction.
+  const std::vector<uint8_t> cut = {0x48, 0x89};
+  EXPECT_FALSE(decode(cut, 0).has_value());
+}
+
+/// The canonical form decode() produces: "retq" becomes "ret" (same opcode)
+/// and symbolic <func> annotations vanish (they live in the symbol table,
+/// not in the bytes).
+Instruction canonical(Instruction ins) {
+  if (ins.mnem == "retq") ins.mnem = "ret";
+  for (auto& op : ins.ops) {
+    if (op.kind == Operand::Kind::Func) op = Operand::none();
+  }
+  return ins;
+}
+
+// Property: decode(encode(x)) == canonical(x) for everything the generator
+// can emit, across dialects and optimization levels.
+class RoundTrip
+    : public ::testing::TestWithParam<std::tuple<synth::Dialect, int>> {};
+
+TEST_P(RoundTrip, DecodeEncodeIdentity) {
+  const auto [dialect, opt] = GetParam();
+  const synth::Binary bin = synth::generateBinary(
+      synth::defaultProfile("enc", 0x123, 20), dialect, opt, 77);
+  uint64_t pc = 0x400000;
+  size_t checked = 0;
+  for (const synth::FunctionCode& fn : bin.funcs) {
+    for (const Instruction& ins : fn.insns) {
+      const auto bytes = encode(ins, pc);
+      ASSERT_FALSE(bytes.empty()) << toString(ins);
+      const auto back = decode(bytes, pc);
+      ASSERT_TRUE(back.has_value()) << toString(ins);
+      EXPECT_EQ(back->length, bytes.size()) << toString(ins);
+      EXPECT_EQ(back->ins, canonical(ins))
+          << "encoded " << toString(ins) << " decoded "
+          << toString(back->ins);
+      pc += bytes.size();
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 500U);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DialectsAndOpts, RoundTrip,
+    ::testing::Combine(::testing::Values(synth::Dialect::Gcc,
+                                         synth::Dialect::Clang),
+                       ::testing::Values(0, 1, 2, 3)));
+
+TEST(Decode, WholeFunctionStream) {
+  const synth::Binary bin = synth::generateBinary(
+      synth::defaultProfile("stream", 0x5, 4), synth::Dialect::Gcc, 2, 9);
+  const synth::FunctionCode& fn = bin.funcs[0];
+  const auto bytes = encodeAll(fn.insns, 0x400000);
+  const auto back = decodeAll(bytes, 0x400000);
+  ASSERT_EQ(back.size(), fn.insns.size());
+  for (size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back[i], canonical(fn.insns[i]));
+  }
+}
+
+TEST(Decode, AllBytesThrowsOnJunk) {
+  const std::vector<uint8_t> junk = {0xC3, 0x0F, 0xFF};
+  EXPECT_THROW(decodeAll(junk, 0), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cati::asmx

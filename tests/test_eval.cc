@@ -1,0 +1,103 @@
+// Tests for the metrics module: P/R/F1 against hand-computed values,
+// confusion matrices, weighted averages and the table formatter.
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace cati::eval {
+namespace {
+
+TEST(Metrics, PerfectPrediction) {
+  const std::vector<int> y = {0, 1, 2, 1, 0};
+  const Report r = compute(y, y, 3);
+  EXPECT_DOUBLE_EQ(r.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(r.weightedF1, 1.0);
+  for (const auto& c : r.perClass) {
+    if (c.support > 0) {
+      EXPECT_DOUBLE_EQ(c.precision, 1.0);
+      EXPECT_DOUBLE_EQ(c.recall, 1.0);
+    }
+  }
+}
+
+TEST(Metrics, HandComputedBinaryCase) {
+  // truth:  1 1 1 1 0 0 0 0
+  // pred :  1 1 0 0 1 0 0 0
+  // class1: TP=2 FP=1 FN=2 -> P=2/3, R=1/2, F1=4/7
+  // class0: TP=3 FP=2 FN=1 -> P=3/5, R=3/4
+  const std::vector<int> yt = {1, 1, 1, 1, 0, 0, 0, 0};
+  const std::vector<int> yp = {1, 1, 0, 0, 1, 0, 0, 0};
+  const Report r = compute(yt, yp, 2);
+  EXPECT_NEAR(r.perClass[1].precision, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(r.perClass[1].recall, 0.5, 1e-12);
+  EXPECT_NEAR(r.perClass[1].f1, 4.0 / 7.0, 1e-12);
+  EXPECT_NEAR(r.perClass[0].precision, 0.6, 1e-12);
+  EXPECT_NEAR(r.perClass[0].recall, 0.75, 1e-12);
+  EXPECT_NEAR(r.accuracy, 5.0 / 8.0, 1e-12);
+  EXPECT_EQ(r.perClass[0].support, 4U);
+  EXPECT_EQ(r.perClass[1].support, 4U);
+  // Weighted recall equals accuracy when every sample has a label.
+  EXPECT_NEAR(r.weightedRecall, r.accuracy, 1e-12);
+}
+
+TEST(Metrics, AbsentClassContributesZero) {
+  const std::vector<int> yt = {0, 0, 1};
+  const std::vector<int> yp = {0, 0, 1};
+  const Report r = compute(yt, yp, 3);
+  EXPECT_EQ(r.perClass[2].support, 0U);
+  EXPECT_DOUBLE_EQ(r.perClass[2].f1, 0.0);
+  EXPECT_DOUBLE_EQ(r.macroF1, 1.0);  // macro over present classes only
+}
+
+TEST(Metrics, MismatchedSizesThrow) {
+  const std::vector<int> a = {0, 1};
+  const std::vector<int> b = {0};
+  EXPECT_THROW(compute(a, b, 2), std::invalid_argument);
+}
+
+TEST(Metrics, OutOfRangeLabelThrows) {
+  const std::vector<int> a = {0, 5};
+  EXPECT_THROW(compute(a, a, 2), std::invalid_argument);
+}
+
+TEST(Metrics, EmptyInput) {
+  const std::vector<int> none;
+  const Report r = compute(none, none, 2);
+  EXPECT_EQ(r.total, 0U);
+  EXPECT_DOUBLE_EQ(r.accuracy, 0.0);
+}
+
+TEST(Confusion, CountsLandInRightCells) {
+  const std::vector<int> yt = {0, 0, 1, 1, 1};
+  const std::vector<int> yp = {0, 1, 1, 1, 0};
+  const auto cm = confusion(yt, yp, 2);
+  EXPECT_EQ(cm[0 * 2 + 0], 1U);
+  EXPECT_EQ(cm[0 * 2 + 1], 1U);
+  EXPECT_EQ(cm[1 * 2 + 0], 1U);
+  EXPECT_EQ(cm[1 * 2 + 1], 2U);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.addRow({"x", "1.00"});
+  t.addRow({"longer", "0.50"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Table, WrongArityThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.addRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(Fmt2, FormatsAndDashes) {
+  EXPECT_EQ(fmt2(0.5), "0.50");
+  EXPECT_EQ(fmt2(1.0), "1.00");
+  EXPECT_EQ(fmt2(0.123), "0.12");
+  EXPECT_EQ(fmt2(0.5, false), "-");
+}
+
+}  // namespace
+}  // namespace cati::eval

@@ -1,0 +1,221 @@
+// Tests for the NN library: shape propagation, numeric gradient checks for
+// every layer (the backprop correctness proof), softmax invariants, Adam
+// convergence on a toy problem, and model serialization.
+#include "nn/nn.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace cati::nn {
+namespace {
+
+TEST(Shapes, CnnPipeline) {
+  Rng rng(1);
+  Sequential net = makeCnn({96, 21}, 32, 64, 128, 5, 0.0F, rng);
+  EXPECT_EQ(net.outShape(), (Shape{5, 1}));
+}
+
+TEST(Shapes, TinyWindowSkipsPooling) {
+  Rng rng(1);
+  // L=1 (window 0 ablation) must still build a valid net.
+  Sequential net = makeCnn({96, 1}, 8, 8, 16, 3, 0.0F, rng);
+  EXPECT_EQ(net.outShape(), (Shape{3, 1}));
+  std::vector<float> x(96, 0.5F);
+  const auto y = net.forward(x, false);
+  EXPECT_EQ(y.size(), 3U);
+}
+
+TEST(Softmax, SumsToOneAndLossPositive) {
+  std::vector<float> logits = {1.0F, -2.0F, 0.5F, 3.0F};
+  std::vector<float> probs(4);
+  const float loss = SoftmaxCE::forward(logits, 1, probs);
+  float sum = 0.0F;
+  for (const float p : probs) {
+    EXPECT_GT(p, 0.0F);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0F, 1e-5F);
+  EXPECT_GT(loss, 0.0F);
+  // Large logits must not overflow.
+  logits = {1000.0F, 999.0F, -1000.0F, 0.0F};
+  SoftmaxCE::forward(logits, 0, probs);
+  for (const float p : probs) EXPECT_TRUE(std::isfinite(p));
+}
+
+TEST(Softmax, BackwardIsProbsMinusOneHot) {
+  std::vector<float> probs = {0.1F, 0.7F, 0.2F};
+  std::vector<float> d(3);
+  SoftmaxCE::backward(probs, 1, d);
+  EXPECT_FLOAT_EQ(d[0], 0.1F);
+  EXPECT_FLOAT_EQ(d[1], -0.3F);
+  EXPECT_FLOAT_EQ(d[2], 0.2F);
+}
+
+// Gradient checks: analytic backprop vs central differences, per layer type.
+struct GradCase {
+  const char* name;
+  Shape in;
+  int conv1;
+  int conv2;
+  int hidden;
+  int classes;
+};
+
+class GradCheck : public ::testing::TestWithParam<GradCase> {};
+
+TEST_P(GradCheck, AnalyticMatchesNumeric) {
+  const GradCase& c = GetParam();
+  Rng rng(42);
+  Sequential net =
+      makeCnn(c.in, c.conv1, c.conv2, c.hidden, c.classes, 0.0F, rng);
+  std::vector<float> x(static_cast<size_t>(c.in.size()));
+  for (float& v : x) v = rng.normal() * 0.5F;
+  const double err = gradientCheck(net, x, c.classes - 1);
+  EXPECT_LT(err, 6e-2) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Architectures, GradCheck,
+    ::testing::Values(GradCase{"tiny", {6, 9}, 4, 4, 8, 2},
+                      GradCase{"narrow", {12, 21}, 6, 8, 16, 5},
+                      GradCase{"threeclass", {8, 11}, 4, 6, 12, 3},
+                      GradCase{"nineclass", {10, 7}, 4, 4, 8, 9}));
+
+TEST(GradCheckLayers, LinearOnly) {
+  Rng rng(3);
+  Sequential net({7, 1});
+  net.add(std::make_unique<Linear>(7, 5, &rng));
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<Linear>(5, 3, &rng));
+  std::vector<float> x(7);
+  for (float& v : x) v = rng.normal();
+  EXPECT_LT(gradientCheck(net, x, 0), 6e-2);
+}
+
+TEST(GradCheckLayers, GlobalMaxPoolPath) {
+  Rng rng(4);
+  Sequential net({5, 8});
+  net.add(std::make_unique<Conv1d>(5, 6, 3, &rng));
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<GlobalMaxPool>());
+  net.add(std::make_unique<Linear>(6, 2, &rng));
+  std::vector<float> x(40);
+  for (float& v : x) v = rng.normal();
+  EXPECT_LT(gradientCheck(net, x, 1), 6e-2);
+}
+
+TEST(Layers, ReluMasksNegatives) {
+  ReLU r;
+  std::vector<float> x = {-1.0F, 0.0F, 2.0F};
+  std::vector<float> y(3);
+  r.forward(x, y, true);
+  EXPECT_EQ(y[0], 0.0F);
+  EXPECT_EQ(y[1], 0.0F);
+  EXPECT_EQ(y[2], 2.0F);
+  std::vector<float> dy = {1.0F, 1.0F, 1.0F};
+  std::vector<float> dx(3);
+  r.backward(dy, dx);
+  EXPECT_EQ(dx[0], 0.0F);
+  EXPECT_EQ(dx[2], 1.0F);
+}
+
+TEST(Layers, MaxPoolForwardBackward) {
+  MaxPool1d p(2);
+  p.setInShape({1, 6});
+  std::vector<float> x = {1.0F, 3.0F, 2.0F, 2.0F, -1.0F, -5.0F};
+  std::vector<float> y(3);
+  p.forward(x, y, true);
+  EXPECT_EQ(y[0], 3.0F);
+  EXPECT_EQ(y[1], 2.0F);
+  EXPECT_EQ(y[2], -1.0F);
+  std::vector<float> dy = {1.0F, 1.0F, 1.0F};
+  std::vector<float> dx(6);
+  p.backward(dy, dx);
+  EXPECT_EQ(dx[1], 1.0F);
+  EXPECT_EQ(dx[0], 0.0F);
+  EXPECT_EQ(dx[4], 1.0F);
+}
+
+TEST(Layers, DropoutInferenceIsIdentity) {
+  Dropout d(0.5F, 7);
+  std::vector<float> x = {1.0F, 2.0F, 3.0F};
+  std::vector<float> y(3);
+  d.forward(x, y, /*train=*/false);
+  EXPECT_EQ(y, x);
+}
+
+TEST(Layers, DropoutTrainZeroesSome) {
+  Dropout d(0.5F, 7);
+  std::vector<float> x(1000, 1.0F);
+  std::vector<float> y(1000);
+  d.forward(x, y, /*train=*/true);
+  int zeros = 0;
+  for (const float v : y) {
+    if (v == 0.0F) ++zeros;
+  }
+  EXPECT_GT(zeros, 300);
+  EXPECT_LT(zeros, 700);
+}
+
+TEST(Adam, LearnsXorLikeSeparation) {
+  // A small FC net must drive training loss near zero on a separable toy
+  // problem — smoke test that optimizer + backprop learn at all.
+  Rng rng(11);
+  Sequential net({2, 1});
+  net.add(std::make_unique<Linear>(2, 16, &rng));
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<Linear>(16, 2, &rng));
+  Adam adam(net.params(), {.lr = 5e-2F});
+
+  const float xs[4][2] = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  const int ys[4] = {0, 1, 1, 0};
+  std::vector<float> probs(2);
+  std::vector<float> d(2);
+  double lastLoss = 0.0;
+  for (int it = 0; it < 400; ++it) {
+    lastLoss = 0.0;
+    for (int i = 0; i < 4; ++i) {
+      const auto logits = net.forward({xs[i], 2}, true);
+      lastLoss += SoftmaxCE::forward(logits, ys[i], probs);
+      SoftmaxCE::backward(probs, ys[i], d);
+      net.backward(d);
+    }
+    adam.step(0.25F);
+  }
+  EXPECT_LT(lastLoss / 4.0, 0.1);
+}
+
+TEST(Serialize, SequentialRoundTrip) {
+  Rng rng(9);
+  Sequential net = makeCnn({6, 9}, 4, 4, 8, 3, 0.3F, rng);
+  std::vector<float> x(54);
+  for (float& v : x) v = rng.normal();
+  const auto y1 = net.forward(x, false);
+  const std::vector<float> out1(y1.begin(), y1.end());
+
+  std::stringstream ss;
+  net.save(ss);
+  Sequential back = Sequential::load(ss);
+  EXPECT_EQ(back.outShape(), net.outShape());
+  const auto y2 = back.forward(x, false);
+  ASSERT_EQ(y2.size(), out1.size());
+  for (size_t i = 0; i < out1.size(); ++i) EXPECT_FLOAT_EQ(y2[i], out1[i]);
+}
+
+TEST(Serialize, CorruptModelThrows) {
+  std::stringstream ss("this is not a model");
+  EXPECT_THROW(Sequential::load(ss), std::runtime_error);
+}
+
+TEST(Layers, SizeMismatchThrows) {
+  Rng rng(2);
+  Linear lin(4, 2, &rng);
+  std::vector<float> x(3);
+  std::vector<float> y(2);
+  EXPECT_THROW(lin.forward(x, y, false), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cati::nn

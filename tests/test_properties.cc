@@ -1,0 +1,149 @@
+// Cross-cutting property tests (parameterized sweeps) tying modules
+// together: print/parse/generalize coherence over whole generated corpora,
+// window-size invariants of VUC extraction, and algebraic properties of the
+// confidence-clipped voting rule.
+#include <gtest/gtest.h>
+
+#include "cati/engine.h"
+#include "corpus/corpus.h"
+#include "synth/synth.h"
+
+namespace cati {
+namespace {
+
+// --- printer/parser/generalization coherence ---------------------------------
+
+class CorpusProperty
+    : public ::testing::TestWithParam<std::tuple<synth::Dialect, int>> {};
+
+TEST_P(CorpusProperty, PrintParseGeneralizeCoherent) {
+  const auto [dialect, opt] = GetParam();
+  const synth::Binary bin = synth::generateBinary(
+      synth::defaultProfile("prop", 0x9, 10), dialect, opt, 333);
+  for (const synth::FunctionCode& fn : bin.funcs) {
+    for (const asmx::Instruction& ins : fn.insns) {
+      // Everything the generator emits prints and re-parses identically...
+      const auto back = asmx::parse(asmx::toString(ins));
+      ASSERT_TRUE(back.has_value()) << asmx::toString(ins);
+      EXPECT_EQ(*back, ins);
+      // ...and generalization only depends on the printed form.
+      EXPECT_EQ(corpus::generalize(*back).text(),
+                corpus::generalize(ins).text());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, CorpusProperty,
+    ::testing::Combine(::testing::Values(synth::Dialect::Gcc,
+                                         synth::Dialect::Clang),
+                       ::testing::Values(0, 1, 2, 3)));
+
+// --- window-size invariants ----------------------------------------------------
+
+class WindowProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(WindowProperty, ExtractionInvariants) {
+  const int w = GetParam();
+  const synth::Binary bin = synth::generateBinary(
+      synth::defaultProfile("win", 0x3, 8), synth::Dialect::Gcc, 2, 11);
+  const corpus::Dataset ds = corpus::extractGroundTruth(bin, w);
+  // The number of VUCs (target instructions) is independent of the window.
+  const corpus::Dataset ref = corpus::extractGroundTruth(bin, 10);
+  EXPECT_EQ(ds.vucs.size(), ref.vucs.size());
+  for (const corpus::Vuc& v : ds.vucs) {
+    ASSERT_EQ(v.window.size(), static_cast<size_t>(2 * w + 1));
+    EXPECT_EQ(v.centre(), w);
+    // The centre instruction is never BLANK and carries the VUC's label.
+    EXPECT_NE(v.target().mnem, corpus::kBlank);
+    EXPECT_EQ(v.posLabel[static_cast<size_t>(w)],
+              static_cast<int8_t>(v.label));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(HalfWindows, WindowProperty,
+                         ::testing::Values(1, 2, 3, 5, 10, 15));
+
+// --- voting algebra --------------------------------------------------------------
+
+StageProbs uniformExcept(Stage s, std::vector<float> dist) {
+  StageProbs p;
+  for (int i = 0; i < kNumStages; ++i) {
+    const auto n = static_cast<size_t>(numClasses(static_cast<Stage>(i)));
+    p.probs[static_cast<size_t>(i)].assign(n, 1.0F / static_cast<float>(n));
+  }
+  p.probs[static_cast<size_t>(s)] = std::move(dist);
+  return p;
+}
+
+class VotingProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VotingProperty, DecisionInvariants) {
+  Rng rng(GetParam());
+  const Engine e{EngineConfig{}};  // voting needs no trained model
+
+  // Random stage-1 distributions for a variable with 1..6 VUCs.
+  const int n = static_cast<int>(rng.uniformInt(1, 6));
+  std::vector<StageProbs> probs;
+  for (int i = 0; i < n; ++i) {
+    const auto p1 = static_cast<float>(rng.uniform(0.01, 0.99));
+    probs.push_back(uniformExcept(Stage::S1, {1.0F - p1, p1}));
+  }
+
+  const VariableDecision d = e.voteVariable(probs, 0.9F, true);
+
+  // Permutation invariance.
+  std::vector<StageProbs> shuffled = probs;
+  rng.shuffle(shuffled);
+  EXPECT_EQ(e.voteVariable(shuffled, 0.9F, true).stageClass,
+            d.stageClass);
+
+  // Duplication invariance: voting on the doubled multiset agrees (sums
+  // scale by exactly 2).
+  std::vector<StageProbs> doubled = probs;
+  doubled.insert(doubled.end(), probs.begin(), probs.end());
+  EXPECT_EQ(e.voteVariable(doubled, 0.9F, true).stageClass, d.stageClass);
+
+  // The final type's root-to-leaf path is consistent with the per-stage
+  // classes the vote reports.
+  const StagePath path = pathOf(d.finalType);
+  for (int i = 0; i < path.length; ++i) {
+    const Stage s = path.stages[static_cast<size_t>(i)];
+    EXPECT_EQ(stageClassOf(s, d.finalType),
+              d.stageClass[static_cast<size_t>(s)]);
+  }
+
+  // Single-VUC voting without clipping = plain argmax routing.
+  const std::vector<StageProbs> one = {probs[0]};
+  const VariableDecision d1 = e.voteVariable(one, 0.9F, false);
+  const int s1 = probs[0].probs[0][1] > probs[0].probs[0][0] ? 1 : 0;
+  EXPECT_EQ(d1.stageClass[0], s1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VotingProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// Clipping monotonicity: raising a single VUC's winning confidence above
+// the threshold can only help that class.
+TEST(VotingClip, PromotionNeverHurtsTheConfidentClass) {
+  const Engine e{EngineConfig{}};
+  for (float base = 0.55F; base < 0.9F; base += 0.05F) {
+    const std::vector<StageProbs> weak = {
+        uniformExcept(Stage::S1, {1.0F - base, base}),
+        uniformExcept(Stage::S1, {0.6F, 0.4F}),
+    };
+    const std::vector<StageProbs> strong = {
+        uniformExcept(Stage::S1, {0.05F, 0.95F}),  // clipped to 1.0
+        uniformExcept(Stage::S1, {0.6F, 0.4F}),
+    };
+    const int weakCls = e.voteVariable(weak, 0.9F, true).stageClass[0];
+    const int strongCls = e.voteVariable(strong, 0.9F, true).stageClass[0];
+    // If the weak vote already chose class 1, the strong one must too.
+    if (weakCls == 1) {
+      EXPECT_EQ(strongCls, 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cati

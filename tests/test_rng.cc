@@ -1,0 +1,99 @@
+// Tests for the deterministic RNG wrapper: reproducibility, ranges,
+// weighted sampling and stream forking.
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace cati {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(7);
+  bool sawLo = false;
+  bool sawHi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.uniformInt(2, 5);
+    ASSERT_GE(v, 2);
+    ASSERT_LE(v, 5);
+    sawLo |= v == 2;
+    sawHi |= v == 5;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, UniformRealHalfOpen) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(0.25, 0.75);
+    ASSERT_GE(v, 0.25);
+    ASSERT_LT(v, 0.75);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(11);
+  const std::array<double, 3> w = {0.0, 9.0, 1.0};
+  std::array<int, 3> hist{};
+  for (int i = 0; i < 5000; ++i) {
+    ++hist[rng.weightedIndex(w)];
+  }
+  EXPECT_EQ(hist[0], 0);          // zero weight never drawn
+  EXPECT_GT(hist[1], hist[2] * 5);  // 9:1 ratio roughly holds
+}
+
+TEST(Rng, ChoicePicksFromItems) {
+  Rng rng(13);
+  const std::vector<int> items = {10, 20, 30};
+  for (int i = 0; i < 50; ++i) {
+    const int v = rng.choice(items);
+    EXPECT_TRUE(v == 10 || v == 20 || v == 30);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Rng, ForkedStreamsDiverge) {
+  Rng a(21);
+  const uint64_t f1 = a.fork();
+  const uint64_t f2 = a.fork();
+  EXPECT_NE(f1, f2);
+  Rng c1(f1);
+  Rng c2(f2);
+  EXPECT_NE(c1.next(), c2.next());
+}
+
+TEST(Rng, NormalIsCentred) {
+  Rng rng(29);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) sum += rng.normal(2.0F, 1.0F);
+  EXPECT_NEAR(sum / 20000.0, 2.0, 0.05);
+}
+
+}  // namespace
+}  // namespace cati

@@ -1,0 +1,106 @@
+// Tests for the binary serialization helpers (common/serialize.h): POD /
+// string / vector round-trips, header validation, truncation and corrupt
+// length guards.
+#include "common/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+
+namespace cati::io {
+namespace {
+
+TEST(Serialize, PodRoundTrip) {
+  std::stringstream ss;
+  Writer w(ss);
+  w.pod<int32_t>(-42);
+  w.pod<uint64_t>(1ULL << 60);
+  w.pod<float>(3.25F);
+  w.pod<uint8_t>(7);
+  Reader r(ss);
+  EXPECT_EQ(r.pod<int32_t>(), -42);
+  EXPECT_EQ(r.pod<uint64_t>(), 1ULL << 60);
+  EXPECT_FLOAT_EQ(r.pod<float>(), 3.25F);
+  EXPECT_EQ(r.pod<uint8_t>(), 7);
+}
+
+TEST(Serialize, StringRoundTrip) {
+  std::stringstream ss;
+  Writer w(ss);
+  w.str("");
+  w.str("hello world");
+  w.str(std::string("emb\0edded", 9));
+  Reader r(ss);
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.str(), "hello world");
+  EXPECT_EQ(r.str(), std::string("emb\0edded", 9));
+}
+
+TEST(Serialize, VectorRoundTrip) {
+  std::stringstream ss;
+  Writer w(ss);
+  const std::vector<float> v = {1.0F, -2.5F, 0.0F};
+  const std::vector<int8_t> e;
+  w.vec(v);
+  w.vec(e);
+  Reader r(ss);
+  EXPECT_EQ(r.vec<float>(), v);
+  EXPECT_TRUE(r.vec<int8_t>().empty());
+}
+
+TEST(Serialize, TruncatedPodThrows) {
+  std::stringstream ss;
+  Writer w(ss);
+  w.pod<uint8_t>(1);
+  Reader r(ss);
+  r.pod<uint8_t>();
+  EXPECT_THROW(r.pod<uint64_t>(), std::runtime_error);
+}
+
+TEST(Serialize, TruncatedStringThrows) {
+  std::stringstream full;
+  Writer w(full);
+  w.str("0123456789");
+  std::string bytes = full.str();
+  bytes.resize(bytes.size() - 4);
+  std::stringstream cut(bytes);
+  Reader r(cut);
+  EXPECT_THROW(r.str(), std::runtime_error);
+}
+
+TEST(Serialize, CorruptLengthGuard) {
+  // A length prefix of ~2^63 must be rejected before allocation.
+  std::stringstream ss;
+  Writer w(ss);
+  w.pod<uint64_t>(1ULL << 62);
+  Reader r(ss);
+  EXPECT_THROW(r.str(), std::runtime_error);
+}
+
+TEST(Serialize, HeaderMatch) {
+  std::stringstream ss;
+  Writer w(ss);
+  writeHeader(w, 0xabcd1234, 3);
+  Reader r(ss);
+  EXPECT_NO_THROW(expectHeader(r, 0xabcd1234, 3, "test"));
+}
+
+TEST(Serialize, HeaderBadMagicThrows) {
+  std::stringstream ss;
+  Writer w(ss);
+  writeHeader(w, 0x11111111, 1);
+  Reader r(ss);
+  EXPECT_THROW(expectHeader(r, 0x22222222, 1, "test"), std::runtime_error);
+}
+
+TEST(Serialize, HeaderBadVersionThrows) {
+  std::stringstream ss;
+  Writer w(ss);
+  writeHeader(w, 0x11111111, 2);
+  Reader r(ss);
+  EXPECT_THROW(expectHeader(r, 0x11111111, 1, "test"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cati::io

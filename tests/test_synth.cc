@@ -1,0 +1,221 @@
+// Tests for the synthetic compiler: determinism, ground-truth consistency,
+// frame layout, dialect fingerprints, optimization-level effects and the
+// statistical properties the reproduction depends on (type mix, orphan
+// share, clustering).
+#include "synth/synth.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "corpus/corpus.h"
+#include "debuginfo/debuginfo.h"
+
+namespace cati::synth {
+namespace {
+
+Binary smallBinary(Dialect d = Dialect::Gcc, int opt = 2, uint64_t seed = 7) {
+  return generateBinary(defaultProfile("t", 0x77, 8), d, opt, seed);
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  const Binary a = smallBinary();
+  const Binary b = smallBinary();
+  ASSERT_EQ(a.funcs.size(), b.funcs.size());
+  for (size_t f = 0; f < a.funcs.size(); ++f) {
+    ASSERT_EQ(a.funcs[f].insns.size(), b.funcs[f].insns.size());
+    for (size_t i = 0; i < a.funcs[f].insns.size(); ++i) {
+      EXPECT_EQ(asmx::toString(a.funcs[f].insns[i]),
+                asmx::toString(b.funcs[f].insns[i]));
+    }
+    EXPECT_EQ(a.funcs[f].varOfInsn, b.funcs[f].varOfInsn);
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const Binary a = smallBinary(Dialect::Gcc, 2, 7);
+  const Binary b = smallBinary(Dialect::Gcc, 2, 8);
+  bool differs = a.funcs.size() != b.funcs.size();
+  for (size_t f = 0; !differs && f < a.funcs.size(); ++f) {
+    differs = a.funcs[f].insns.size() != b.funcs[f].insns.size();
+  }
+  // Same profile, different seed: instruction streams should not coincide.
+  if (!differs) {
+    differs = asmx::toString(a.funcs[0].insns[5]) !=
+              asmx::toString(b.funcs[0].insns[5]);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Generator, GroundTruthShape) {
+  const Binary bin = smallBinary();
+  for (const FunctionCode& fn : bin.funcs) {
+    ASSERT_EQ(fn.insns.size(), fn.varOfInsn.size());
+    ASSERT_FALSE(fn.vars.empty());
+    for (const int32_t v : fn.varOfInsn) {
+      EXPECT_GE(v, -1);
+      EXPECT_LT(v, static_cast<int32_t>(fn.vars.size()));
+    }
+    // Every tagged instruction references its variable's frame slot, its
+    // member area, or operates it indirectly (call-adjacent / lea'd). At
+    // minimum each variable must have >= 1 tagged instruction.
+    std::set<int32_t> tagged;
+    for (const int32_t v : fn.varOfInsn) {
+      if (v >= 0) tagged.insert(v);
+    }
+    EXPECT_EQ(tagged.size(), fn.vars.size()) << fn.name;
+  }
+}
+
+TEST(Generator, FrameOffsetsAreDisjoint) {
+  const Binary bin = smallBinary();
+  for (const FunctionCode& fn : bin.funcs) {
+    // Variable byte ranges must not overlap.
+    std::vector<std::pair<int64_t, int64_t>> ranges;
+    for (const Variable& v : fn.vars) {
+      ranges.emplace_back(v.frameOffset,
+                          v.frameOffset + static_cast<int64_t>(v.byteSize));
+    }
+    std::sort(ranges.begin(), ranges.end());
+    for (size_t i = 1; i < ranges.size(); ++i) {
+      EXPECT_LE(ranges[i - 1].second, ranges[i].first) << fn.name;
+    }
+  }
+}
+
+TEST(Generator, O0UsesRbpFrames) {
+  const Binary bin = smallBinary(Dialect::Gcc, 0);
+  for (const FunctionCode& fn : bin.funcs) {
+    EXPECT_TRUE(fn.rbpFrame);
+    EXPECT_EQ(fn.insns[0].mnem, "push");
+    for (const Variable& v : fn.vars) EXPECT_LT(v.frameOffset, 0);
+  }
+}
+
+TEST(Generator, GccO2UsesRspFrames) {
+  const Binary bin = smallBinary(Dialect::Gcc, 2);
+  for (const FunctionCode& fn : bin.funcs) {
+    EXPECT_FALSE(fn.rbpFrame);
+    for (const Variable& v : fn.vars) EXPECT_GT(v.frameOffset, 0);
+  }
+}
+
+TEST(Generator, DialectFingerprints) {
+  // GCC zeroes the return register with `mov $0x0,%eax`, Clang with
+  // `xor %eax,%eax` — the idiom the §VIII compiler-ID classifier keys on.
+  const auto hasIdiom = [](const Binary& bin, const char* mnem,
+                           asmx::Operand::Kind firstKind) {
+    for (const FunctionCode& fn : bin.funcs) {
+      for (const auto& ins : fn.insns) {
+        if (ins.mnem == mnem && ins.ops[0].kind == firstKind &&
+            ins.ops[1].kind == asmx::Operand::Kind::Reg &&
+            ins.ops[1].reg.reg == asmx::Reg::Rax) {
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(hasIdiom(smallBinary(Dialect::Gcc), "mov",
+                       asmx::Operand::Kind::Imm));
+  EXPECT_TRUE(hasIdiom(smallBinary(Dialect::Clang), "xor",
+                       asmx::Operand::Kind::Reg));
+  // GCC never zeroes with xor.
+  EXPECT_FALSE(hasIdiom(smallBinary(Dialect::Gcc), "xor",
+                        asmx::Operand::Kind::Reg));
+}
+
+TEST(Generator, DebugInfoMatchesGroundTruth) {
+  const Binary bin = smallBinary();
+  ASSERT_EQ(bin.debug.functions.size(), bin.funcs.size());
+  uint64_t pc = 0;
+  for (size_t f = 0; f < bin.funcs.size(); ++f) {
+    const FunctionCode& fn = bin.funcs[f];
+    const debuginfo::FunctionDie& die = bin.debug.functions[f];
+    EXPECT_EQ(die.lowPc, pc);
+    EXPECT_EQ(die.highPc, pc + fn.insns.size());
+    pc = die.highPc;
+    ASSERT_EQ(die.variables.size(), fn.vars.size());
+    for (size_t v = 0; v < fn.vars.size(); ++v) {
+      EXPECT_EQ(die.variables[v].frameOffset, fn.vars[v].frameOffset);
+      const auto cls = debuginfo::classify(bin.debug, die.variables[v].typeIndex);
+      ASSERT_TRUE(cls.has_value());
+      EXPECT_EQ(*cls, fn.vars[v].label)
+          << fn.name << " var " << fn.vars[v].name;
+    }
+  }
+}
+
+TEST(Generator, ProfilesControlTypeMix) {
+  AppProfile p = defaultProfile("nofloat", 3, 20);
+  p.typeWeights[static_cast<int>(TypeLabel::Float)] = 0;
+  p.typeWeights[static_cast<int>(TypeLabel::Double)] = 0;
+  p.typeWeights[static_cast<int>(TypeLabel::LongDouble)] = 0;
+  const Binary bin = generateBinary(p, Dialect::Gcc, 2, 5);
+  for (const FunctionCode& fn : bin.funcs) {
+    for (const Variable& v : fn.vars) {
+      EXPECT_NE(familyOf(v.label), Family::FloatF);
+    }
+  }
+}
+
+TEST(Generator, PaperTestAppsShape) {
+  const auto apps = paperTestApps();
+  ASSERT_EQ(apps.size(), 12U);
+  EXPECT_EQ(apps[0].name, "bash");
+  EXPECT_EQ(apps[9].name, "R");
+  // gzip / nano / sed have no float family (Stage 3-2 "-" in the paper).
+  for (const auto& app : apps) {
+    if (app.name == "gzip" || app.name == "nano" || app.name == "sed") {
+      EXPECT_EQ(app.typeWeights[static_cast<int>(TypeLabel::Double)], 0.0);
+      EXPECT_EQ(app.typeWeights[static_cast<int>(TypeLabel::Float)], 0.0);
+    }
+  }
+  // R is the largest app (Table VI support ordering).
+  for (const auto& app : apps) {
+    if (app.name != "R") {
+      EXPECT_LT(app.numFunctions, apps[9].numFunctions);
+    }
+  }
+}
+
+TEST(Generator, CorpusCoversAllOptLevels) {
+  const auto corpus = generateCorpus(2, 6, Dialect::Gcc, 9);
+  ASSERT_EQ(corpus.size(), 8U);  // 2 apps x O0..O3
+  std::set<int> opts;
+  for (const Binary& b : corpus) opts.insert(b.optLevel);
+  EXPECT_EQ(opts, (std::set<int>{0, 1, 2, 3}));
+}
+
+// Statistical properties: higher optimization produces more orphan
+// variables (register promotion) — the generator's analog of the paper's
+// observation that data-flow gets thinner in optimized code.
+TEST(Generator, OptimizationIncreasesOrphanShare) {
+  const auto orphanShare = [](int opt) {
+    const Binary bin = generateBinary(defaultProfile("o", 0x5, 60),
+                                      Dialect::Gcc, opt, 11);
+    const auto ds = corpus::extractGroundTruth(bin);
+    return corpus::computeStats(ds).orphanShare();
+  };
+  EXPECT_LT(orphanShare(0), orphanShare(3));
+}
+
+TEST(Generator, TypeMixFollowsWeights) {
+  // With the base weights, int + struct* should dominate (paper Table V).
+  const Binary bin = generateBinary(defaultProfile("mix", 0x9, 120),
+                                    Dialect::Gcc, 2, 13);
+  std::map<TypeLabel, int> hist;
+  int total = 0;
+  for (const FunctionCode& fn : bin.funcs) {
+    for (const Variable& v : fn.vars) {
+      ++hist[v.label];
+      ++total;
+    }
+  }
+  EXPECT_GT(hist[TypeLabel::Int] + hist[TypeLabel::StructPtr], total / 4);
+  EXPECT_LT(hist[TypeLabel::ShortInt], total / 20);
+}
+
+}  // namespace
+}  // namespace cati::synth

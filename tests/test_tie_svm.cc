@@ -1,0 +1,133 @@
+// Tests for the TIE-style lattice baseline and the linear SVM baseline.
+#include <gtest/gtest.h>
+
+#include "baseline/svm.h"
+#include "baseline/tie.h"
+#include "synth/synth.h"
+
+namespace cati::baseline {
+namespace {
+
+corpus::Vuc vucWithTarget(const char* mnem, const char* op1,
+                          const char* op2) {
+  corpus::Vuc v;
+  v.window.resize(21);
+  v.posLabel.assign(21, -1);
+  v.window[10] = {mnem, op1, op2};
+  return v;
+}
+
+TEST(Tie, EvidenceGathering) {
+  const std::vector<corpus::Vuc> vucs = {
+      vucWithTarget("movss", "IMM(%rsp)", "%xmm0"),
+      vucWithTarget("movss", "%xmm0", "IMM(%rsp)"),
+  };
+  const TieEvidence ev = TieBaseline::gather(vucs);
+  EXPECT_TRUE(ev.sse);
+  EXPECT_FALSE(ev.x87);
+  EXPECT_EQ(ev.width, 4);
+  EXPECT_EQ(TieBaseline::resolve(ev), TypeLabel::Float);
+}
+
+TEST(Tie, LatticeResolution) {
+  TieBaseline tie;
+  // x87 wins everything.
+  EXPECT_EQ(tie.predictVariable(
+                std::vector<corpus::Vuc>{vucWithTarget("fldt", "IMM(%rsp)",
+                                                       "BLANK")}),
+            TypeLabel::LongDouble);
+  // Double by 8-byte SSE width.
+  EXPECT_EQ(tie.predictVariable(std::vector<corpus::Vuc>{
+                vucWithTarget("movsd", "%xmm1", "IMM(%rsp)")}),
+            TypeLabel::Double);
+  // lea + byte member stores => struct.
+  EXPECT_EQ(tie.predictVariable(std::vector<corpus::Vuc>{
+                vucWithTarget("lea", "IMM(%rsp)", "%rax"),
+                vucWithTarget("movb", "$IMM", "IMM(%rsp)")}),
+            TypeLabel::Struct);
+  // Null checks + stride => pointer.
+  EXPECT_EQ(tie.predictVariable(std::vector<corpus::Vuc>{
+                vucWithTarget("cmpq", "$IMM", "IMM(%rsp)"),
+                vucWithTarget("addq", "$IMM", "IMM(%rsp)")}),
+            TypeLabel::StructPtr);
+  // 8-byte arithmetic without pointer idioms + unsigned evidence => ulong.
+  EXPECT_EQ(tie.predictVariable(std::vector<corpus::Vuc>{
+                vucWithTarget("mov", "IMM(%rsp)", "%rax"),
+                vucWithTarget("movzwl", "IMM(%rsp)", "%eax"),
+                vucWithTarget("mov", "IMM(%rsp)", "%rdx")}),
+            TypeLabel::ULongInt);
+  // setcc + byte => bool.
+  EXPECT_EQ(tie.predictVariable(std::vector<corpus::Vuc>{
+                vucWithTarget("movb", "$IMM", "IMM(%rsp)"),
+                vucWithTarget("xorb", "$IMM", "IMM(%rsp)")}),
+            TypeLabel::Bool);
+  // Sign-extended byte => char.
+  EXPECT_EQ(tie.predictVariable(std::vector<corpus::Vuc>{
+                vucWithTarget("movsbl", "IMM(%rsp)", "%eax")}),
+            TypeLabel::Char);
+  // Zero-extended short => unsigned short.
+  EXPECT_EQ(tie.predictVariable(std::vector<corpus::Vuc>{
+                vucWithTarget("movzwl", "IMM(%rsp)", "%eax")}),
+            TypeLabel::UShortInt);
+}
+
+TEST(Tie, BeatsChanceOnRealCorpus) {
+  const synth::Binary bin = synth::generateBinary(
+      synth::defaultProfile("tie", 0x6, 20), synth::Dialect::Gcc, 2, 91);
+  const corpus::Dataset test = corpus::extractGroundTruth(bin);
+  const auto byVar = test.vucsByVar();
+  TieBaseline tie;
+  size_t ok = 0;
+  size_t total = 0;
+  for (size_t v = 0; v < byVar.size(); ++v) {
+    if (byVar[v].empty() || test.vars[v].label == TypeLabel::kCount) continue;
+    std::vector<corpus::Vuc> vucs;
+    for (const uint32_t i : byVar[v]) vucs.push_back(test.vucs[i]);
+    ++total;
+    if (tie.predictVariable(vucs) == test.vars[v].label) ++ok;
+  }
+  // Rule-based with zero training: clearly above 19-class chance.
+  EXPECT_GT(static_cast<double>(ok) / static_cast<double>(total), 0.25);
+}
+
+TEST(Svm, LearnsAndGeneralizes) {
+  const auto bins = synth::generateCorpus(4, 10, synth::Dialect::Gcc, 31);
+  const corpus::Dataset train = corpus::extractAll(bins, 10);
+  SvmConfig cfg;
+  cfg.epochs = 2;
+  SvmBaseline svm(cfg);
+  svm.train(train);
+
+  const synth::Binary bin = synth::generateBinary(
+      synth::defaultProfile("svmtest", 0x6, 16), synth::Dialect::Gcc, 2, 91);
+  const corpus::Dataset test = corpus::extractGroundTruth(bin);
+  const auto byVar = test.vucsByVar();
+  size_t ok = 0;
+  size_t total = 0;
+  for (size_t v = 0; v < byVar.size(); ++v) {
+    if (byVar[v].empty() || test.vars[v].label == TypeLabel::kCount) continue;
+    std::vector<corpus::Vuc> vucs;
+    for (const uint32_t i : byVar[v]) vucs.push_back(test.vucs[i]);
+    ++total;
+    if (svm.predictVariable(vucs) == test.vars[v].label) ++ok;
+  }
+  // A windowed linear model should comfortably beat the no-context floor.
+  EXPECT_GT(static_cast<double>(ok) / static_cast<double>(total), 0.45);
+}
+
+TEST(Svm, DeterministicPredictions) {
+  const auto bins = synth::generateCorpus(2, 6, synth::Dialect::Gcc, 5);
+  const corpus::Dataset train = corpus::extractAll(bins, 10);
+  SvmConfig cfg;
+  cfg.epochs = 1;
+  SvmBaseline a(cfg);
+  SvmBaseline b(cfg);
+  a.train(train);
+  b.train(train);
+  for (size_t i = 0; i < 50 && i < train.vucs.size(); ++i) {
+    EXPECT_EQ(a.predictVuc(train.vucs[i]), b.predictVuc(train.vucs[i]));
+  }
+}
+
+}  // namespace
+}  // namespace cati::baseline

@@ -1,0 +1,138 @@
+// Tests for the 19-type taxonomy and the six-stage tree (common/types.h).
+#include "common/types.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cati {
+namespace {
+
+TEST(Types, NamesRoundTrip) {
+  for (const TypeLabel t : allTypes()) {
+    const auto back = typeFromName(typeName(t));
+    ASSERT_TRUE(back.has_value()) << typeName(t);
+    EXPECT_EQ(*back, t);
+  }
+}
+
+TEST(Types, UnknownNameRejected) {
+  EXPECT_FALSE(typeFromName("union").has_value());
+  EXPECT_FALSE(typeFromName("").has_value());
+  EXPECT_FALSE(typeFromName("INT").has_value());
+}
+
+TEST(Types, PointerPredicateMatchesFamily) {
+  for (const TypeLabel t : allTypes()) {
+    EXPECT_EQ(isPointer(t), familyOf(t) == Family::Pointer) << typeName(t);
+  }
+}
+
+TEST(Types, StageClassCounts) {
+  EXPECT_EQ(numClasses(Stage::S1), 2);
+  EXPECT_EQ(numClasses(Stage::S2_1), 3);
+  EXPECT_EQ(numClasses(Stage::S2_2), 5);
+  EXPECT_EQ(numClasses(Stage::S3_1), 2);
+  EXPECT_EQ(numClasses(Stage::S3_2), 3);
+  EXPECT_EQ(numClasses(Stage::S3_3), 9);
+}
+
+// The 19 leaves partition exactly across the tree: each type has a unique
+// root-to-leaf path, and routing its per-stage classes re-derives the type.
+TEST(Types, EveryTypeHasConsistentPath) {
+  for (const TypeLabel t : allTypes()) {
+    const StagePath p = pathOf(t);
+    ASSERT_GE(p.length, 2) << typeName(t);
+    ASSERT_LE(p.length, 3) << typeName(t);
+    EXPECT_EQ(p.stages[0], Stage::S1);
+    // Walk the path using stageClassOf and confirm it terminates at t.
+    Stage s = Stage::S1;
+    for (int d = 0;; ++d) {
+      ASSERT_LT(d, 3);
+      ASSERT_EQ(p.stages[d], s);
+      const int cls = stageClassOf(s, t);
+      ASSERT_GE(cls, 0) << typeName(t) << " at " << stageName(s);
+      const auto leaf = leafOf(s, cls);
+      const auto next = nextStage(s, cls);
+      ASSERT_TRUE(leaf.has_value() != next.has_value());
+      if (leaf) {
+        EXPECT_EQ(*leaf, t) << typeName(t);
+        EXPECT_EQ(d + 1, p.length);
+        break;
+      }
+      s = *next;
+    }
+  }
+}
+
+// Types not on a stage's subtree must return -1 there.
+TEST(Types, OffPathStagesReturnMinusOne) {
+  EXPECT_EQ(stageClassOf(Stage::S2_1, TypeLabel::Int), -1);
+  EXPECT_EQ(stageClassOf(Stage::S2_2, TypeLabel::VoidPtr), -1);
+  EXPECT_EQ(stageClassOf(Stage::S3_1, TypeLabel::Int), -1);
+  EXPECT_EQ(stageClassOf(Stage::S3_2, TypeLabel::Char), -1);
+  EXPECT_EQ(stageClassOf(Stage::S3_3, TypeLabel::Float), -1);
+  EXPECT_EQ(stageClassOf(Stage::S3_3, TypeLabel::Struct), -1);
+}
+
+// Within each stage, class indices are a bijection onto [0, numClasses).
+TEST(Types, StageClassesAreDense) {
+  for (int si = 0; si < kNumStages; ++si) {
+    const auto s = static_cast<Stage>(si);
+    std::set<int> seen;
+    for (const TypeLabel t : allTypes()) {
+      const int c = stageClassOf(s, t);
+      if (c >= 0) {
+        EXPECT_LT(c, numClasses(s));
+        seen.insert(c);
+      }
+    }
+    EXPECT_EQ(static_cast<int>(seen.size()), numClasses(s))
+        << stageName(s);
+  }
+}
+
+// leafOf and nextStage are mutually exclusive and exhaustive per class.
+TEST(Types, LeafXorNextForEveryClass) {
+  for (int si = 0; si < kNumStages; ++si) {
+    const auto s = static_cast<Stage>(si);
+    for (int c = 0; c < numClasses(s); ++c) {
+      const auto leaf = leafOf(s, c);
+      const auto next = nextStage(s, c);
+      EXPECT_TRUE(leaf.has_value() != next.has_value())
+          << stageName(s) << " class " << c;
+    }
+  }
+}
+
+TEST(Types, FamilyPartitionSizes) {
+  int ptr = 0;
+  int intf = 0;
+  int charf = 0;
+  int floatf = 0;
+  for (const TypeLabel t : allTypes()) {
+    switch (familyOf(t)) {
+      case Family::Pointer:
+        ++ptr;
+        break;
+      case Family::IntF:
+        ++intf;
+        break;
+      case Family::CharF:
+        ++charf;
+        break;
+      case Family::FloatF:
+        ++floatf;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(ptr, 3);
+  EXPECT_EQ(intf, 9);
+  EXPECT_EQ(charf, 2);
+  EXPECT_EQ(floatf, 3);
+}
+
+}  // namespace
+}  // namespace cati

@@ -1,0 +1,90 @@
+// cati-infer — run type inference over a (stripped) image: recover the
+// variables of every function, classify and vote, and print a typed
+// variable report. When the image still has debug info, prints ground truth
+// next to each prediction and an accuracy summary.
+//
+// Usage: cati-infer MODEL.bin IMAGE.img [--confidence-min X]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <unordered_map>
+
+#include "cati/engine.h"
+#include "loader/image.h"
+
+int main(int argc, char** argv) {
+  using namespace cati;
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: cati-infer MODEL.bin IMAGE.img "
+                 "[--confidence-min X]\n");
+    return 2;
+  }
+  float confMin = 0.0F;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--confidence-min") == 0 && i + 1 < argc) {
+      confMin = std::strtof(argv[++i], nullptr);
+    }
+  }
+
+  Engine engine = Engine::loadFile(argv[1]);
+  loader::Image img;
+  {
+    std::ifstream is(argv[2], std::ios::binary);
+    if (!is) {
+      std::fprintf(stderr, "cati-infer: cannot open %s\n", argv[2]);
+      return 1;
+    }
+    img = loader::read(is);
+  }
+
+  size_t total = 0;
+  size_t withTruth = 0;
+  size_t correct = 0;
+  for (const loader::LoadedFunction& fn : loader::disassemble(img)) {
+    const auto vars = engine.analyzeFunction(fn.insns);
+    if (vars.empty()) continue;
+    std::printf("%s:\n", fn.name.c_str());
+
+    // Ground truth by frame offset, when debug info survives.
+    std::unordered_map<int64_t, TypeLabel> truth;
+    if (img.debug) {
+      for (const debuginfo::FunctionDie& die : img.debug->functions) {
+        // Match by address range (lowPc is an instruction index in the
+        // original binary; match by name instead).
+        if (die.name != fn.name) continue;
+        for (const debuginfo::VariableDie& v : die.variables) {
+          const auto cls = debuginfo::classify(*img.debug, v.typeIndex);
+          if (cls) truth[v.frameOffset] = *cls;
+        }
+      }
+    }
+
+    for (const AnalyzedVariable& av : vars) {
+      if (av.confidence < confMin) continue;
+      ++total;
+      const char* truthName = "";
+      const auto it = truth.find(av.location.offset);
+      if (it != truth.end()) {
+        ++withTruth;
+        if (it->second == av.type) ++correct;
+        truthName = typeName(it->second).data();
+      }
+      std::printf("  %s%+-6lld %-22s conf %.2f  (%zu VUCs)   %s\n",
+                  av.location.rbpFrame ? "rbp" : "rsp",
+                  static_cast<long long>(av.location.offset),
+                  std::string(typeName(av.type)).c_str(), av.confidence,
+                  av.numVucs, truthName);
+    }
+  }
+  std::printf("\n%zu variables typed", total);
+  if (withTruth > 0) {
+    std::printf("; accuracy vs surviving debug info: %.1f%% (%zu/%zu)",
+                100.0 * static_cast<double>(correct) /
+                    static_cast<double>(withTruth),
+                correct, withTruth);
+  }
+  std::printf("\n");
+  return 0;
+}

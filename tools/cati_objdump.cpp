@@ -1,0 +1,49 @@
+// cati-objdump — disassemble an image the way `objdump -d` would: function
+// headers (symbolized when possible), one instruction per line, optional
+// generalized-token view (--generalize) showing what the classifier sees.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "corpus/corpus.h"
+#include "loader/image.h"
+
+int main(int argc, char** argv) {
+  using namespace cati;
+  bool generalize = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--generalize") == 0) {
+      generalize = true;
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: cati-objdump [--generalize] IMAGE\n");
+    return 2;
+  }
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    std::fprintf(stderr, "cati-objdump: cannot open %s\n", path);
+    return 1;
+  }
+  const loader::Image img = loader::read(is);
+  std::printf("%s: %zu bytes of .text at %#llx%s\n\n", path, img.text.size(),
+              static_cast<unsigned long long>(img.baseAddr),
+              img.stripped() ? " (stripped)" : "");
+  for (const loader::LoadedFunction& fn : loader::disassemble(img)) {
+    std::printf("%016llx <%s>:\n", static_cast<unsigned long long>(fn.addr),
+                fn.name.c_str());
+    for (const asmx::Instruction& ins : fn.insns) {
+      if (generalize) {
+        std::printf("  %-40s | %s\n", asmx::toString(ins).c_str(),
+                    corpus::generalize(ins).text().c_str());
+      } else {
+        std::printf("  %s\n", asmx::toString(ins).c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+// cati-strip — remove symbol table and debug info from an image, like
+// strip(1). Usage: cati-strip IN.img [OUT.img]  (in place by default).
+#include <cstdio>
+#include <fstream>
+
+#include "loader/image.h"
+
+int main(int argc, char** argv) {
+  using namespace cati;
+  if (argc < 2 || argc > 3) {
+    std::fprintf(stderr, "usage: cati-strip IN.img [OUT.img]\n");
+    return 2;
+  }
+  const char* in = argv[1];
+  const char* out = argc == 3 ? argv[2] : argv[1];
+  loader::Image img;
+  {
+    std::ifstream is(in, std::ios::binary);
+    if (!is) {
+      std::fprintf(stderr, "cati-strip: cannot open %s\n", in);
+      return 1;
+    }
+    img = loader::read(is);
+  }
+  const size_t before = img.symbols.size();
+  loader::strip(img);
+  std::ofstream os(out, std::ios::binary);
+  if (!os) {
+    std::fprintf(stderr, "cati-strip: cannot open %s\n", out);
+    return 1;
+  }
+  loader::write(img, os);
+  std::printf("%s: removed %zu symbols and debug info -> %s\n", in, before,
+              out);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// cati-train — train a CATI engine on a generated corpus and save the model.
+//
+// Usage: cati-train MODEL.bin [--apps N] [--funcs K] [--dialect gcc|clang]
+//                   [--epochs E] [--cap C] [--hidden H] [--window W]
+//                   [--seed S] [--quiet]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "cati/engine.h"
+#include "corpus/corpus.h"
+#include "synth/synth.h"
+
+int main(int argc, char** argv) {
+  using namespace cati;
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: cati-train MODEL.bin [--apps N] [--funcs K] "
+                 "[--dialect gcc|clang] [--epochs E] [--cap C] [--hidden H] "
+                 "[--window W] [--seed S] [--quiet]\n");
+    return 2;
+  }
+  const std::string out = argv[1];
+  int apps = 10;
+  int funcs = 20;
+  synth::Dialect dialect = synth::Dialect::Gcc;
+  EngineConfig cfg;
+  cfg.verbose = true;
+  cfg.epochs = 4;
+  cfg.maxTrainPerStage = 10000;
+  cfg.fcHidden = 96;
+  uint64_t seed = 2026;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) std::exit(2);
+      return argv[++i];
+    };
+    if (arg == "--apps") {
+      apps = std::atoi(next());
+    } else if (arg == "--funcs") {
+      funcs = std::atoi(next());
+    } else if (arg == "--dialect") {
+      dialect = std::string(next()) == "clang" ? synth::Dialect::Clang
+                                               : synth::Dialect::Gcc;
+    } else if (arg == "--epochs") {
+      cfg.epochs = std::atoi(next());
+    } else if (arg == "--cap") {
+      cfg.maxTrainPerStage = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--hidden") {
+      cfg.fcHidden = std::atoi(next());
+    } else if (arg == "--window") {
+      cfg.window = std::atoi(next());
+    } else if (arg == "--seed") {
+      seed = std::strtoull(next(), nullptr, 0);
+    } else if (arg == "--quiet") {
+      cfg.verbose = false;
+    } else {
+      std::fprintf(stderr, "cati-train: unknown option %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  std::printf("generating corpus: %d apps x O0-O3 x %d functions (%s)\n",
+              apps, funcs, std::string(synth::dialectName(dialect)).c_str());
+  const auto bins = synth::generateCorpus(apps, funcs, dialect, seed);
+  const corpus::Dataset train = corpus::extractAll(bins, cfg.window);
+  std::printf("  %zu variables, %zu VUCs\n", train.vars.size(),
+              train.vucs.size());
+
+  Engine engine(cfg);
+  engine.train(train);
+  engine.saveFile(out);
+  std::printf("model written to %s\n", out.c_str());
+  return 0;
+}
