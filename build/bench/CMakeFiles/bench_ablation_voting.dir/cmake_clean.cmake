@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_voting.dir/bench_ablation_voting.cpp.o"
+  "CMakeFiles/bench_ablation_voting.dir/bench_ablation_voting.cpp.o.d"
+  "bench_ablation_voting"
+  "bench_ablation_voting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_voting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_debin_comparison.dir/bench_debin_comparison.cpp.o"
+  "CMakeFiles/bench_debin_comparison.dir/bench_debin_comparison.cpp.o.d"
+  "bench_debin_comparison"
+  "bench_debin_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_debin_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_clustering.dir/bench_fig2_clustering.cpp.o"
+  "CMakeFiles/bench_fig2_clustering.dir/bench_fig2_clustering.cpp.o.d"
+  "bench_fig2_clustering"
+  "bench_fig2_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

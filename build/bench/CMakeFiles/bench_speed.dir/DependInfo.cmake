@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_speed.cpp" "bench/CMakeFiles/bench_speed.dir/bench_speed.cpp.o" "gcc" "bench/CMakeFiles/bench_speed.dir/bench_speed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/cati/CMakeFiles/cati_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/cati_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cati_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/cati_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/cati_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/cati_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/cati_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/cati_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/debuginfo/CMakeFiles/cati_debuginfo.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmx/CMakeFiles/cati_asmx.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cati_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_speed.dir/bench_speed.cpp.o"
+  "CMakeFiles/bench_speed.dir/bench_speed.cpp.o.d"
+  "bench_speed"
+  "bench_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

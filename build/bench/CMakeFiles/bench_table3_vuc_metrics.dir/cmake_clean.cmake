@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_vuc_metrics.dir/bench_table3_vuc_metrics.cpp.o"
+  "CMakeFiles/bench_table3_vuc_metrics.dir/bench_table3_vuc_metrics.cpp.o.d"
+  "bench_table3_vuc_metrics"
+  "bench_table3_vuc_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_vuc_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

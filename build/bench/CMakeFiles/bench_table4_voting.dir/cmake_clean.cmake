@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_voting.dir/bench_table4_voting.cpp.o"
+  "CMakeFiles/bench_table4_voting.dir/bench_table4_voting.cpp.o.d"
+  "bench_table4_voting"
+  "bench_table4_voting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_voting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

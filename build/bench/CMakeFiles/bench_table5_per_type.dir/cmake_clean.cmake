@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_per_type.dir/bench_table5_per_type.cpp.o"
+  "CMakeFiles/bench_table5_per_type.dir/bench_table5_per_type.cpp.o.d"
+  "bench_table5_per_type"
+  "bench_table5_per_type.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_per_type.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

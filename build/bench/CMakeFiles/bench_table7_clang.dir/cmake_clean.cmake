@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_clang.dir/bench_table7_clang.cpp.o"
+  "CMakeFiles/bench_table7_clang.dir/bench_table7_clang.cpp.o.d"
+  "bench_table7_clang"
+  "bench_table7_clang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_clang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annotate_disassembly.dir/annotate_disassembly.cpp.o"
+  "CMakeFiles/annotate_disassembly.dir/annotate_disassembly.cpp.o.d"
+  "annotate_disassembly"
+  "annotate_disassembly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotate_disassembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

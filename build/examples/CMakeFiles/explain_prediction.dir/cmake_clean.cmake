@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_prediction.dir/explain_prediction.cpp.o"
+  "CMakeFiles/explain_prediction.dir/explain_prediction.cpp.o.d"
+  "explain_prediction"
+  "explain_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

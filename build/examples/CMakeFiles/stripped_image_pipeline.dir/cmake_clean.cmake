@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stripped_image_pipeline.dir/stripped_image_pipeline.cpp.o"
+  "CMakeFiles/stripped_image_pipeline.dir/stripped_image_pipeline.cpp.o.d"
+  "stripped_image_pipeline"
+  "stripped_image_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stripped_image_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

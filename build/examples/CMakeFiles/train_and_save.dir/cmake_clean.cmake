@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_and_save.dir/train_and_save.cpp.o"
+  "CMakeFiles/train_and_save.dir/train_and_save.cpp.o.d"
+  "train_and_save"
+  "train_and_save.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_and_save.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("asmx")
+subdirs("debuginfo")
+subdirs("synth")
+subdirs("dataflow")
+subdirs("corpus")
+subdirs("embed")
+subdirs("nn")
+subdirs("cati")
+subdirs("baseline")
+subdirs("eval")
+subdirs("loader")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asmx/decode.cc" "src/asmx/CMakeFiles/cati_asmx.dir/decode.cc.o" "gcc" "src/asmx/CMakeFiles/cati_asmx.dir/decode.cc.o.d"
+  "/root/repo/src/asmx/encode.cc" "src/asmx/CMakeFiles/cati_asmx.dir/encode.cc.o" "gcc" "src/asmx/CMakeFiles/cati_asmx.dir/encode.cc.o.d"
+  "/root/repo/src/asmx/instruction.cc" "src/asmx/CMakeFiles/cati_asmx.dir/instruction.cc.o" "gcc" "src/asmx/CMakeFiles/cati_asmx.dir/instruction.cc.o.d"
+  "/root/repo/src/asmx/reg.cc" "src/asmx/CMakeFiles/cati_asmx.dir/reg.cc.o" "gcc" "src/asmx/CMakeFiles/cati_asmx.dir/reg.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cati_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cati_asmx.dir/decode.cc.o"
+  "CMakeFiles/cati_asmx.dir/decode.cc.o.d"
+  "CMakeFiles/cati_asmx.dir/encode.cc.o"
+  "CMakeFiles/cati_asmx.dir/encode.cc.o.d"
+  "CMakeFiles/cati_asmx.dir/instruction.cc.o"
+  "CMakeFiles/cati_asmx.dir/instruction.cc.o.d"
+  "CMakeFiles/cati_asmx.dir/reg.cc.o"
+  "CMakeFiles/cati_asmx.dir/reg.cc.o.d"
+  "libcati_asmx.a"
+  "libcati_asmx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cati_asmx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cati_baseline.dir/baseline.cc.o"
+  "CMakeFiles/cati_baseline.dir/baseline.cc.o.d"
+  "CMakeFiles/cati_baseline.dir/svm.cc.o"
+  "CMakeFiles/cati_baseline.dir/svm.cc.o.d"
+  "CMakeFiles/cati_baseline.dir/tie.cc.o"
+  "CMakeFiles/cati_baseline.dir/tie.cc.o.d"
+  "libcati_baseline.a"
+  "libcati_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cati_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

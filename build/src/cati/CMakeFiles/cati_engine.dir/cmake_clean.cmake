@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cati_engine.dir/engine.cc.o"
+  "CMakeFiles/cati_engine.dir/engine.cc.o.d"
+  "libcati_engine.a"
+  "libcati_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cati_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcati_engine.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cati_common.dir/types.cc.o"
+  "CMakeFiles/cati_common.dir/types.cc.o.d"
+  "libcati_common.a"
+  "libcati_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cati_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cati_corpus.dir/corpus.cc.o"
+  "CMakeFiles/cati_corpus.dir/corpus.cc.o.d"
+  "libcati_corpus.a"
+  "libcati_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cati_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cati_dataflow.dir/recovery.cc.o"
+  "CMakeFiles/cati_dataflow.dir/recovery.cc.o.d"
+  "libcati_dataflow.a"
+  "libcati_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cati_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cati_debuginfo.dir/debuginfo.cc.o"
+  "CMakeFiles/cati_debuginfo.dir/debuginfo.cc.o.d"
+  "libcati_debuginfo.a"
+  "libcati_debuginfo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cati_debuginfo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cati_debuginfo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cati_embed.dir/word2vec.cc.o"
+  "CMakeFiles/cati_embed.dir/word2vec.cc.o.d"
+  "libcati_embed.a"
+  "libcati_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cati_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

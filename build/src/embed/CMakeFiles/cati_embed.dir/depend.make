@@ -1,0 +1,2 @@
+# Empty dependencies file for cati_embed.
+# This may be replaced when dependencies are built.

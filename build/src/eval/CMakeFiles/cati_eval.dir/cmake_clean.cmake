@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cati_eval.dir/metrics.cc.o"
+  "CMakeFiles/cati_eval.dir/metrics.cc.o.d"
+  "libcati_eval.a"
+  "libcati_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cati_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

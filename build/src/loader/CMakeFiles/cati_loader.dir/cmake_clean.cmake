@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cati_loader.dir/image.cc.o"
+  "CMakeFiles/cati_loader.dir/image.cc.o.d"
+  "libcati_loader.a"
+  "libcati_loader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cati_loader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

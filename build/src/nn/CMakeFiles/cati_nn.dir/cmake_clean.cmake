@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cati_nn.dir/nn.cc.o"
+  "CMakeFiles/cati_nn.dir/nn.cc.o.d"
+  "libcati_nn.a"
+  "libcati_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cati_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cati_synth.dir/codelets.cc.o"
+  "CMakeFiles/cati_synth.dir/codelets.cc.o.d"
+  "CMakeFiles/cati_synth.dir/generator.cc.o"
+  "CMakeFiles/cati_synth.dir/generator.cc.o.d"
+  "libcati_synth.a"
+  "libcati_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cati_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcati_synth.a"
+)

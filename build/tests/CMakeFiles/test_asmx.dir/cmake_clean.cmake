@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asmx.dir/test_asmx.cc.o"
+  "CMakeFiles/test_asmx.dir/test_asmx.cc.o.d"
+  "test_asmx"
+  "test_asmx.pdb"
+  "test_asmx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asmx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_debuginfo.dir/test_debuginfo.cc.o"
+  "CMakeFiles/test_debuginfo.dir/test_debuginfo.cc.o.d"
+  "test_debuginfo"
+  "test_debuginfo.pdb"
+  "test_debuginfo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_debuginfo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

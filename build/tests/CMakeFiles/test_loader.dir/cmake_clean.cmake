@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loader.dir/test_loader.cc.o"
+  "CMakeFiles/test_loader.dir/test_loader.cc.o.d"
+  "test_loader"
+  "test_loader.pdb"
+  "test_loader[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

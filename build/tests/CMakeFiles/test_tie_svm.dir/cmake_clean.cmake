@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tie_svm.dir/test_tie_svm.cc.o"
+  "CMakeFiles/test_tie_svm.dir/test_tie_svm.cc.o.d"
+  "test_tie_svm"
+  "test_tie_svm.pdb"
+  "test_tie_svm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tie_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cati-infer.dir/cati_infer.cpp.o"
+  "CMakeFiles/cati-infer.dir/cati_infer.cpp.o.d"
+  "cati-infer"
+  "cati-infer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cati-infer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

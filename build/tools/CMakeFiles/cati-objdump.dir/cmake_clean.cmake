@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cati-objdump.dir/cati_objdump.cpp.o"
+  "CMakeFiles/cati-objdump.dir/cati_objdump.cpp.o.d"
+  "cati-objdump"
+  "cati-objdump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cati-objdump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cati-strip.dir/cati_strip.cpp.o"
+  "CMakeFiles/cati-strip.dir/cati_strip.cpp.o.d"
+  "cati-strip"
+  "cati-strip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cati-strip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

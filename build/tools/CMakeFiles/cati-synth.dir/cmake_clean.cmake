@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cati-synth.dir/cati_synth.cpp.o"
+  "CMakeFiles/cati-synth.dir/cati_synth.cpp.o.d"
+  "cati-synth"
+  "cati-synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cati-synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

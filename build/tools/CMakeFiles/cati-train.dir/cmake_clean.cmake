@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cati-train.dir/cati_train.cpp.o"
+  "CMakeFiles/cati-train.dir/cati_train.cpp.o.d"
+  "cati-train"
+  "cati-train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cati-train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

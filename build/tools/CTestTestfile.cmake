@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tools_pipeline "bash" "-c" "/root/repo/build/tools/cati-synth tools_test.img --funcs 3 --seed 4                           && /root/repo/build/tools/cati-objdump tools_test.img > /dev/null                           && /root/repo/build/tools/cati-strip tools_test.img tools_test_s.img                           && /root/repo/build/tools/cati-objdump --generalize tools_test_s.img > /dev/null")
+set_tests_properties(tools_pipeline PROPERTIES  WORKING_DIRECTORY "/root/repo/build" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
