@@ -507,4 +507,32 @@ std::vector<Instruction> decodeAll(std::span<const uint8_t> bytes,
   return out;
 }
 
+std::vector<Instruction> decodeAllRecover(std::span<const uint8_t> bytes,
+                                          uint64_t base, DiagList* diags) {
+  std::vector<Instruction> out;
+  size_t off = 0;
+  size_t runStart = SIZE_MAX;  // first offset of the current quarantined run
+  const auto flushRun = [&](size_t end) {
+    if (runStart == SIZE_MAX) return;
+    addDiag(diags, Severity::Warning, DiagStage::Decoder, base + runStart,
+            "quarantined " + std::to_string(end - runStart) +
+                " undecodable byte(s) as .byte");
+    runStart = SIZE_MAX;
+  };
+  while (off < bytes.size()) {
+    const auto d = decode(bytes.subspan(off), base + off);
+    if (d) {
+      flushRun(off);
+      out.push_back(d->ins);
+      off += d->length;
+    } else {
+      if (runStart == SIZE_MAX) runStart = off;
+      out.push_back({kByteMnem, Operand::i(bytes[off])});
+      ++off;
+    }
+  }
+  flushRun(off);
+  return out;
+}
+
 }  // namespace cati::asmx

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "asmx/instruction.h"
+#include "common/diag.h"
 
 namespace cati::asmx {
 
@@ -39,8 +40,20 @@ struct Decoded {
 std::optional<Decoded> decode(std::span<const uint8_t> bytes, uint64_t pc);
 
 /// Decodes a whole code region; throws std::runtime_error (with the offset)
-/// on an undecodable byte sequence.
+/// on an undecodable byte sequence. Use decodeAllRecover for untrusted
+/// bytes.
 std::vector<Instruction> decodeAll(std::span<const uint8_t> bytes,
                                    uint64_t base);
+
+/// Recovering decode for hostile input — never throws. Undecodable bytes
+/// are quarantined one-by-one as `.byte` pseudo-instructions (objdump
+/// style), and decoding resynchronizes at the next decodable offset, so
+/// every input byte is accounted for and instruction addresses stay exact.
+/// Each maximal quarantined run is reported as one Warning diagnostic
+/// (offset = virtual address of the run's first byte) when `diags` is
+/// non-null.
+std::vector<Instruction> decodeAllRecover(std::span<const uint8_t> bytes,
+                                          uint64_t base,
+                                          DiagList* diags = nullptr);
 
 }  // namespace cati::asmx

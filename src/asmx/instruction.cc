@@ -260,6 +260,10 @@ std::vector<Instruction> parseListing(std::string_view text) {
   return out;
 }
 
+bool isQuarantinedByte(const Instruction& ins) {
+  return ins.mnem == kByteMnem;
+}
+
 bool isCall(const Instruction& ins) {
   return ins.mnem == "call" || ins.mnem == "callq";
 }

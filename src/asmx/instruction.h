@@ -124,6 +124,14 @@ std::vector<Instruction> parseListing(std::string_view text);
 
 // --- Instruction properties used by variable recovery -----------------------
 
+/// Pseudo-mnemonic the recovering decoder emits for a quarantined
+/// undecodable byte; the single Imm operand holds the byte value. objdump
+/// prints the same spelling for data-in-text it cannot decode.
+inline constexpr const char* kByteMnem = ".byte";
+
+/// True for the `.byte` quarantine pseudo-instruction.
+bool isQuarantinedByte(const Instruction& ins);
+
 /// True for call mnemonics (call/callq).
 bool isCall(const Instruction& ins);
 /// True for any jump, conditional or not.

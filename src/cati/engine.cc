@@ -308,38 +308,44 @@ std::vector<AnalyzedVariable> Engine::analyzeFunction(
   return out;
 }
 
+// v2: payload carried under a CRC32 trailer (io::writeChecksummed), so a
+// bit-flipped model file fails deterministically at load instead of
+// predicting from corrupt weights.
 void Engine::save(std::ostream& os) const {
   if (!trained()) throw std::logic_error("Engine::save: not trained");
-  io::Writer w(os);
-  io::writeHeader(w, 0x43454e47 /*"CENG"*/, 1);
-  w.pod(cfg_.window);
-  w.pod(cfg_.w2v.dim);
-  w.pod(cfg_.conv1);
-  w.pod(cfg_.conv2);
-  w.pod(cfg_.fcHidden);
-  w.pod(cfg_.voteClip);
-  w.pod(static_cast<uint8_t>(cfg_.clipEnabled ? 1 : 0));
-  encoder_->save(os);
-  for (const auto& s : stages_) s.save(os);
+  io::writeChecksummed(os, 0x43454e47 /*"CENG"*/, 2, [&](std::ostream& body) {
+    io::Writer w(body);
+    w.pod(cfg_.window);
+    w.pod(cfg_.w2v.dim);
+    w.pod(cfg_.conv1);
+    w.pod(cfg_.conv2);
+    w.pod(cfg_.fcHidden);
+    w.pod(cfg_.voteClip);
+    w.pod(static_cast<uint8_t>(cfg_.clipEnabled ? 1 : 0));
+    encoder_->save(body);
+    for (const auto& s : stages_) s.save(body);
+  });
 }
 
 Engine Engine::load(std::istream& is) {
-  io::Reader r(is);
-  io::expectHeader(r, 0x43454e47, 1, "engine");
-  EngineConfig cfg;
-  cfg.window = r.pod<int>();
-  cfg.w2v.dim = r.pod<int>();
-  cfg.conv1 = r.pod<int>();
-  cfg.conv2 = r.pod<int>();
-  cfg.fcHidden = r.pod<int>();
-  cfg.voteClip = r.pod<float>();
-  cfg.clipEnabled = r.pod<uint8_t>() != 0;
-  Engine e(cfg);
-  e.encoder_.emplace(embed::VucEncoder::load(is));
-  for (int s = 0; s < kNumStages; ++s) {
-    e.stages_.push_back(nn::Sequential::load(is));
-  }
-  return e;
+  return io::readChecksummed(
+      is, 0x43454e47, 2, "engine", [](std::istream& body) {
+        io::Reader r(body);
+        EngineConfig cfg;
+        cfg.window = r.pod<int>();
+        cfg.w2v.dim = r.pod<int>();
+        cfg.conv1 = r.pod<int>();
+        cfg.conv2 = r.pod<int>();
+        cfg.fcHidden = r.pod<int>();
+        cfg.voteClip = r.pod<float>();
+        cfg.clipEnabled = r.pod<uint8_t>() != 0;
+        Engine e(cfg);
+        e.encoder_.emplace(embed::VucEncoder::load(body));
+        for (int s = 0; s < kNumStages; ++s) {
+          e.stages_.push_back(nn::Sequential::load(body));
+        }
+        return e;
+      });
 }
 
 void Engine::saveFile(const std::filesystem::path& p) const {

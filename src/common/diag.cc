@@ -1,0 +1,54 @@
+#include "common/diag.h"
+
+#include <sstream>
+
+namespace cati {
+
+std::string_view severityName(Severity s) {
+  switch (s) {
+    case Severity::Note:
+      return "note";
+    case Severity::Warning:
+      return "warning";
+    default:
+      return "error";
+  }
+}
+
+std::string_view stageName(DiagStage s) {
+  switch (s) {
+    case DiagStage::Loader:
+      return "loader";
+    case DiagStage::Decoder:
+      return "decoder";
+    case DiagStage::Recovery:
+      return "recovery";
+    case DiagStage::Engine:
+      return "engine";
+    case DiagStage::Persist:
+      return "persist";
+    default:
+      return "tool";
+  }
+}
+
+std::string toString(const Diag& d) {
+  std::ostringstream os;
+  os << severityName(d.severity) << '[' << stageName(d.stage);
+  if (d.offset != 0) os << "@0x" << std::hex << d.offset;
+  os << "]: " << d.message;
+  return os.str();
+}
+
+bool hasErrors(const DiagList& diags) {
+  for (const Diag& d : diags) {
+    if (d.severity == Severity::Error) return true;
+  }
+  return false;
+}
+
+void print(const DiagList& diags, std::ostream& os) {
+  for (const Diag& d : diags) os << toString(d) << '\n';
+}
+
+}  // namespace cati

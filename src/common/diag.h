@@ -1,0 +1,60 @@
+// Structured diagnostics for the stripped-binary path. The pipeline's
+// robustness contract (README "Error handling", DESIGN.md §"Error
+// handling") is that loader -> decoder -> recovery -> engine is *total* on
+// arbitrary bytes: malformed input produces Diag records, not exceptions.
+// Exceptions remain for programmer errors (std::logic_error) and for the
+// strict persistence readers, whose callers opt into throwing behaviour.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cati {
+
+/// Pipeline stage a diagnostic originated from. (Named DiagStage because
+/// cati::Stage already names the classifier-tree stages in common/types.h.)
+enum class DiagStage : uint8_t {
+  Loader,    ///< container parsing / structural validation
+  Decoder,   ///< byte -> instruction decoding
+  Recovery,  ///< variable recovery
+  Engine,    ///< inference / voting
+  Persist,   ///< model / dataset (de)serialization
+  Tool,      ///< command-line driver
+};
+
+enum class Severity : uint8_t { Note, Warning, Error };
+
+/// One diagnostic: what went wrong, where in the pipeline, and at which
+/// byte offset / virtual address (0 when not applicable).
+struct Diag {
+  Severity severity = Severity::Error;
+  DiagStage stage = DiagStage::Loader;
+  uint64_t offset = 0;
+  std::string message;
+};
+
+using DiagList = std::vector<Diag>;
+
+std::string_view severityName(Severity s);
+std::string_view stageName(DiagStage s);
+
+/// "error[loader@0x401000]: boundary outside .text" — offset elided when 0.
+std::string toString(const Diag& d);
+
+bool hasErrors(const DiagList& diags);
+
+/// One diagnostic per line; used by the tools to report to stderr.
+void print(const DiagList& diags, std::ostream& os);
+
+/// Appends to `diags` when non-null; the recovering APIs accept a nullable
+/// sink so strict callers can pass nullptr without allocating a list.
+inline void addDiag(DiagList* diags, Severity sev, DiagStage st, uint64_t off,
+                    std::string msg) {
+  if (diags != nullptr) diags->push_back({sev, st, off, std::move(msg)});
+}
+
+}  // namespace cati

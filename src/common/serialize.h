@@ -4,17 +4,51 @@
 // Format: little-endian PODs, length-prefixed strings/vectors. Readers throw
 // std::runtime_error on truncated or corrupt input; writers throw on I/O
 // failure, so callers never silently persist half a model.
+//
+// Top-level containers (image, engine model, dataset cache) use the
+// checksummed framing below: magic + version + length-prefixed payload +
+// CRC32 trailer. A flipped bit anywhere in the payload is a deterministic
+// "checksum mismatch" error instead of a model deserialized into nonsense.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <type_traits>
 #include <vector>
 
 namespace cati::io {
+
+// --- CRC32 (reflected, poly 0xEDB88320 — the zlib/IEEE one) -----------------
+
+namespace detail {
+constexpr std::array<uint32_t, 256> makeCrcTable() {
+  std::array<uint32_t, 256> t{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+    }
+    t[i] = c;
+  }
+  return t;
+}
+inline constexpr std::array<uint32_t, 256> kCrcTable = makeCrcTable();
+}  // namespace detail
+
+/// Incremental CRC32; pass the previous return value as `crc` to continue.
+inline uint32_t crc32(const void* data, size_t n, uint32_t crc = 0) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < n; ++i) {
+    crc = detail::kCrcTable[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
 
 class Writer {
  public:
@@ -75,6 +109,7 @@ class Reader {
     requires std::is_trivially_copyable_v<T>
   std::vector<T> vec() {
     const auto n = pod<uint64_t>();
+    guardSize(n);  // element count first: n * sizeof(T) must not overflow
     guardSize(n * sizeof(T));
     std::vector<T> v(n);
     is_.read(reinterpret_cast<char*>(v.data()),
@@ -108,6 +143,63 @@ inline void expectHeader(Reader& r, uint32_t magic, uint32_t version,
     throw std::runtime_error(std::string(what) + ": bad magic");
   if (r.pod<uint32_t>() != version)
     throw std::runtime_error(std::string(what) + ": unsupported version");
+}
+
+// --- checksummed container framing ------------------------------------------
+//
+// Layout: magic u32 | version u32 | payloadSize u64 | payload | crc32 u32.
+// The payload is produced/consumed by a callable so existing section writers
+// compose unchanged; the buffer also makes the CRC cover nested sections
+// (debug info inside an image, per-stage networks inside a model) that use
+// their own Writer instances.
+
+template <typename Fn>
+void writeChecksummed(std::ostream& os, uint32_t magic, uint32_t version,
+                      Fn&& body) {
+  std::ostringstream buf;
+  body(static_cast<std::ostream&>(buf));
+  const std::string payload = std::move(buf).str();
+  Writer w(os);
+  writeHeader(w, magic, version);
+  w.pod<uint64_t>(payload.size());
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  // pod() below also verifies the payload write via its stream check.
+  w.pod<uint32_t>(crc32(payload.data(), payload.size()));
+}
+
+/// Returns whatever `body(payloadStream)` returns. Throws std::runtime_error
+/// naming `what` on bad magic, unsupported version, truncation, or CRC
+/// mismatch — before `body` ever sees a corrupt byte.
+template <typename Fn>
+auto readChecksummed(std::istream& is, uint32_t magic, uint32_t version,
+                     const char* what, Fn&& body) {
+  Reader r(is);
+  expectHeader(r, magic, version, what);
+  const auto n = r.pod<uint64_t>();
+  if (n > (1ULL << 34)) {
+    throw std::runtime_error(std::string(what) + ": corrupt payload length");
+  }
+  // Chunked read: a hostile length field only ever costs one chunk of
+  // allocation beyond the bytes actually present in the stream.
+  std::string payload;
+  for (uint64_t remaining = n; remaining > 0;) {
+    const auto take = static_cast<size_t>(
+        remaining < (1ULL << 20) ? remaining : (1ULL << 20));
+    const size_t old = payload.size();
+    payload.resize(old + take);
+    is.read(payload.data() + old, static_cast<std::streamsize>(take));
+    if (!is) {
+      throw std::runtime_error(std::string(what) + ": truncated input");
+    }
+    remaining -= take;
+  }
+  const auto stored = r.pod<uint32_t>();
+  if (crc32(payload.data(), payload.size()) != stored) {
+    throw std::runtime_error(std::string(what) +
+                             ": checksum mismatch (corrupt file)");
+  }
+  std::istringstream ps(std::move(payload));
+  return body(static_cast<std::istream&>(ps));
 }
 
 }  // namespace cati::io

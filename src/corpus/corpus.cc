@@ -350,65 +350,86 @@ std::vector<std::pair<uint32_t, uint32_t>> findUncertainPairs(
   return pairs;
 }
 
+// v2: payload under a CRC32 trailer so a corrupt cache file is detected at
+// load instead of training/evaluating on garbage VUCs.
 void save(const Dataset& ds, std::ostream& os) {
-  io::Writer w(os);
-  io::writeHeader(w, 0x43445354 /*"CDST"*/, 1);
-  w.pod<int32_t>(ds.window);
-  w.pod<uint64_t>(ds.appNames.size());
-  for (const auto& n : ds.appNames) w.str(n);
-  w.pod<uint64_t>(ds.vars.size());
-  for (const VarInfo& v : ds.vars) {
-    w.pod(static_cast<uint8_t>(v.label));
-    w.pod(v.appId);
-    w.pod(v.numVucs);
-  }
-  w.pod<uint64_t>(ds.vucs.size());
-  for (const Vuc& v : ds.vucs) {
-    w.pod(static_cast<uint8_t>(v.label));
-    w.pod(v.varId);
-    w.vec(v.posLabel);
-    w.pod<uint64_t>(v.window.size());
-    for (const GenInstr& g : v.window) {
-      w.str(g.mnem);
-      w.str(g.op1);
-      w.str(g.op2);
+  io::writeChecksummed(os, 0x43445354 /*"CDST"*/, 2, [&](std::ostream& body) {
+    io::Writer w(body);
+    w.pod<int32_t>(ds.window);
+    w.pod<uint64_t>(ds.appNames.size());
+    for (const auto& n : ds.appNames) w.str(n);
+    w.pod<uint64_t>(ds.vars.size());
+    for (const VarInfo& v : ds.vars) {
+      w.pod(static_cast<uint8_t>(v.label));
+      w.pod(v.appId);
+      w.pod(v.numVucs);
     }
-  }
+    w.pod<uint64_t>(ds.vucs.size());
+    for (const Vuc& v : ds.vucs) {
+      w.pod(static_cast<uint8_t>(v.label));
+      w.pod(v.varId);
+      w.vec(v.posLabel);
+      w.pod<uint64_t>(v.window.size());
+      for (const GenInstr& g : v.window) {
+        w.str(g.mnem);
+        w.str(g.op1);
+        w.str(g.op2);
+      }
+    }
+  });
 }
 
+namespace {
+// A CRC-valid but hostile file can still claim absurd element counts;
+// reject them before any allocation is sized from an untrusted field.
+uint64_t checkedCount(uint64_t n, uint64_t max, const char* what) {
+  if (n > max) {
+    throw std::runtime_error(std::string("dataset: corrupt ") + what +
+                             " count");
+  }
+  return n;
+}
+}  // namespace
+
 Dataset load(std::istream& is) {
-  io::Reader r(is);
-  io::expectHeader(r, 0x43445354, 1, "dataset");
-  Dataset ds;
-  ds.window = r.pod<int32_t>();
-  const auto nApps = r.pod<uint64_t>();
-  for (uint64_t i = 0; i < nApps; ++i) ds.appNames.push_back(r.str());
-  const auto nVars = r.pod<uint64_t>();
-  ds.vars.reserve(nVars);
-  for (uint64_t i = 0; i < nVars; ++i) {
-    VarInfo v;
-    v.label = static_cast<TypeLabel>(r.pod<uint8_t>());
-    v.appId = r.pod<uint32_t>();
-    v.numVucs = r.pod<uint32_t>();
-    ds.vars.push_back(v);
-  }
-  const auto nVucs = r.pod<uint64_t>();
-  ds.vucs.reserve(nVucs);
-  for (uint64_t i = 0; i < nVucs; ++i) {
-    Vuc v;
-    v.label = static_cast<TypeLabel>(r.pod<uint8_t>());
-    v.varId = r.pod<uint32_t>();
-    v.posLabel = r.vec<int8_t>();
-    const auto wlen = r.pod<uint64_t>();
-    v.window.resize(wlen);
-    for (auto& g : v.window) {
-      g.mnem = r.str();
-      g.op1 = r.str();
-      g.op2 = r.str();
-    }
-    ds.vucs.push_back(std::move(v));
-  }
-  return ds;
+  return io::readChecksummed(
+      is, 0x43445354, 2, "dataset", [](std::istream& body) {
+        io::Reader r(body);
+        Dataset ds;
+        ds.window = r.pod<int32_t>();
+        const auto nApps =
+            checkedCount(r.pod<uint64_t>(), 1ULL << 24, "app");
+        for (uint64_t i = 0; i < nApps; ++i) ds.appNames.push_back(r.str());
+        const auto nVars =
+            checkedCount(r.pod<uint64_t>(), 1ULL << 32, "variable");
+        ds.vars.reserve(nVars);
+        for (uint64_t i = 0; i < nVars; ++i) {
+          VarInfo v;
+          v.label = static_cast<TypeLabel>(r.pod<uint8_t>());
+          v.appId = r.pod<uint32_t>();
+          v.numVucs = r.pod<uint32_t>();
+          ds.vars.push_back(v);
+        }
+        const auto nVucs =
+            checkedCount(r.pod<uint64_t>(), 1ULL << 32, "VUC");
+        ds.vucs.reserve(nVucs);
+        for (uint64_t i = 0; i < nVucs; ++i) {
+          Vuc v;
+          v.label = static_cast<TypeLabel>(r.pod<uint8_t>());
+          v.varId = r.pod<uint32_t>();
+          v.posLabel = r.vec<int8_t>();
+          const auto wlen =
+              checkedCount(r.pod<uint64_t>(), 1ULL << 16, "window");
+          v.window.resize(wlen);
+          for (auto& g : v.window) {
+            g.mnem = r.str();
+            g.op1 = r.str();
+            g.op2 = r.str();
+          }
+          ds.vucs.push_back(std::move(v));
+        }
+        return ds;
+      });
 }
 
 }  // namespace cati::corpus

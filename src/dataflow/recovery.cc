@@ -73,8 +73,10 @@ RecoveryResult recoverVariables(std::span<const Instruction> insns) {
 
     // Calls clobber caller-saved registers; conservatively drop all
     // address-tracking across them (and across jumps, whose targets we do
-    // not resolve).
-    if (asmx::isCall(ins) || asmx::isJump(ins)) {
+    // not resolve). Quarantined `.byte` runs from the recovering decoder
+    // could be anything, so they kill tracking the same way.
+    if (asmx::isCall(ins) || asmx::isJump(ins) ||
+        asmx::isQuarantinedByte(ins)) {
       regPointsTo.clear();
       continue;
     }

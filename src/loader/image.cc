@@ -1,6 +1,7 @@
 #include "loader/image.h"
 
 #include <algorithm>
+#include <fstream>
 #include <map>
 #include <sstream>
 #include <stdexcept>
@@ -13,7 +14,7 @@ namespace cati::loader {
 
 namespace {
 constexpr uint32_t kMagic = 0x43454c46;  // "CELF"
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;         // v2: CRC32-checksummed payload
 constexpr size_t kPltStubSize = 16;
 }  // namespace
 
@@ -108,62 +109,145 @@ void strip(Image& img) {
 }
 
 void write(const Image& img, std::ostream& os) {
-  io::Writer w(os);
-  io::writeHeader(w, kMagic, kVersion);
-  w.pod(img.baseAddr);
-  w.vec(img.text);
-  w.pod<uint64_t>(img.boundaries.size());
-  for (const BoundaryEntry& b : img.boundaries) {
-    w.pod(b.start);
-    w.pod(b.end);
-  }
-  w.pod<uint64_t>(img.symbols.size());
-  for (const Symbol& s : img.symbols) {
-    w.str(s.name);
-    w.pod(s.value);
-    w.pod(s.size);
-    w.pod(static_cast<uint8_t>(s.isImport ? 1 : 0));
-  }
-  w.pod(static_cast<uint8_t>(img.debug.has_value() ? 1 : 0));
-  if (img.debug) debuginfo::encode(*img.debug, os);
+  io::writeChecksummed(os, kMagic, kVersion, [&](std::ostream& body) {
+    io::Writer w(body);
+    w.pod(img.baseAddr);
+    w.vec(img.text);
+    w.pod<uint64_t>(img.boundaries.size());
+    for (const BoundaryEntry& b : img.boundaries) {
+      w.pod(b.start);
+      w.pod(b.end);
+    }
+    w.pod<uint64_t>(img.symbols.size());
+    for (const Symbol& s : img.symbols) {
+      w.str(s.name);
+      w.pod(s.value);
+      w.pod(s.size);
+      w.pod(static_cast<uint8_t>(s.isImport ? 1 : 0));
+    }
+    w.pod(static_cast<uint8_t>(img.debug.has_value() ? 1 : 0));
+    if (img.debug) debuginfo::encode(*img.debug, body);
+  });
 }
 
 Image read(std::istream& is) {
-  io::Reader r(is);
-  io::expectHeader(r, kMagic, kVersion, "image");
-  Image img;
-  img.baseAddr = r.pod<uint64_t>();
-  img.text = r.vec<uint8_t>();
-  const auto nb = r.pod<uint64_t>();
-  for (uint64_t i = 0; i < nb; ++i) {
-    BoundaryEntry b;
-    b.start = r.pod<uint64_t>();
-    b.end = r.pod<uint64_t>();
-    img.boundaries.push_back(b);
-  }
-  const auto ns = r.pod<uint64_t>();
-  for (uint64_t i = 0; i < ns; ++i) {
-    Symbol s;
-    s.name = r.str();
-    s.value = r.pod<uint64_t>();
-    s.size = r.pod<uint64_t>();
-    s.isImport = r.pod<uint8_t>() != 0;
-    img.symbols.push_back(std::move(s));
-  }
-  if (r.pod<uint8_t>() != 0) img.debug = debuginfo::decode(is);
-  return img;
+  return io::readChecksummed(
+      is, kMagic, kVersion, "image", [](std::istream& body) {
+        io::Reader r(body);
+        Image img;
+        img.baseAddr = r.pod<uint64_t>();
+        img.text = r.vec<uint8_t>();
+        const auto nb = r.pod<uint64_t>();
+        for (uint64_t i = 0; i < nb; ++i) {
+          BoundaryEntry b;
+          b.start = r.pod<uint64_t>();
+          b.end = r.pod<uint64_t>();
+          img.boundaries.push_back(b);
+        }
+        const auto ns = r.pod<uint64_t>();
+        for (uint64_t i = 0; i < ns; ++i) {
+          Symbol s;
+          s.name = r.str();
+          s.value = r.pod<uint64_t>();
+          s.size = r.pod<uint64_t>();
+          s.isImport = r.pod<uint8_t>() != 0;
+          img.symbols.push_back(std::move(s));
+        }
+        if (r.pod<uint8_t>() != 0) img.debug = debuginfo::decode(body);
+        return img;
+      });
 }
 
-std::vector<LoadedFunction> disassemble(const Image& img) {
+bool validate(const Image& img, DiagList& diags) {
+  bool ok = true;
+  const auto error = [&](uint64_t off, std::string msg) {
+    addDiag(&diags, Severity::Error, DiagStage::Loader, off, std::move(msg));
+    ok = false;
+  };
+  const auto warn = [&](uint64_t off, std::string msg) {
+    addDiag(&diags, Severity::Warning, DiagStage::Loader, off,
+            std::move(msg));
+  };
+
+  if (img.baseAddr + img.text.size() < img.baseAddr) {
+    error(img.baseAddr, ".text wraps the address space");
+    return false;  // every range check below would overflow the same way
+  }
+  const uint64_t textEnd = img.baseAddr + img.text.size();
+
+  uint64_t prevEnd = 0;
+  bool sorted = true;
+  for (const BoundaryEntry& b : img.boundaries) {
+    if (b.end < b.start) {
+      error(b.start, "boundary with end before start");
+      continue;
+    }
+    if (b.start < img.baseAddr || b.end > textEnd) {
+      error(b.start, "boundary outside .text");
+      continue;
+    }
+    if (b.start == b.end) warn(b.start, "empty function boundary");
+    if (b.start < prevEnd) {
+      if (sorted) warn(b.start, "boundaries overlap or are unsorted");
+      sorted = false;
+    }
+    prevEnd = b.end;
+  }
+  for (const Symbol& s : img.symbols) {
+    if (s.value < img.baseAddr || s.value > textEnd ||
+        s.size > textEnd - s.value) {
+      warn(s.value, "symbol '" + s.name + "' outside .text");
+    }
+  }
+  return ok;
+}
+
+std::optional<Image> tryRead(std::istream& is, DiagList& diags) {
+  // The strict reader concentrates all bounds/size/CRC checking; here any
+  // of its failures (plus allocation failures from hostile length fields
+  // that pass the coarse guards) become diagnostics instead of exceptions.
+  try {
+    Image img = read(is);
+    validate(img, diags);
+    return img;
+  } catch (const std::exception& e) {
+    addDiag(&diags, Severity::Error, DiagStage::Loader, 0, e.what());
+    return std::nullopt;
+  }
+}
+
+std::optional<Image> readFile(const std::filesystem::path& p,
+                              DiagList& diags) {
+  std::ifstream is(p, std::ios::binary);
+  if (!is) {
+    addDiag(&diags, Severity::Error, DiagStage::Loader, 0,
+            "cannot open " + p.string());
+    return std::nullopt;
+  }
+  return tryRead(is, diags);
+}
+
+namespace {
+
+/// Shared disassembly walk. `diags == nullptr` selects strict mode (throw
+/// on a bad boundary / undecodable bytes); otherwise errors are reported
+/// and recovered from.
+std::vector<LoadedFunction> disassembleImpl(const Image& img,
+                                            DiagList* diags) {
   // Address -> symbol for call re-attachment and function naming.
   std::map<uint64_t, const Symbol*> byAddr;
   for (const Symbol& s : img.symbols) byAddr[s.value] = &s;
 
   std::vector<LoadedFunction> out;
   for (const BoundaryEntry& b : img.boundaries) {
-    if (b.start < img.baseAddr ||
+    if (b.start < img.baseAddr || b.start > img.baseAddr + img.text.size() ||
         b.end > img.baseAddr + img.text.size() || b.end < b.start) {
-      throw std::runtime_error("disassemble: boundary outside .text");
+      if (diags == nullptr) {
+        throw std::runtime_error("disassemble: boundary outside .text");
+      }
+      addDiag(diags, Severity::Error, DiagStage::Loader, b.start,
+              "skipping function with boundary outside .text");
+      continue;
     }
     LoadedFunction fn;
     fn.addr = b.start;
@@ -177,7 +261,8 @@ std::vector<LoadedFunction> disassemble(const Image& img) {
     }
     const std::span<const uint8_t> body(
         img.text.data() + (b.start - img.baseAddr), b.end - b.start);
-    fn.insns = asmx::decodeAll(body, b.start);
+    fn.insns = diags == nullptr ? asmx::decodeAll(body, b.start)
+                                : asmx::decodeAllRecover(body, b.start, diags);
     // Symbolize call targets where the symbol table allows.
     for (asmx::Instruction& ins : fn.insns) {
       if (!asmx::isCall(ins)) continue;
@@ -190,6 +275,16 @@ std::vector<LoadedFunction> disassemble(const Image& img) {
     out.push_back(std::move(fn));
   }
   return out;
+}
+
+}  // namespace
+
+std::vector<LoadedFunction> disassemble(const Image& img) {
+  return disassembleImpl(img, nullptr);
+}
+
+std::vector<LoadedFunction> disassemble(const Image& img, DiagList& diags) {
+  return disassembleImpl(img, &diags);
 }
 
 }  // namespace cati::loader

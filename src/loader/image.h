@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
 #include <istream>
 #include <optional>
 #include <ostream>
@@ -19,6 +20,7 @@
 #include <vector>
 
 #include "asmx/instruction.h"
+#include "common/diag.h"
 #include "debuginfo/debuginfo.h"
 #include "synth/synth.h"
 
@@ -59,9 +61,31 @@ Image buildImage(const synth::Binary& bin);
 /// Idempotent.
 void strip(Image& img);
 
-/// Container (de)serialization: magic + section table.
+/// Container (de)serialization: magic + version + length-prefixed payload +
+/// CRC32 trailer (io::writeChecksummed), so a corrupt file is a
+/// deterministic error, never an Image full of nonsense.
 void write(const Image& img, std::ostream& os);
+
+/// Strict read: throws std::runtime_error on any malformed container
+/// (bad magic, unsupported version, truncation, checksum mismatch).
 Image read(std::istream& is);
+
+/// Structural validation of a parsed image: boundaries must be non-empty,
+/// ordered, non-overlapping and inside .text; symbols should lie inside
+/// .text; baseAddr + text must not wrap the address space. Range/wrap
+/// violations append Errors, overlap/order/symbol issues append Warnings.
+/// Returns false when any Error was appended.
+bool validate(const Image& img, DiagList& diags);
+
+/// Total (never-throwing) read for hostile input: parses and validates,
+/// returning nullopt with the reason in `diags` on malformed bytes. An
+/// image that parses but fails validation is still returned (with Error
+/// diags) so callers can salvage the well-formed functions.
+std::optional<Image> tryRead(std::istream& is, DiagList& diags);
+
+/// tryRead from a file; missing/unreadable files become diagnostics too.
+std::optional<Image> readFile(const std::filesystem::path& p,
+                              DiagList& diags);
 
 /// One disassembled function. When the image still has symbols, `name` is
 /// the function symbol and call instructions carry re-attached `<func>`
@@ -73,7 +97,14 @@ struct LoadedFunction {
 };
 
 /// Disassembles .text using the boundary table, symbolizing what the
-/// symbol table still allows.
+/// symbol table still allows. Strict mode: throws std::runtime_error on a
+/// boundary outside .text or undecodable bytes.
 std::vector<LoadedFunction> disassemble(const Image& img);
+
+/// Recovering disassembly for untrusted images — never throws. Boundaries
+/// outside .text are skipped with an Error diagnostic; undecodable bytes
+/// inside a function are quarantined as `.byte` pseudo-instructions with a
+/// Warning diagnostic (see asmx::decodeAllRecover).
+std::vector<LoadedFunction> disassemble(const Image& img, DiagList& diags);
 
 }  // namespace cati::loader

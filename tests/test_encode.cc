@@ -156,5 +156,68 @@ TEST(Decode, AllBytesThrowsOnJunk) {
   EXPECT_THROW(decodeAll(junk, 0), std::runtime_error);
 }
 
+TEST(Decode, RecoverQuarantinesJunkAndResyncs) {
+  // ret, two undecodable bytes, ret: the recovering decoder must emit
+  // .byte pseudo-instructions for the junk and resynchronize on the
+  // second ret.
+  const std::vector<uint8_t> bytes = {0xC3, 0x06, 0x07, 0xC3};
+  DiagList diags;
+  const auto insns = decodeAllRecover(bytes, 0x1000, &diags);
+  ASSERT_EQ(insns.size(), 4U);
+  EXPECT_EQ(insns[0].mnem, "ret");
+  EXPECT_TRUE(isQuarantinedByte(insns[1]));
+  EXPECT_EQ(insns[1].ops[0].imm, 0x06);
+  EXPECT_TRUE(isQuarantinedByte(insns[2]));
+  EXPECT_EQ(insns[2].ops[0].imm, 0x07);
+  EXPECT_EQ(insns[3].mnem, "ret");
+  // One diagnostic for the maximal run, at the run's virtual address.
+  ASSERT_EQ(diags.size(), 1U);
+  EXPECT_EQ(diags[0].severity, Severity::Warning);
+  EXPECT_EQ(diags[0].stage, DiagStage::Decoder);
+  EXPECT_EQ(diags[0].offset, 0x1001U);
+}
+
+TEST(Decode, RecoverKeepsOffsetsExactAfterResync) {
+  // Real instructions around a garbage blob: every decoded instruction
+  // after the blob must sit at the same address as in a clean decode,
+  // which the rel32-based call target makes observable.
+  const uint64_t base = 0x401000;
+  std::vector<uint8_t> bytes = encode({"push", Operand::r(Reg::Rbx, Width::B8)}, base);
+  const size_t junkStart = bytes.size();
+  // A jump-table-like blob of offsets (0x90 padding is also undecodable
+  // by this subset and quarantines the same way).
+  for (const uint8_t b : {0x90, 0x90, 0x06, 0xFF, 0x17}) bytes.push_back(b);
+  const size_t junkLen = bytes.size() - junkStart;
+  const uint64_t callAddr = base + bytes.size();
+  const int64_t target = 0x401234;
+  const auto call = encode({"callq", Operand::addr(target)}, callAddr);
+  bytes.insert(bytes.end(), call.begin(), call.end());
+
+  DiagList diags;
+  const auto insns = decodeAllRecover(bytes, base, &diags);
+  ASSERT_EQ(insns.size(), 2 + junkLen);
+  EXPECT_EQ(insns[0].mnem, "push");
+  for (size_t i = 0; i < junkLen; ++i) {
+    EXPECT_TRUE(isQuarantinedByte(insns[1 + i])) << i;
+  }
+  const Instruction& call2 = insns[1 + junkLen];
+  EXPECT_EQ(call2.mnem, "callq");
+  // The reconstructed absolute target only matches if the decoder applied
+  // the correct post-resync pc.
+  EXPECT_EQ(call2.ops[0].imm, target);
+  ASSERT_EQ(diags.size(), 1U);
+  EXPECT_EQ(diags[0].offset, base + junkStart);
+}
+
+TEST(Decode, RecoverOnCleanStreamMatchesStrict) {
+  const synth::Binary bin = synth::generateBinary(
+      synth::defaultProfile("rec", 0x6, 4), synth::Dialect::Clang, 2, 10);
+  const auto bytes = encodeAll(bin.funcs[0].insns, 0x400000);
+  DiagList diags;
+  EXPECT_EQ(decodeAllRecover(bytes, 0x400000, &diags),
+            decodeAll(bytes, 0x400000));
+  EXPECT_TRUE(diags.empty());
+}
+
 }  // namespace
 }  // namespace cati::asmx

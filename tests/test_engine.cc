@@ -226,6 +226,42 @@ TEST_F(EngineTest, AnalyzeFunctionEndToEnd) {
   }
 }
 
+TEST_F(EngineTest, CorruptModelFilesAreRejectedCleanly) {
+  std::stringstream ss;
+  engine_->save(ss);
+  const std::string good = ss.str();
+
+  const auto loadFrom = [](const std::string& bytes) {
+    std::istringstream is(bytes);
+    return Engine::load(is);
+  };
+
+  // Truncated model.
+  EXPECT_THROW(loadFrom(good.substr(0, good.size() / 2)), std::runtime_error);
+  EXPECT_THROW(loadFrom(good.substr(0, 3)), std::runtime_error);
+  // Zero-byte file.
+  EXPECT_THROW(loadFrom(""), std::runtime_error);
+  // Wrong magic.
+  std::string badMagic = good;
+  badMagic[0] = static_cast<char>(badMagic[0] ^ 0xFF);
+  EXPECT_THROW(loadFrom(badMagic), std::runtime_error);
+  // Future version.
+  std::string futureVer = good;
+  futureVer[4] = 99;
+  EXPECT_THROW(loadFrom(futureVer), std::runtime_error);
+  // A single bit flip deep in the body must be caught by the CRC trailer,
+  // not deserialized into a subtly-wrong model.
+  std::string flipped = good;
+  flipped[good.size() / 2] = static_cast<char>(flipped[good.size() / 2] ^ 0x04);
+  try {
+    loadFrom(flipped);
+    FAIL() << "bit-flipped model loaded without error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(EngineErrors, UntrainedThrows) {
   Engine e;
   corpus::Vuc v;

@@ -6,6 +6,7 @@
 
 #include <sstream>
 
+#include "asmx/encode.h"
 #include "corpus/corpus.h"
 
 namespace cati::loader {
@@ -142,6 +143,141 @@ TEST(Image, BadBoundaryThrows) {
   Image img = buildImage(smallBin(2));
   img.boundaries[0].end = img.baseAddr + img.text.size() + 100;
   EXPECT_THROW(disassemble(img), std::runtime_error);
+}
+
+namespace {
+
+std::string imageBytes(const Image& img) {
+  std::stringstream ss;
+  write(img, ss);
+  return ss.str();
+}
+
+std::optional<Image> tryReadBytes(const std::string& bytes, DiagList& diags) {
+  std::istringstream is(bytes);
+  return tryRead(is, diags);
+}
+
+}  // namespace
+
+TEST(Image, TryReadGarbageReturnsDiagnostics) {
+  DiagList diags;
+  EXPECT_FALSE(tryReadBytes("definitely not an image file", diags));
+  EXPECT_TRUE(hasErrors(diags));
+}
+
+TEST(Image, TryReadZeroByteFile) {
+  DiagList diags;
+  EXPECT_FALSE(tryReadBytes("", diags));
+  EXPECT_TRUE(hasErrors(diags));
+}
+
+TEST(Image, TryReadBitFlipCaughtByCrc) {
+  const std::string good = imageBytes(buildImage(smallBin(2)));
+  // Flip one payload bit (past magic+version+length): must be a clean
+  // checksum error, not an Image full of nonsense.
+  std::string bad = good;
+  bad[good.size() / 2] = static_cast<char>(bad[good.size() / 2] ^ 0x10);
+  DiagList diags;
+  EXPECT_FALSE(tryReadBytes(bad, diags));
+  ASSERT_TRUE(hasErrors(diags));
+  EXPECT_NE(diags[0].message.find("checksum"), std::string::npos);
+}
+
+TEST(Image, TryReadTruncatedFile) {
+  const std::string good = imageBytes(buildImage(smallBin(2)));
+  DiagList diags;
+  EXPECT_FALSE(tryReadBytes(good.substr(0, good.size() - 7), diags));
+  EXPECT_TRUE(hasErrors(diags));
+}
+
+TEST(Image, TryReadFutureVersionRejected) {
+  std::string bytes = imageBytes(buildImage(smallBin(2)));
+  bytes[4] = 99;  // version field follows the 4-byte magic
+  DiagList diags;
+  EXPECT_FALSE(tryReadBytes(bytes, diags));
+  ASSERT_TRUE(hasErrors(diags));
+  EXPECT_NE(diags[0].message.find("version"), std::string::npos);
+}
+
+TEST(Image, ReadFileMissingPathIsDiagnostic) {
+  DiagList diags;
+  EXPECT_FALSE(readFile("/nonexistent/cati.img", diags));
+  EXPECT_TRUE(hasErrors(diags));
+}
+
+TEST(Image, ValidateFlagsHostileStructure) {
+  Image img = buildImage(smallBin(2));
+  DiagList clean;
+  EXPECT_TRUE(validate(img, clean));
+  EXPECT_FALSE(hasErrors(clean));
+
+  img.boundaries[0].end = img.baseAddr + img.text.size() + 100;
+  img.boundaries[1].end = img.boundaries[1].start - 1;
+  DiagList diags;
+  EXPECT_FALSE(validate(img, diags));
+  EXPECT_GE(diags.size(), 2U);
+}
+
+TEST(Image, RecoveringDisassembleSkipsBadBoundary) {
+  Image img = buildImage(smallBin(3));
+  const size_t total = img.boundaries.size();
+  img.boundaries[1].end = img.baseAddr + img.text.size() + 100;
+  DiagList diags;
+  const auto fns = disassemble(img, diags);
+  EXPECT_EQ(fns.size(), total - 1);  // bad function skipped, rest salvaged
+  EXPECT_TRUE(hasErrors(diags));
+}
+
+TEST(Image, DataInTextRoundTripsWithByteQuarantine) {
+  // A hand-built function with an embedded jump-table blob and padding —
+  // the data-in-text shape real stripped binaries have. The container
+  // round-trip plus recovering disassembly (what cati-objdump does) must
+  // quarantine exactly the data bytes and keep every later instruction at
+  // its exact address.
+  Image img;
+  img.baseAddr = 0x401000;
+  uint64_t pc = img.baseAddr;
+  const auto emit = [&](const asmx::Instruction& ins) {
+    const auto b = asmx::encode(ins, pc);
+    img.text.insert(img.text.end(), b.begin(), b.end());
+    pc += b.size();
+  };
+  emit({"push", asmx::Operand::r(asmx::Reg::Rbp, asmx::Width::B8)});
+  emit({"mov", asmx::Operand::r(asmx::Reg::Rsp, asmx::Width::B8),
+        asmx::Operand::r(asmx::Reg::Rbp, asmx::Width::B8)});
+  const uint64_t blobAddr = pc;
+  const std::vector<uint8_t> blob = {0x90, 0x90, 0x06, 0x07, 0xFF, 0x17};
+  img.text.insert(img.text.end(), blob.begin(), blob.end());
+  pc += blob.size();
+  const uint64_t callAddr = pc;
+  emit({"callq", asmx::Operand::addr(0x401500)});
+  emit(asmx::Instruction("ret"));
+  img.boundaries.push_back({img.baseAddr, pc});
+
+  DiagList diags;
+  const auto loaded = tryReadBytes(imageBytes(img), diags);
+  ASSERT_TRUE(loaded.has_value());
+  const auto fns = disassemble(*loaded, diags);
+  ASSERT_EQ(fns.size(), 1U);
+  const auto& insns = fns[0].insns;
+  ASSERT_EQ(insns.size(), 4 + blob.size());
+  EXPECT_EQ(insns[0].mnem, "push");
+  EXPECT_EQ(insns[1].mnem, "mov");
+  for (size_t i = 0; i < blob.size(); ++i) {
+    EXPECT_TRUE(asmx::isQuarantinedByte(insns[2 + i])) << i;
+    EXPECT_EQ(insns[2 + i].ops[0].imm, blob[i]) << i;
+  }
+  // Post-resync correctness is observable through the rel32 call target:
+  // it only reconstructs to 0x401500 if the decoder resumed at callAddr.
+  EXPECT_EQ(insns[2 + blob.size()].mnem, "callq");
+  EXPECT_EQ(insns[2 + blob.size()].ops[0].imm, 0x401500);
+  EXPECT_EQ(insns[3 + blob.size()].mnem, "ret");
+  (void)callAddr;
+  // The quarantined run is reported once, at the blob's address.
+  ASSERT_EQ(diags.size(), 1U);
+  EXPECT_EQ(diags[0].severity, Severity::Warning);
+  EXPECT_EQ(diags[0].offset, blobAddr);
 }
 
 }  // namespace

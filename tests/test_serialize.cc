@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 #include <sstream>
 
 namespace cati::io {
@@ -100,6 +101,86 @@ TEST(Serialize, HeaderBadVersionThrows) {
   writeHeader(w, 0x11111111, 2);
   Reader r(ss);
   EXPECT_THROW(expectHeader(r, 0x11111111, 1, "test"), std::runtime_error);
+}
+
+TEST(Serialize, Crc32KnownVector) {
+  // The standard IEEE test vector: crc32("123456789") == 0xCBF43926.
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926U);
+  EXPECT_EQ(crc32("", 0), 0U);
+  // Incremental == one-shot.
+  const uint32_t part = crc32("12345", 5);
+  EXPECT_EQ(crc32("6789", 4, part), 0xCBF43926U);
+}
+
+namespace {
+
+std::string checksummedBytes(uint32_t magic = 0xCAFE0001, uint32_t ver = 1) {
+  std::stringstream ss;
+  writeChecksummed(ss, magic, ver, [](std::ostream& body) {
+    Writer w(body);
+    w.pod<int32_t>(1234);
+    w.str("payload");
+  });
+  return ss.str();
+}
+
+int32_t readBack(const std::string& bytes, uint32_t ver = 1) {
+  std::stringstream ss(bytes);
+  return readChecksummed(ss, 0xCAFE0001, ver, "test", [](std::istream& body) {
+    Reader r(body);
+    const auto v = r.pod<int32_t>();
+    EXPECT_EQ(r.str(), "payload");
+    return v;
+  });
+}
+
+}  // namespace
+
+TEST(Serialize, ChecksummedRoundTrip) {
+  EXPECT_EQ(readBack(checksummedBytes()), 1234);
+}
+
+TEST(Serialize, ChecksummedDetectsEveryBitFlipInPayload) {
+  const std::string good = checksummedBytes();
+  // Flip every bit of every payload byte (payload starts after
+  // magic+version+length = 16 bytes): each one must be caught.
+  for (size_t i = 16; i < good.size(); ++i) {
+    for (int b = 0; b < 8; ++b) {
+      std::string bad = good;
+      bad[i] = static_cast<char>(bad[i] ^ (1 << b));
+      EXPECT_THROW(readBack(bad), std::runtime_error)
+          << "byte " << i << " bit " << b;
+    }
+  }
+}
+
+TEST(Serialize, ChecksummedTruncatedThrows) {
+  const std::string good = checksummedBytes();
+  for (size_t keep = 0; keep < good.size(); ++keep) {
+    EXPECT_THROW(readBack(good.substr(0, keep)), std::runtime_error)
+        << "kept " << keep;
+  }
+}
+
+TEST(Serialize, ChecksummedWrongMagicAndFutureVersionThrow) {
+  EXPECT_THROW(readBack(checksummedBytes(0xDEAD0000)), std::runtime_error);
+  EXPECT_THROW(readBack(checksummedBytes(0xCAFE0001, 99)), std::runtime_error);
+}
+
+TEST(Serialize, ChecksummedZeroByteInputThrows) {
+  EXPECT_THROW(readBack(""), std::runtime_error);
+}
+
+TEST(Serialize, ChecksummedHostileLengthFieldThrows) {
+  // Claimed payload length far beyond the actual bytes: must fail with a
+  // clean error (and, by the chunked read, without allocating the claim).
+  std::string bytes = checksummedBytes();
+  const uint64_t huge = 1ULL << 33;
+  std::memcpy(bytes.data() + 8, &huge, sizeof(huge));
+  EXPECT_THROW(readBack(bytes), std::runtime_error);
+  const uint64_t absurd = 1ULL << 60;
+  std::memcpy(bytes.data() + 8, &absurd, sizeof(absurd));
+  EXPECT_THROW(readBack(bytes), std::runtime_error);
 }
 
 }  // namespace

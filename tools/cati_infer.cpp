@@ -3,17 +3,24 @@
 // variable report. When the image still has debug info, prints ground truth
 // next to each prediction and an accuracy summary.
 //
+// Hostile input is handled: a missing/corrupt model or image produces a
+// one-line diagnostic on stderr and a nonzero exit, never a crash; images
+// with garbage bytes degrade via recovering disassembly.
+//
 // Usage: cati-infer MODEL.bin IMAGE.img [--confidence-min X]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
+#include <exception>
+#include <iostream>
 #include <unordered_map>
 
 #include "cati/engine.h"
 #include "loader/image.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace cati;
   if (argc < 3) {
     std::fprintf(stderr,
@@ -24,38 +31,44 @@ int main(int argc, char** argv) {
   float confMin = 0.0F;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--confidence-min") == 0 && i + 1 < argc) {
-      confMin = std::strtof(argv[++i], nullptr);
+      char* end = nullptr;
+      confMin = std::strtof(argv[++i], &end);
+      if (end == argv[i] || *end != '\0') {
+        std::fprintf(stderr, "cati-infer: --confidence-min: not a number: %s\n",
+                     argv[i]);
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "cati-infer: unknown argument: %s\n", argv[i]);
+      return 2;
     }
   }
 
   Engine engine = Engine::loadFile(argv[1]);
-  loader::Image img;
-  {
-    std::ifstream is(argv[2], std::ios::binary);
-    if (!is) {
-      std::fprintf(stderr, "cati-infer: cannot open %s\n", argv[2]);
-      return 1;
-    }
-    img = loader::read(is);
+  DiagList diags;
+  const auto img = loader::readFile(argv[2], diags);
+  if (!img) {
+    print(diags, std::cerr);
+    return 1;
   }
 
   size_t total = 0;
   size_t withTruth = 0;
   size_t correct = 0;
-  for (const loader::LoadedFunction& fn : loader::disassemble(img)) {
+  for (const loader::LoadedFunction& fn : loader::disassemble(*img, diags)) {
     const auto vars = engine.analyzeFunction(fn.insns);
     if (vars.empty()) continue;
     std::printf("%s:\n", fn.name.c_str());
 
     // Ground truth by frame offset, when debug info survives.
     std::unordered_map<int64_t, TypeLabel> truth;
-    if (img.debug) {
-      for (const debuginfo::FunctionDie& die : img.debug->functions) {
+    if (img->debug) {
+      for (const debuginfo::FunctionDie& die : img->debug->functions) {
         // Match by address range (lowPc is an instruction index in the
         // original binary; match by name instead).
         if (die.name != fn.name) continue;
         for (const debuginfo::VariableDie& v : die.variables) {
-          const auto cls = debuginfo::classify(*img.debug, v.typeIndex);
+          const auto cls = debuginfo::classify(*img->debug, v.typeIndex);
           if (cls) truth[v.frameOffset] = *cls;
         }
       }
@@ -86,5 +99,17 @@ int main(int argc, char** argv) {
                 correct, withTruth);
   }
   std::printf("\n");
+  print(diags, std::cerr);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cati-infer: error: %s\n", e.what());
+    return 1;
+  }
 }

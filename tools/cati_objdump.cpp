@@ -1,14 +1,19 @@
 // cati-objdump — disassemble an image the way `objdump -d` would: function
 // headers (symbolized when possible), one instruction per line, optional
 // generalized-token view (--generalize) showing what the classifier sees.
+// Malformed images are reported as diagnostics on stderr; undecodable bytes
+// print as `.byte` lines (recovering disassembly), never a crash.
 #include <cstdio>
 #include <cstring>
-#include <fstream>
+#include <exception>
+#include <iostream>
 
 #include "corpus/corpus.h"
 #include "loader/image.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace cati;
   bool generalize = false;
   const char* path = nullptr;
@@ -23,16 +28,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "usage: cati-objdump [--generalize] IMAGE\n");
     return 2;
   }
-  std::ifstream is(path, std::ios::binary);
-  if (!is) {
-    std::fprintf(stderr, "cati-objdump: cannot open %s\n", path);
+  DiagList diags;
+  const auto img = loader::readFile(path, diags);
+  if (!img) {
+    print(diags, std::cerr);
     return 1;
   }
-  const loader::Image img = loader::read(is);
-  std::printf("%s: %zu bytes of .text at %#llx%s\n\n", path, img.text.size(),
-              static_cast<unsigned long long>(img.baseAddr),
-              img.stripped() ? " (stripped)" : "");
-  for (const loader::LoadedFunction& fn : loader::disassemble(img)) {
+  std::printf("%s: %zu bytes of .text at %#llx%s\n\n", path, img->text.size(),
+              static_cast<unsigned long long>(img->baseAddr),
+              img->stripped() ? " (stripped)" : "");
+  for (const loader::LoadedFunction& fn : loader::disassemble(*img, diags)) {
     std::printf("%016llx <%s>:\n", static_cast<unsigned long long>(fn.addr),
                 fn.name.c_str());
     for (const asmx::Instruction& ins : fn.insns) {
@@ -45,5 +50,17 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
-  return 0;
+  print(diags, std::cerr);
+  return hasErrors(diags) ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cati-objdump: error: %s\n", e.what());
+    return 1;
+  }
 }

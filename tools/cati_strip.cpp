@@ -1,11 +1,16 @@
 // cati-strip — remove symbol table and debug info from an image, like
 // strip(1). Usage: cati-strip IN.img [OUT.img]  (in place by default).
+// Corrupt or unreadable inputs exit nonzero with a one-line diagnostic.
 #include <cstdio>
+#include <exception>
 #include <fstream>
+#include <iostream>
 
 #include "loader/image.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace cati;
   if (argc < 2 || argc > 3) {
     std::fprintf(stderr, "usage: cati-strip IN.img [OUT.img]\n");
@@ -13,24 +18,33 @@ int main(int argc, char** argv) {
   }
   const char* in = argv[1];
   const char* out = argc == 3 ? argv[2] : argv[1];
-  loader::Image img;
-  {
-    std::ifstream is(in, std::ios::binary);
-    if (!is) {
-      std::fprintf(stderr, "cati-strip: cannot open %s\n", in);
-      return 1;
-    }
-    img = loader::read(is);
+  DiagList diags;
+  auto img = loader::readFile(in, diags);
+  if (!img) {
+    print(diags, std::cerr);
+    return 1;
   }
-  const size_t before = img.symbols.size();
-  loader::strip(img);
+  const size_t before = img->symbols.size();
+  loader::strip(*img);
   std::ofstream os(out, std::ios::binary);
   if (!os) {
     std::fprintf(stderr, "cati-strip: cannot open %s\n", out);
     return 1;
   }
-  loader::write(img, os);
+  loader::write(*img, os);
   std::printf("%s: removed %zu symbols and debug info -> %s\n", in, before,
               out);
+  print(diags, std::cerr);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cati-strip: error: %s\n", e.what());
+    return 1;
+  }
 }

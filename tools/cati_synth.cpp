@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <string>
 
@@ -20,9 +21,7 @@ void usage() {
                "[--dialect gcc|clang] [--opt 0..3] [--seed S] [--strip]\n");
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   using namespace cati;
   if (argc < 2) {
     usage();
@@ -78,4 +77,15 @@ int main(int argc, char** argv) {
               out.c_str(), img.boundaries.size(), img.text.size(),
               img.symbols.size(), doStrip ? " (stripped)" : "");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cati-synth: error: %s\n", e.what());
+    return 1;
+  }
 }

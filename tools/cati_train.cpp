@@ -6,13 +6,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <string>
 
 #include "cati/engine.h"
 #include "corpus/corpus.h"
 #include "synth/synth.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace cati;
   if (argc < 2) {
     std::fprintf(stderr,
@@ -74,4 +77,15 @@ int main(int argc, char** argv) {
   engine.saveFile(out);
   std::printf("model written to %s\n", out.c_str());
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cati-train: error: %s\n", e.what());
+    return 1;
+  }
 }
