@@ -5,12 +5,20 @@
 //   * VUC extraction throughput;
 //   * per-VUC prediction latency (all six stages);
 //   * per-variable voting latency;
-//   * per-stage training-step throughput.
+//   * per-stage training-step throughput;
+//   * serial-vs-parallel throughput of the pooled paths (corpus generation,
+//     batched prediction, recovering disassembly, end-to-end training) at
+//     jobs ∈ {1, 2, 4} — outputs are bit-identical at every job count
+//     (DESIGN.md §7), so these measure pure scheduling overhead/speedup.
 // Absolute numbers differ from the paper (CPU vs their GTX 1070), but the
 // per-binary total should remain interactive (single-digit seconds).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
+#include "common/parallel.h"
 #include "harness/harness.h"
+#include "loader/image.h"
 
 namespace {
 
@@ -111,6 +119,92 @@ void BM_VariableRecovery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_VariableRecovery)->Unit(benchmark::kMillisecond);
+
+// --- serial vs parallel (--jobs) ------------------------------------------
+// Each benchmark takes the job count as its argument; compare the /1 row
+// (serial) against /2 and /4 for the speedup table in README.md. On a
+// 1-core machine the parallel rows measure pool overhead, not speedup.
+
+void BM_GenerateCorpusJobs(benchmark::State& state) {
+  par::ThreadPool pool(static_cast<int>(state.range(0)));
+  size_t bins = 0;
+  for (auto _ : state) {
+    const auto out =
+        synth::generateCorpus(4, 12, synth::Dialect::Gcc, 0x5eed, &pool);
+    bins = out.size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["binaries"] = static_cast<double>(bins);
+  state.SetItemsProcessed(static_cast<int64_t>(bins) * state.iterations());
+}
+BENCHMARK(BM_GenerateCorpusJobs)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PredictBatchJobs(benchmark::State& state) {
+  Engine& e = bundle().engine();
+  const corpus::Dataset& test = bundle().testSet();
+  par::ThreadPool pool(static_cast<int>(state.range(0)));
+  const size_t n = std::min<size_t>(test.vucs.size(), 256);
+  const std::span<const corpus::Vuc> batch(test.vucs.data(), n);
+  for (auto _ : state) {
+    const auto out = e.predictVucs(batch, &pool);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_PredictBatchJobs)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DisassembleRecoverJobs(benchmark::State& state) {
+  loader::Image img = loader::buildImage(testBinary());
+  loader::strip(img);
+  par::ThreadPool pool(static_cast<int>(state.range(0)));
+  size_t fns = 0;
+  for (auto _ : state) {
+    DiagList diags;
+    const auto out = loader::disassemble(img, diags, pool);
+    fns = out.size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(fns) * state.iterations());
+}
+BENCHMARK(BM_DisassembleRecoverJobs)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TrainEndToEndJobs(benchmark::State& state) {
+  // Micro training run (small corpus, one epoch) through the full pooled
+  // path: word2vec rounds + per-stage chunked gradient accumulation. The
+  // trained model bytes are identical across the /1, /2 and /4 rows.
+  par::ThreadPool pool(static_cast<int>(state.range(0)));
+  const auto bins = synth::generateCorpus(2, 8, synth::Dialect::Gcc, 7, &pool);
+  const corpus::Dataset ds = corpus::extractAll(bins, 10, true, &pool);
+  EngineConfig cfg;
+  cfg.epochs = 1;
+  cfg.w2v.epochs = 1;
+  cfg.maxTrainPerStage = 512;
+  cfg.fcHidden = 32;
+  for (auto _ : state) {
+    Engine e(cfg);
+    e.train(ds, &pool);
+    benchmark::DoNotOptimize(e);
+  }
+  state.counters["train_vucs"] = static_cast<double>(ds.vucs.size());
+}
+BENCHMARK(BM_TrainEndToEndJobs)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(1.0);
 
 }  // namespace
 

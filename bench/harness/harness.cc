@@ -28,7 +28,9 @@ HarnessConfig::HarnessConfig() {
 std::string HarnessConfig::cacheKey() const {
   // Bump kGeneratorRev whenever the synthetic code generator's output
   // changes — cached datasets/models are only valid for matching output.
-  constexpr int kGeneratorRev = 3;
+  // rev 4: chunked deterministic training numerics (w2v round merge, CNN
+  // per-chunk dropout streams) changed model bytes for all seeds.
+  constexpr int kGeneratorRev = 4;
   std::ostringstream os;
   os << kGeneratorRev << '_' << trainApps << '_' << trainFuncsPerApp << '_' << testScale << '_'
      << testOptLevel << '_' << static_cast<int>(dialect) << '_' << seed << '_'
@@ -47,7 +49,10 @@ std::string HarnessConfig::cacheKey() const {
   return buf;
 }
 
-Bundle::Bundle(HarnessConfig cfg) : cfg_(std::move(cfg)) { buildOrLoad(); }
+Bundle::Bundle(HarnessConfig cfg)
+    : cfg_(std::move(cfg)), pool_(par::resolveJobs()) {
+  buildOrLoad();
+}
 
 void Bundle::buildOrLoad() {
   const fs::path dir = fs::path("cati_cache");
@@ -68,10 +73,12 @@ void Bundle::buildOrLoad() {
     train_ = loadDataset(trainPath);
     test_ = loadDataset(testPath);
   } else {
-    std::fprintf(stderr, "[harness] generating corpora...\n");
-    const auto trainBins = synth::generateCorpus(
-        cfg_.trainApps, cfg_.trainFuncsPerApp, cfg_.dialect, cfg_.seed);
-    train_ = corpus::extractAll(trainBins, cfg_.engine.window);
+    std::fprintf(stderr, "[harness] generating corpora (%d jobs)...\n",
+                 pool_.jobs());
+    const auto trainBins =
+        synth::generateCorpus(cfg_.trainApps, cfg_.trainFuncsPerApp,
+                              cfg_.dialect, cfg_.seed, &pool_);
+    train_ = corpus::extractAll(trainBins, cfg_.engine.window, true, &pool_);
     corpus::Dataset test;
     test.window = cfg_.engine.window;
     for (const synth::AppProfile& app : synth::paperTestApps(cfg_.testScale)) {
@@ -98,7 +105,7 @@ void Bundle::buildOrLoad() {
     std::fprintf(stderr, "[harness] training engine...\n");
     engine_ = Engine(cfg_.engine);
     const auto t0 = std::chrono::steady_clock::now();
-    engine_.train(train_);
+    engine_.train(train_, &pool_);
     trainSeconds_ = std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - t0)
                         .count();
@@ -109,12 +116,9 @@ void Bundle::buildOrLoad() {
 
 const std::vector<StageProbs>& Bundle::testProbs() {
   if (!probsReady_) {
-    std::fprintf(stderr, "[harness] predicting %zu test VUCs...\n",
-                 test_.vucs.size());
-    probs_.reserve(test_.vucs.size());
-    for (const corpus::Vuc& v : test_.vucs) {
-      probs_.push_back(engine_.predictVuc(v));
-    }
+    std::fprintf(stderr, "[harness] predicting %zu test VUCs (%d jobs)...\n",
+                 test_.vucs.size(), pool_.jobs());
+    probs_ = engine_.predictVucs(test_.vucs, &pool_);
     probsReady_ = true;
   }
   return probs_;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "cati/engine.h"
+#include "common/parallel.h"
 #include "corpus/corpus.h"
 #include "eval/metrics.h"
 #include "synth/synth.h"
@@ -52,6 +53,10 @@ class Bundle {
   const corpus::Dataset& trainSet() const { return train_; }
   const corpus::Dataset& testSet() const { return test_; }
   Engine& engine() { return engine_; }
+  /// Worker pool used to build the bundle (CATI_JOBS-sized); benches can
+  /// reuse it for their own parallel measurements. Results are identical to
+  /// serial at any job count (see DESIGN.md §7).
+  par::ThreadPool& pool() { return pool_; }
 
   /// Stage distributions for every test VUC (computed once, kept in memory).
   const std::vector<StageProbs>& testProbs();
@@ -69,6 +74,7 @@ class Bundle {
   void buildOrLoad();
 
   HarnessConfig cfg_;
+  par::ThreadPool pool_;
   corpus::Dataset train_;
   corpus::Dataset test_;
   Engine engine_;

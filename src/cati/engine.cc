@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <stdexcept>
 
 #include "common/serialize.h"
@@ -87,7 +88,22 @@ std::vector<uint32_t> balancedSubsample(
 
 }  // namespace
 
-void Engine::trainStage(Stage s, const corpus::Dataset& ds, uint64_t seed) {
+namespace {
+
+// Fixed data-parallel grain: a minibatch is split into chunks of
+// kGradChunk samples whose gradients accumulate on per-worker replicas and
+// are then summed in ascending chunk order. Chunk boundaries and dropout
+// streams depend only on these constants — never on the job count — so
+// trained weights are jobs-invariant.
+constexpr size_t kGradChunk = 8;
+// Stream stride between batches for dropout seed derivation; an upper
+// bound on chunks per batch.
+constexpr uint64_t kChunkStreams = 1ULL << 16;
+
+}  // namespace
+
+void Engine::trainStage(Stage s, const corpus::Dataset& ds, uint64_t seed,
+                        par::ThreadPool& pool) {
   Rng rng(seed);
   const int classes = numClasses(s);
 
@@ -103,34 +119,96 @@ void Engine::trainStage(Stage s, const corpus::Dataset& ds, uint64_t seed) {
 
   auto& net = stages_[static_cast<size_t>(s)];
   nn::Adam adam(net.params(), {.lr = cfg_.lr});
+  const std::vector<nn::Param*> masterParams = net.params();
+  size_t totalParams = 0;
+  for (const nn::Param* p : masterParams) totalParams += p->value.size();
+
+  // Per-worker replicas: master weights are fixed within a batch, so any
+  // worker can process any chunk identically once its replica values are
+  // synced (at most once per batch).
+  const int jobs = pool.jobs();
+  std::vector<nn::Sequential> reps;
+  std::vector<std::vector<nn::Param*>> repParams;
+  reps.reserve(static_cast<size_t>(jobs));
+  for (int w = 0; w < jobs; ++w) reps.push_back(net.clone());
+  repParams.reserve(reps.size());
+  for (auto& r : reps) repParams.push_back(r.params());
+  std::vector<uint64_t> repSynced(static_cast<size_t>(jobs), 0);
+
+  // Dropout stream base, drawn serially so it is jobs-invariant; each chunk
+  // reseeds its replica per (batch, chunk), making dropout draws a function
+  // of the samples, not of the worker.
+  const uint64_t dropBase = rng.next();
 
   const auto inSize = static_cast<size_t>(inputShape().size());
-  std::vector<float> input(inSize);
-  std::vector<float> probs(static_cast<size_t>(classes));
-  std::vector<float> dLogits(static_cast<size_t>(classes));
+  struct ChunkOut {
+    std::vector<float> grads;
+    double loss = 0.0;
+    size_t correct = 0;
+  };
+  std::vector<ChunkOut> chunkOut;
+  const auto batchSize = static_cast<size_t>(std::max(1, cfg_.batchSize));
+  uint64_t batchId = 1;
 
   for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
     rng.shuffle(train);
     double lossSum = 0.0;
     size_t correct = 0;
-    int inBatch = 0;
-    for (const uint32_t idx : train) {
-      const corpus::Vuc& vuc = ds.vucs[idx];
-      const int target = stageClassOf(s, vuc.label);
-      encodeInput(vuc, -1, input);
-      const auto logits = net.forward(input, /*train=*/true);
-      lossSum += nn::SoftmaxCE::forward(logits, target, probs);
-      const auto pred = static_cast<int>(
-          std::max_element(probs.begin(), probs.end()) - probs.begin());
-      if (pred == target) ++correct;
-      nn::SoftmaxCE::backward(probs, target, dLogits);
-      net.backward(dLogits);
-      if (++inBatch == cfg_.batchSize) {
-        adam.step(1.0F / static_cast<float>(inBatch));
-        inBatch = 0;
+    for (size_t batch = 0; batch < train.size();
+         batch += batchSize, ++batchId) {
+      const size_t bn = std::min(batchSize, train.size() - batch);
+      const size_t chunks = par::numChunks(bn, kGradChunk);
+      chunkOut.assign(chunks, {});
+      pool.run(chunks, [&](size_t c, int w) {
+        const auto [cb, ce] = par::chunkRange(bn, kGradChunk, c);
+        nn::Sequential& rep = reps[static_cast<size_t>(w)];
+        const auto& rp = repParams[static_cast<size_t>(w)];
+        if (repSynced[static_cast<size_t>(w)] != batchId) {
+          for (size_t i = 0; i < rp.size(); ++i) {
+            rp[i]->value = masterParams[i]->value;
+          }
+          repSynced[static_cast<size_t>(w)] = batchId;
+        }
+        rep.zeroGrad();
+        rep.reseed(splitSeed(dropBase, batchId * kChunkStreams + c));
+        std::vector<float> input(inSize);
+        std::vector<float> probs(static_cast<size_t>(classes));
+        std::vector<float> dLogits(static_cast<size_t>(classes));
+        ChunkOut out;
+        for (size_t k = cb; k < ce; ++k) {
+          const corpus::Vuc& vuc = ds.vucs[train[batch + k]];
+          const int target = stageClassOf(s, vuc.label);
+          encodeInput(vuc, -1, input);
+          const auto logits = rep.forward(input, /*train=*/true);
+          out.loss += nn::SoftmaxCE::forward(logits, target, probs);
+          const auto pred = static_cast<int>(
+              std::max_element(probs.begin(), probs.end()) - probs.begin());
+          if (pred == target) ++out.correct;
+          nn::SoftmaxCE::backward(probs, target, dLogits);
+          rep.backward(dLogits);
+        }
+        out.grads.reserve(totalParams);
+        for (const nn::Param* p : rp) {
+          out.grads.insert(out.grads.end(), p->grad.begin(), p->grad.end());
+        }
+        chunkOut[c] = std::move(out);
+      });
+      // Ordered merge: chunk gradients sum into the master in ascending
+      // chunk index, so the FP accumulation order is jobs-invariant.
+      net.zeroGrad();
+      for (const ChunkOut& out : chunkOut) {
+        size_t off = 0;
+        for (nn::Param* p : masterParams) {
+          for (size_t i = 0; i < p->grad.size(); ++i) {
+            p->grad[i] += out.grads[off + i];
+          }
+          off += p->grad.size();
+        }
+        lossSum += out.loss;
+        correct += out.correct;
       }
+      adam.step(1.0F / static_cast<float>(bn));
     }
-    if (inBatch > 0) adam.step(1.0F / static_cast<float>(inBatch));
     if (cfg_.verbose && !train.empty()) {
       std::cerr << "  " << stageName(s) << " epoch " << epoch + 1 << '/'
                 << cfg_.epochs << ": n=" << train.size()
@@ -143,14 +221,17 @@ void Engine::trainStage(Stage s, const corpus::Dataset& ds, uint64_t seed) {
   }
 }
 
-void Engine::train(const corpus::Dataset& trainSet) {
+void Engine::train(const corpus::Dataset& trainSet, par::ThreadPool* pool) {
   if (trainSet.window != cfg_.window) {
     throw std::invalid_argument("Engine::train: dataset window mismatch");
   }
+  replicas_.clear();
+  par::ThreadPool inlinePool(1);
+  par::ThreadPool& tp = pool ? *pool : inlinePool;
   if (cfg_.verbose) std::cerr << "training word2vec embedding...\n";
   embed::TokenizedCorpus tokens = embed::tokenize(trainSet);
   embed::Word2Vec w2v;
-  w2v.train(tokens, cfg_.w2v);
+  w2v.train(tokens, cfg_.w2v, &tp);
   encoder_.emplace(std::move(tokens.vocab), std::move(w2v));
 
   Rng rng(cfg_.seed);
@@ -165,7 +246,7 @@ void Engine::train(const corpus::Dataset& trainSet) {
     if (cfg_.verbose) {
       std::cerr << "training " << stageName(static_cast<Stage>(s)) << "...\n";
     }
-    trainStage(static_cast<Stage>(s), trainSet, rng.fork());
+    trainStage(static_cast<Stage>(s), trainSet, rng.fork(), tp);
   }
 }
 
@@ -186,6 +267,43 @@ StageProbs Engine::predictVuc(const corpus::Vuc& vuc) {
         static_cast<size_t>(numClasses(static_cast<Stage>(s))));
     runStage(static_cast<Stage>(s), input, out.probs[static_cast<size_t>(s)]);
   }
+  return out;
+}
+
+namespace {
+
+// Prediction fan-out grain: small enough to balance uneven VUC batches,
+// large enough that chunk dispatch is amortized. Chunk boundaries don't
+// affect results here (each VUC is independent), but keep them fixed anyway.
+constexpr size_t kPredictGrain = 16;
+
+}  // namespace
+
+void Engine::ensureReplicas(int n) {
+  if (static_cast<int>(replicas_.size()) >= n) return;
+  // One exact serialized copy, deserialized per extra worker: binary float
+  // round trips are bit-exact, so every replica predicts the master's bits.
+  std::stringstream ss;
+  save(ss);
+  const std::string bytes = ss.str();
+  while (static_cast<int>(replicas_.size()) < n) {
+    std::istringstream is(bytes);
+    replicas_.push_back(std::make_unique<Engine>(load(is)));
+  }
+}
+
+std::vector<StageProbs> Engine::predictVucs(std::span<const corpus::Vuc> vucs,
+                                            par::ThreadPool* pool) {
+  if (!trained()) throw std::logic_error("Engine::predictVucs: not trained");
+  par::ThreadPool inlinePool(1);
+  par::ThreadPool& tp = pool ? *pool : inlinePool;
+  ensureReplicas(tp.jobs() - 1);
+  std::vector<StageProbs> out(vucs.size());
+  par::parallelChunks(
+      tp, vucs.size(), kPredictGrain, [&](size_t b, size_t e, size_t, int w) {
+        Engine& eng = w == 0 ? *this : *replicas_[static_cast<size_t>(w - 1)];
+        for (size_t i = b; i < e; ++i) out[i] = eng.predictVuc(vucs[i]);
+      });
   return out;
 }
 
@@ -266,7 +384,7 @@ double Engine::occlusionEpsilon(const corpus::Vuc& vuc, int k, Stage u) {
 }
 
 std::vector<AnalyzedVariable> Engine::analyzeFunction(
-    std::span<const asmx::Instruction> insns) {
+    std::span<const asmx::Instruction> insns, par::ThreadPool* pool) {
   if (!trained()) throw std::logic_error("analyzeFunction: not trained");
   const dataflow::RecoveryResult rec = dataflow::recoverVariables(insns);
 
@@ -280,13 +398,17 @@ std::vector<AnalyzedVariable> Engine::analyzeFunction(
   const corpus::Dataset ds =
       corpus::extractFromFunction(insns, varOfInsn, labels, cfg_.window);
 
+  // Every VUC of the function is predicted in one batched fan-out, then
+  // votes gather per variable — same per-VUC results as the serial loop.
+  const std::vector<StageProbs> allProbs = predictVucs(ds.vucs, pool);
+
   const auto byVar = ds.vucsByVar();
   std::vector<AnalyzedVariable> out;
   for (size_t v = 0; v < rec.vars.size(); ++v) {
     if (byVar[v].empty()) continue;
     std::vector<StageProbs> probs;
     probs.reserve(byVar[v].size());
-    for (const uint32_t i : byVar[v]) probs.push_back(predictVuc(ds.vucs[i]));
+    for (const uint32_t i : byVar[v]) probs.push_back(allProbs[i]);
     const VariableDecision d = voteVariable(probs);
 
     AnalyzedVariable av;

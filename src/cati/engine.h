@@ -9,11 +9,13 @@
 #include <cstdint>
 #include <filesystem>
 #include <istream>
+#include <memory>
 #include <optional>
 #include <ostream>
 #include <span>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/types.h"
 #include "corpus/corpus.h"
 #include "dataflow/recovery.h"
@@ -79,15 +81,24 @@ class Engine {
 
   /// Trains the embedding and all six stage classifiers from a labeled
   /// dataset (the output of corpus::extractGroundTruth over the training
-  /// corpus). Replaces any previous model.
-  void train(const corpus::Dataset& trainSet);
+  /// corpus). Replaces any previous model. The optional pool data-parallels
+  /// word2vec and per-stage minibatch gradient accumulation; the trained
+  /// model bytes are identical at any job count (fixed sample chunks,
+  /// ordered gradient merge, per-chunk dropout streams).
+  void train(const corpus::Dataset& trainSet, par::ThreadPool* pool = nullptr);
 
   bool trained() const { return encoder_.has_value(); }
 
   // --- VUC-level inference ---
   // (non-const: layers cache activations during forward, so an Engine is not
-  // shareable across threads; clone via save/load for parallel use.)
+  // shareable across threads; predictVucs fans out over per-worker replicas
+  // cloned via save/load.)
   StageProbs predictVuc(const corpus::Vuc& vuc);
+  /// Batched prediction; out[i] corresponds to vucs[i]. Replica forward
+  /// passes run on bit-identical weights, so results match a serial
+  /// predictVuc loop exactly at any job count.
+  std::vector<StageProbs> predictVucs(std::span<const corpus::Vuc> vucs,
+                                      par::ThreadPool* pool = nullptr);
   /// Hard routing of one VUC's stage distributions down the tree.
   TypeLabel routeVuc(const StageProbs& p) const;
 
@@ -108,7 +119,8 @@ class Engine {
   /// predicts and votes. The full §III pipeline with src/dataflow standing
   /// in for IDA Pro.
   std::vector<AnalyzedVariable> analyzeFunction(
-      std::span<const asmx::Instruction> insns);
+      std::span<const asmx::Instruction> insns,
+      par::ThreadPool* pool = nullptr);
 
   // --- persistence ---
   void save(std::ostream& os) const;
@@ -125,12 +137,20 @@ class Engine {
   /// channel-major layout the CNNs consume.
   void encodeInput(const corpus::Vuc& vuc, int occlude,
                    std::span<float> out) const;
-  void trainStage(Stage s, const corpus::Dataset& ds, uint64_t seed);
+  void trainStage(Stage s, const corpus::Dataset& ds, uint64_t seed,
+                  par::ThreadPool& pool);
   void runStage(Stage s, std::span<const float> input, std::span<float> probs);
+  /// Ensures `n` cached inference replicas exist (exact save/load copies of
+  /// this engine, one per extra worker). Must be called outside any
+  /// parallel region; train() invalidates them.
+  void ensureReplicas(int n);
 
   EngineConfig cfg_;
   std::optional<embed::VucEncoder> encoder_;
   std::vector<nn::Sequential> stages_;  // kNumStages entries once trained
+  /// Lazily built per-worker clones used by predictVucs (worker 0 runs on
+  /// this object). Never serialized.
+  std::vector<std::unique_ptr<Engine>> replicas_;
 };
 
 }  // namespace cati

@@ -76,4 +76,17 @@ class Rng {
   std::mt19937_64 engine_;
 };
 
+/// splitmix64 finalizer mixing (seed, stream) into an independent seed for a
+/// parallel chunk's private Rng. Pure, unlike fork(): no engine state is
+/// advanced, so chunk seeds depend only on the base seed and the chunk's
+/// index — never on which thread runs the chunk or in what order. This is
+/// the RNG-stream-splitting rule behind the jobs-invariance contract
+/// (DESIGN.md §7).
+inline uint64_t splitSeed(uint64_t seed, uint64_t stream) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace cati

@@ -199,13 +199,19 @@ Dataset extractFromFunction(std::span<const Instruction> insns,
 }
 
 Dataset extractAll(const std::vector<synth::Binary>& bins, int window,
-                   bool groundTruth) {
+                   bool groundTruth, par::ThreadPool* pool) {
+  // Per-binary extraction is pure; datasets land at fixed indices and are
+  // appended in binary order, so var/app id remapping is jobs-invariant.
+  par::ThreadPool inlinePool(1);
+  par::ThreadPool& tp = pool ? *pool : inlinePool;
+  std::vector<Dataset> parts =
+      par::parallelMap<Dataset>(tp, bins.size(), 1, [&](size_t i) {
+        return groundTruth ? extractGroundTruth(bins[i], window)
+                           : extractRecovered(bins[i], window);
+      });
   Dataset all;
   all.window = window;
-  for (const synth::Binary& bin : bins) {
-    all.append(groundTruth ? extractGroundTruth(bin, window)
-                           : extractRecovered(bin, window));
-  }
+  for (Dataset& part : parts) all.append(std::move(part));
   return all;
 }
 

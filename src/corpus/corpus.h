@@ -88,9 +88,10 @@ Dataset extractGroundTruth(const synth::Binary& bin, int window = 10);
 /// scoring); kCount otherwise.
 Dataset extractRecovered(const synth::Binary& bin, int window = 10);
 
-/// Extracts from many binaries (each becomes one "application").
+/// Extracts from many binaries (each becomes one "application"). The
+/// optional pool parallelizes per binary; output is jobs-invariant.
 Dataset extractAll(const std::vector<synth::Binary>& bins, int window = 10,
-                   bool groundTruth = true);
+                   bool groundTruth = true, par::ThreadPool* pool = nullptr);
 
 /// Low-level building block: extracts the VUCs of one function given an
 /// instruction->variable map and per-variable labels (TypeLabel::kCount for

@@ -109,18 +109,88 @@ std::vector<int32_t> buildUnigramTable(const Vocab& vocab, size_t tableSize) {
   return table;
 }
 
+// Fixed parallel grains for training: chunk boundaries, per-chunk RNG
+// streams and the round structure depend only on these constants and the
+// corpus — never on the job count — so embeddings are jobs-invariant.
+constexpr size_t kChunkSentences = 32;
+constexpr size_t kRoundChunks = 8;
+
+/// The serial SGNS inner loop over sentences [sentBegin, sentEnd), updating
+/// the given (chunk-local) vector tables in place. `processedStart` offsets
+/// the learning-rate schedule to the chunk's position in the global token
+/// stream, matching what a serial pass would have reached.
+void trainRange(const TokenizedCorpus& corpus, const W2VConfig& cfg, int dim,
+                const std::vector<int32_t>& table,
+                const std::vector<float>& keepProb, uint64_t processedStart,
+                uint64_t totalWork, size_t sentBegin, size_t sentEnd, Rng& rng,
+                std::vector<float>& vectors, std::vector<float>& context,
+                std::vector<uint8_t>& touchedV, std::vector<uint8_t>& touchedC) {
+  std::vector<float> grad(static_cast<size_t>(dim));
+  uint64_t processed = processedStart;
+  for (size_t si = sentBegin; si < sentEnd; ++si) {
+    const auto& sentence = corpus.sentences[si];
+    for (size_t pos = 0; pos < sentence.size(); ++pos) {
+      ++processed;
+      const int32_t centre = sentence[pos];
+      if (centre < 2) continue;  // never train BLANK/UNK as centre
+      if (keepProb[static_cast<size_t>(centre)] < 1.0F &&
+          rng.uniform() > keepProb[static_cast<size_t>(centre)]) {
+        continue;
+      }
+      const float lr =
+          cfg.lr * std::max(0.05F, 1.0F - static_cast<float>(processed) /
+                                             static_cast<float>(totalWork));
+      const auto win = static_cast<size_t>(
+          rng.uniformInt(1, cfg.window));  // dynamic window, as word2vec
+      const size_t lo = pos >= win ? pos - win : 0;
+      const size_t hi = std::min(sentence.size() - 1, pos + win);
+      float* vIn = vectors.data() + static_cast<size_t>(centre) * dim;
+      touchedV[static_cast<size_t>(centre)] = 1;
+      for (size_t c = lo; c <= hi; ++c) {
+        if (c == pos) continue;
+        const int32_t ctx = sentence[c];
+        if (ctx < 2) continue;
+        std::fill(grad.begin(), grad.end(), 0.0F);
+        for (int neg = 0; neg <= cfg.negatives; ++neg) {
+          int32_t target;
+          float label;
+          if (neg == 0) {
+            target = ctx;
+            label = 1.0F;
+          } else {
+            target = table[static_cast<size_t>(rng.next() % table.size())];
+            if (target == ctx) continue;
+            label = 0.0F;
+          }
+          float* vOut = context.data() + static_cast<size_t>(target) * dim;
+          touchedC[static_cast<size_t>(target)] = 1;
+          float dot = 0.0F;
+          for (int d = 0; d < dim; ++d) dot += vIn[d] * vOut[d];
+          const float g = (label - sigmoid(dot)) * lr;
+          for (int d = 0; d < dim; ++d) {
+            grad[static_cast<size_t>(d)] += g * vOut[d];
+            vOut[d] += g * vIn[d];
+          }
+        }
+        for (int d = 0; d < dim; ++d) vIn[d] += grad[static_cast<size_t>(d)];
+      }
+    }
+  }
+}
+
 }  // namespace
 
-void Word2Vec::train(const TokenizedCorpus& corpus, const W2VConfig& cfg) {
+void Word2Vec::train(const TokenizedCorpus& corpus, const W2VConfig& cfg,
+                     par::ThreadPool* pool) {
   const Vocab& vocab = corpus.vocab;
   dim_ = cfg.dim;
   const auto vocabSize = static_cast<size_t>(vocab.size());
   vectors_.assign(vocabSize * static_cast<size_t>(dim_), 0.0F);
   context_.assign(vocabSize * static_cast<size_t>(dim_), 0.0F);
 
-  Rng rng(cfg.seed);
+  Rng initRng(cfg.seed);
   for (size_t i = 2 * static_cast<size_t>(dim_); i < vectors_.size(); ++i) {
-    vectors_[i] = (static_cast<float>(rng.uniform()) - 0.5F) / dim_;
+    vectors_[i] = (static_cast<float>(initRng.uniform()) - 0.5F) / dim_;
   }
 
   const std::vector<int32_t> table = buildUnigramTable(vocab, 1 << 18);
@@ -140,56 +210,84 @@ void Word2Vec::train(const TokenizedCorpus& corpus, const W2VConfig& cfg) {
     }
   }
 
-  std::vector<float> grad(static_cast<size_t>(dim_));
-  uint64_t processed = 0;
+  // Deterministic local SGD over fixed sentence chunks. A round snapshots
+  // the tables, trains up to kRoundChunks chunks independently (each a full
+  // serial SGNS pass over its sentences, with a private splitSeed stream and
+  // an lr schedule offset to its global token position), then applies each
+  // chunk's delta against the snapshot in ascending chunk order. A row
+  // touched by k chunks in the round gets its deltas scaled by 1/sqrt(k):
+  // plain summing lets colliding chunks compound a row's update k-fold past
+  // saturation (hot rows oscillate), while full 1/k averaging under-trains
+  // them ~k-fold; sqrt splits the difference and keeps rows private to one
+  // chunk at the exact serial update. The round structure is fixed by the
+  // corpus alone, so jobs=1 and jobs=N walk the identical sequence of float
+  // operations.
+  const size_t nSent = corpus.sentences.size();
+  std::vector<uint64_t> tokenPrefix(nSent + 1, 0);
+  for (size_t i = 0; i < nSent; ++i) {
+    tokenPrefix[i + 1] = tokenPrefix[i] + corpus.sentences[i].size();
+  }
   const uint64_t totalWork =
       static_cast<uint64_t>(cfg.epochs) * std::max<uint64_t>(totalTokens, 1);
+
+  par::ThreadPool inlinePool(1);
+  par::ThreadPool& tp = pool ? *pool : inlinePool;
+  const size_t chunks = par::numChunks(nSent, kChunkSentences);
+  std::vector<float> snapV;
+  std::vector<float> snapC;
+  std::vector<std::vector<float>> localV(kRoundChunks);
+  std::vector<std::vector<float>> localC(kRoundChunks);
+  std::vector<std::vector<uint8_t>> touchedV(kRoundChunks);
+  std::vector<std::vector<uint8_t>> touchedC(kRoundChunks);
+  std::vector<uint16_t> countV(vocabSize);
+  std::vector<uint16_t> countC(vocabSize);
+
   for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
-    for (const auto& sentence : corpus.sentences) {
-      for (size_t pos = 0; pos < sentence.size(); ++pos) {
-        ++processed;
-        const int32_t centre = sentence[pos];
-        if (centre < 2) continue;  // never train BLANK/UNK as centre
-        if (keepProb[static_cast<size_t>(centre)] < 1.0F &&
-            rng.uniform() > keepProb[static_cast<size_t>(centre)]) {
-          continue;
+    for (size_t round = 0; round < chunks; round += kRoundChunks) {
+      const size_t inRound = std::min(kRoundChunks, chunks - round);
+      snapV = vectors_;
+      snapC = context_;
+      tp.run(inRound, [&](size_t t, int) {
+        const size_t c = round + t;
+        const auto [b, e] = par::chunkRange(nSent, kChunkSentences, c);
+        localV[t] = snapV;
+        localC[t] = snapC;
+        touchedV[t].assign(vocabSize, 0);
+        touchedC[t].assign(vocabSize, 0);
+        Rng rng(splitSeed(cfg.seed,
+                          static_cast<uint64_t>(epoch) * chunks + c + 1));
+        trainRange(corpus, cfg, dim_, table, keepProb,
+                   static_cast<uint64_t>(epoch) * totalTokens + tokenPrefix[b],
+                   totalWork, b, e, rng, localV[t], localC[t], touchedV[t],
+                   touchedC[t]);
+      });
+      std::fill(countV.begin(), countV.end(), 0);
+      std::fill(countC.begin(), countC.end(), 0);
+      for (size_t t = 0; t < inRound; ++t) {
+        for (size_t r = 0; r < vocabSize; ++r) {
+          countV[r] = static_cast<uint16_t>(countV[r] + touchedV[t][r]);
+          countC[r] = static_cast<uint16_t>(countC[r] + touchedC[t][r]);
         }
-        const float lr =
-            cfg.lr * std::max(0.05F, 1.0F - static_cast<float>(processed) /
-                                               static_cast<float>(totalWork));
-        const auto win = static_cast<size_t>(
-            rng.uniformInt(1, cfg.window));  // dynamic window, as word2vec
-        const size_t lo = pos >= win ? pos - win : 0;
-        const size_t hi = std::min(sentence.size() - 1, pos + win);
-        float* vIn =
-            vectors_.data() + static_cast<size_t>(centre) * dim_;
-        for (size_t c = lo; c <= hi; ++c) {
-          if (c == pos) continue;
-          const int32_t ctx = sentence[c];
-          if (ctx < 2) continue;
-          std::fill(grad.begin(), grad.end(), 0.0F);
-          for (int neg = 0; neg <= cfg.negatives; ++neg) {
-            int32_t target;
-            float label;
-            if (neg == 0) {
-              target = ctx;
-              label = 1.0F;
-            } else {
-              target = table[static_cast<size_t>(rng.next() % table.size())];
-              if (target == ctx) continue;
-              label = 0.0F;
-            }
-            float* vOut =
-                context_.data() + static_cast<size_t>(target) * dim_;
-            float dot = 0.0F;
-            for (int d = 0; d < dim_; ++d) dot += vIn[d] * vOut[d];
-            const float g = (label - sigmoid(dot)) * lr;
-            for (int d = 0; d < dim_; ++d) {
-              grad[static_cast<size_t>(d)] += g * vOut[d];
-              vOut[d] += g * vIn[d];
+      }
+      const auto dim = static_cast<size_t>(dim_);
+      for (size_t t = 0; t < inRound; ++t) {
+        const std::vector<float>& lv = localV[t];
+        const std::vector<float>& lc = localC[t];
+        for (size_t r = 0; r < vocabSize; ++r) {
+          if (touchedV[t][r]) {
+            const float scale =
+                1.0F / std::sqrt(static_cast<float>(countV[r]));
+            for (size_t d = r * dim; d < (r + 1) * dim; ++d) {
+              vectors_[d] += (lv[d] - snapV[d]) * scale;
             }
           }
-          for (int d = 0; d < dim_; ++d) vIn[d] += grad[static_cast<size_t>(d)];
+          if (touchedC[t][r]) {
+            const float scale =
+                1.0F / std::sqrt(static_cast<float>(countC[r]));
+            for (size_t d = r * dim; d < (r + 1) * dim; ++d) {
+              context_[d] += (lc[d] - snapC[d]) * scale;
+            }
+          }
         }
       }
     }

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "corpus/corpus.h"
 
@@ -70,9 +71,12 @@ class Word2Vec {
  public:
   Word2Vec() = default;
 
-  /// Trains skip-gram with negative sampling over the sentences. The BLANK
-  /// token's vector is pinned to zero.
-  void train(const TokenizedCorpus& corpus, const W2VConfig& cfg);
+  /// Trains skip-gram with negative sampling over the sentences via
+  /// deterministic local SGD (fixed sentence chunks, per-chunk RNG streams,
+  /// ordered delta merge): the result is bit-identical at any job count.
+  /// The BLANK token's vector is pinned to zero.
+  void train(const TokenizedCorpus& corpus, const W2VConfig& cfg,
+             par::ThreadPool* pool = nullptr);
 
   int dim() const { return dim_; }
   int32_t vocabSize() const { return static_cast<int32_t>(vectors_.size()) / dim_; }

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
 
 #include "asmx/encode.h"
+#include "common/parallel.h"
 #include "common/serialize.h"
 
 namespace cati::loader {
@@ -231,48 +233,72 @@ namespace {
 
 /// Shared disassembly walk. `diags == nullptr` selects strict mode (throw
 /// on a bad boundary / undecodable bytes); otherwise errors are reported
-/// and recovered from.
-std::vector<LoadedFunction> disassembleImpl(const Image& img,
-                                            DiagList* diags) {
+/// and recovered from. Boundaries decode in parallel into per-boundary
+/// slots and local DiagLists; the serial merge below walks boundaries in
+/// table order, so both the function list and the diagnostic order are
+/// exactly what the serial walk produced.
+std::vector<LoadedFunction> disassembleImpl(const Image& img, DiagList* diags,
+                                            par::ThreadPool* pool) {
   // Address -> symbol for call re-attachment and function naming.
   std::map<uint64_t, const Symbol*> byAddr;
   for (const Symbol& s : img.symbols) byAddr[s.value] = &s;
 
+  struct BoundaryOut {
+    std::optional<LoadedFunction> fn;
+    DiagList diags;
+  };
+  par::ThreadPool inlinePool(1);
+  par::ThreadPool& tp = pool ? *pool : inlinePool;
+  std::vector<BoundaryOut> parts = par::parallelMap<BoundaryOut>(
+      tp, img.boundaries.size(), 4, [&](size_t i) {
+        const BoundaryEntry& b = img.boundaries[i];
+        BoundaryOut part;
+        if (b.start < img.baseAddr ||
+            b.start > img.baseAddr + img.text.size() ||
+            b.end > img.baseAddr + img.text.size() || b.end < b.start) {
+          if (diags == nullptr) {
+            throw std::runtime_error("disassemble: boundary outside .text");
+          }
+          addDiag(&part.diags, Severity::Error, DiagStage::Loader, b.start,
+                  "skipping function with boundary outside .text");
+          return part;
+        }
+        LoadedFunction fn;
+        fn.addr = b.start;
+        const auto it = byAddr.find(b.start);
+        if (it != byAddr.end()) {
+          fn.name = it->second->name;
+        } else {
+          std::ostringstream name;
+          name << "fun_" << std::hex << b.start;
+          fn.name = name.str();
+        }
+        const std::span<const uint8_t> body(
+            img.text.data() + (b.start - img.baseAddr), b.end - b.start);
+        fn.insns = diags == nullptr
+                       ? asmx::decodeAll(body, b.start)
+                       : asmx::decodeAllRecover(body, b.start, &part.diags);
+        // Symbolize call targets where the symbol table allows.
+        for (asmx::Instruction& ins : fn.insns) {
+          if (!asmx::isCall(ins)) continue;
+          const auto sym = byAddr.find(static_cast<uint64_t>(ins.ops[0].imm));
+          if (sym != byAddr.end()) {
+            ins.ops[1] = asmx::Operand::func(sym->second->name);
+          }
+        }
+        part.fn = std::move(fn);
+        return part;
+      });
+
   std::vector<LoadedFunction> out;
-  for (const BoundaryEntry& b : img.boundaries) {
-    if (b.start < img.baseAddr || b.start > img.baseAddr + img.text.size() ||
-        b.end > img.baseAddr + img.text.size() || b.end < b.start) {
-      if (diags == nullptr) {
-        throw std::runtime_error("disassemble: boundary outside .text");
-      }
-      addDiag(diags, Severity::Error, DiagStage::Loader, b.start,
-              "skipping function with boundary outside .text");
-      continue;
+  out.reserve(parts.size());
+  for (BoundaryOut& part : parts) {
+    if (diags != nullptr) {
+      diags->insert(diags->end(),
+                    std::make_move_iterator(part.diags.begin()),
+                    std::make_move_iterator(part.diags.end()));
     }
-    LoadedFunction fn;
-    fn.addr = b.start;
-    const auto it = byAddr.find(b.start);
-    if (it != byAddr.end()) {
-      fn.name = it->second->name;
-    } else {
-      std::ostringstream name;
-      name << "fun_" << std::hex << b.start;
-      fn.name = name.str();
-    }
-    const std::span<const uint8_t> body(
-        img.text.data() + (b.start - img.baseAddr), b.end - b.start);
-    fn.insns = diags == nullptr ? asmx::decodeAll(body, b.start)
-                                : asmx::decodeAllRecover(body, b.start, diags);
-    // Symbolize call targets where the symbol table allows.
-    for (asmx::Instruction& ins : fn.insns) {
-      if (!asmx::isCall(ins)) continue;
-      const auto sym =
-          byAddr.find(static_cast<uint64_t>(ins.ops[0].imm));
-      if (sym != byAddr.end()) {
-        ins.ops[1] = asmx::Operand::func(sym->second->name);
-      }
-    }
-    out.push_back(std::move(fn));
+    if (part.fn) out.push_back(std::move(*part.fn));
   }
   return out;
 }
@@ -280,11 +306,16 @@ std::vector<LoadedFunction> disassembleImpl(const Image& img,
 }  // namespace
 
 std::vector<LoadedFunction> disassemble(const Image& img) {
-  return disassembleImpl(img, nullptr);
+  return disassembleImpl(img, nullptr, nullptr);
 }
 
 std::vector<LoadedFunction> disassemble(const Image& img, DiagList& diags) {
-  return disassembleImpl(img, &diags);
+  return disassembleImpl(img, &diags, nullptr);
+}
+
+std::vector<LoadedFunction> disassemble(const Image& img, DiagList& diags,
+                                        par::ThreadPool& pool) {
+  return disassembleImpl(img, &diags, &pool);
 }
 
 }  // namespace cati::loader

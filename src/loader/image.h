@@ -107,4 +107,11 @@ std::vector<LoadedFunction> disassemble(const Image& img);
 /// Warning diagnostic (see asmx::decodeAllRecover).
 std::vector<LoadedFunction> disassemble(const Image& img, DiagList& diags);
 
+/// Recovering disassembly with per-function fan-out over `pool`. Worker
+/// threads collect diagnostics into per-boundary local lists that are merged
+/// in boundary-table order, so the function list AND the diagnostic order
+/// are bit-identical to the serial overloads at any job count.
+std::vector<LoadedFunction> disassemble(const Image& img, DiagList& diags,
+                                        par::ThreadPool& pool);
+
 }  // namespace cati::loader

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <stdexcept>
 
 #include "common/serialize.h"
@@ -360,6 +361,18 @@ std::vector<Param*> Sequential::params() {
 
 void Sequential::zeroGrad() {
   for (Param* p : params()) p->zeroGrad();
+}
+
+void Sequential::reseed(uint64_t seed) {
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->reseed(splitSeed(seed, i));
+  }
+}
+
+Sequential Sequential::clone() const {
+  std::stringstream ss;
+  save(ss);
+  return load(ss);
 }
 
 void Sequential::save(std::ostream& os) const {

@@ -58,6 +58,12 @@ class Layer {
 
   virtual std::vector<Param*> params() { return {}; }
 
+  /// Re-seeds any layer-private RNG (Dropout). No-op for deterministic
+  /// layers. Data-parallel training reseeds each replica per (batch, chunk)
+  /// so dropout draws depend on the sample chunk, not on which worker runs
+  /// it.
+  virtual void reseed(uint64_t) {}
+
   virtual std::string kind() const = 0;
   virtual void saveExtra(std::ostream& os) const;
   virtual void loadExtra(std::istream& is);
@@ -165,6 +171,7 @@ class Dropout final : public Layer {
   void forward(std::span<const float> x, std::span<float> y,
                bool train) override;
   void backward(std::span<const float> dy, std::span<float> dx) override;
+  void reseed(uint64_t seed) override { rng_ = Rng(seed); }
   std::string kind() const override { return "dropout"; }
   void saveExtra(std::ostream& os) const override;
   void loadExtra(std::istream& is) override;
@@ -197,11 +204,20 @@ class Sequential {
   std::vector<Param*> params();
   void zeroGrad();
 
+  /// Reseeds every layer-private RNG from `seed` (each layer gets its own
+  /// splitSeed stream).
+  void reseed(uint64_t seed);
+
   size_t numLayers() const { return layers_.size(); }
   Layer& layer(size_t i) { return *layers_[i]; }
 
   void save(std::ostream& os) const;
   static Sequential load(std::istream& is);
+
+  /// Structural deep copy via an exact binary save/load round trip (float
+  /// serialization is bit-exact); used to build per-worker replicas for
+  /// data-parallel training and inference.
+  Sequential clone() const;
 
  private:
   Shape inShape_;

@@ -3,7 +3,9 @@
 // codelets), prologue/epilogue idioms and the DWARF-like companion module.
 #include <algorithm>
 #include <cassert>
+#include <optional>
 
+#include "common/parallel.h"
 #include "synth/emitter.h"
 #include "synth/synth.h"
 
@@ -345,7 +347,7 @@ std::vector<AppProfile> paperTestApps(int scale) {
 }
 
 Binary generateBinary(const AppProfile& profile, Dialect dialect, int optLevel,
-                      uint64_t seed) {
+                      uint64_t seed, par::ThreadPool* pool) {
   Rng rng(seed ^ profile.seed * 0x9e3779b97f4a7c15ULL);
   Binary bin;
   bin.name = profile.name;
@@ -356,12 +358,36 @@ Binary generateBinary(const AppProfile& profile, Dialect dialect, int optLevel,
                        std::string(dialectName(dialect)) + ") -O" +
                        std::to_string(optLevel);
 
+  // Per-function seeds are forked serially up front — the same fork()
+  // sequence the serial loop drew — so the output bytes are identical at
+  // any job count (and to the historical serial generator). Each function
+  // then draws only from its private Rng; the Rng is carried into the
+  // serial DIE pass below because typedef wrapping continues drawing from
+  // it while mutating the shared debug module.
+  std::vector<uint64_t> fnSeeds(static_cast<size_t>(profile.numFunctions));
+  for (uint64_t& s : fnSeeds) s = rng.fork();
+
+  struct FnOut {
+    FunctionCode fn;
+    std::optional<Rng> rng;
+  };
+  par::ThreadPool inlinePool(1);
+  par::ThreadPool& p = pool ? *pool : inlinePool;
+  std::vector<FnOut> outs = par::parallelMap<FnOut>(
+      p, fnSeeds.size(), 1, [&](size_t f) {
+        Rng fnRng(fnSeeds[f]);
+        FnOut out;
+        out.fn = generateFunction(profile.name + "_fn" + std::to_string(f),
+                                  dialect, optLevel, profile.typeWeights,
+                                  fnRng);
+        out.rng = fnRng;
+        return out;
+      });
+
   uint64_t pc = 0;
-  for (int f = 0; f < profile.numFunctions; ++f) {
-    Rng fnRng(rng.fork());
-    FunctionCode fn =
-        generateFunction(profile.name + "_fn" + std::to_string(f), dialect,
-                         optLevel, profile.typeWeights, fnRng);
+  for (FnOut& out : outs) {
+    FunctionCode fn = std::move(out.fn);
+    Rng fnRng = *out.rng;
 
     debuginfo::FunctionDie die;
     die.name = fn.name;
@@ -392,8 +418,19 @@ Binary generateBinary(const AppProfile& profile, Dialect dialect, int optLevel,
 }
 
 std::vector<Binary> generateCorpus(int numApps, int funcsPerApp,
-                                   Dialect dialect, uint64_t seed) {
-  std::vector<Binary> out;
+                                   Dialect dialect, uint64_t seed,
+                                   par::ThreadPool* pool) {
+  // Draw every profile and per-binary seed serially, in the exact order the
+  // historical serial loop drew them; only the (pure) per-binary generation
+  // fans out. Binaries land at fixed indices, so corpus order — and hence
+  // every downstream id remap in Dataset::append — is jobs-invariant.
+  struct Job {
+    AppProfile profile;
+    int opt = 0;
+    uint64_t seed = 0;
+  };
+  std::vector<Job> jobs;
+  jobs.reserve(static_cast<size_t>(numApps) * 4);
   Rng rng(seed);
   for (int a = 0; a < numApps; ++a) {
     AppProfile p = defaultProfile("train_app" + std::to_string(a), rng.fork(),
@@ -402,10 +439,17 @@ std::vector<Binary> generateCorpus(int numApps, int funcsPerApp,
     // real projects do.
     for (double& w : p.typeWeights) w *= rng.uniform(0.5, 1.8);
     for (int opt = 0; opt <= 3; ++opt) {
-      out.push_back(generateBinary(p, dialect, opt, rng.fork()));
+      jobs.push_back({p, opt, rng.fork()});
     }
   }
-  return out;
+  par::ThreadPool inlinePool(1);
+  par::ThreadPool& tp = pool ? *pool : inlinePool;
+  // Parallelism is per binary here; generateBinary must not re-enter the
+  // pool (ThreadPool::run is not reentrant), so it gets no pool.
+  return par::parallelMap<Binary>(tp, jobs.size(), 1, [&](size_t i) {
+    const Job& j = jobs[i];
+    return generateBinary(j.profile, dialect, j.opt, j.seed);
+  });
 }
 
 }  // namespace cati::synth

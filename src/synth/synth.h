@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "asmx/instruction.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "debuginfo/debuginfo.h"
@@ -100,14 +101,19 @@ AppProfile defaultProfile(std::string name, uint64_t seed, int numFunctions);
 /// `inetutils` is large and pointer-heavy.
 std::vector<AppProfile> paperTestApps(int scale = 1);
 
-/// Generates one binary. Deterministic in (profile, dialect, optLevel, seed).
+/// Generates one binary. Deterministic in (profile, dialect, optLevel, seed):
+/// an optional pool fans function generation out, but per-function seeds are
+/// forked serially up front, so the output is byte-identical at any job
+/// count.
 Binary generateBinary(const AppProfile& profile, Dialect dialect, int optLevel,
-                      uint64_t seed);
+                      uint64_t seed, par::ThreadPool* pool = nullptr);
 
 /// Generates a training corpus: `numApps` profiles, each built at every
 /// optimization level O0-O3 (the paper builds each project at -O0..-O3),
-/// all with one compiler dialect.
+/// all with one compiler dialect. The optional pool parallelizes per binary;
+/// output is jobs-invariant.
 std::vector<Binary> generateCorpus(int numApps, int funcsPerApp,
-                                   Dialect dialect, uint64_t seed);
+                                   Dialect dialect, uint64_t seed,
+                                   par::ThreadPool* pool = nullptr);
 
 }  // namespace cati::synth

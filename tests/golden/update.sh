@@ -1,0 +1,16 @@
+#!/bin/sh
+# Regenerates the golden regression files from the current build.
+#
+#   tests/golden/update.sh [BUILD_DIR]      (default: build)
+#
+# Runs test_golden with CATI_UPDATE_GOLDEN=1, which rewrites the files in
+# this directory instead of comparing against them. Review the resulting
+# diff before committing: every changed line is an intentional (or caught!)
+# numeric drift of the seeded pipeline.
+set -eu
+BUILD="${1:-build}"
+if [ ! -x "$BUILD/tests/test_golden" ]; then
+  echo "update.sh: $BUILD/tests/test_golden not built (cmake --build $BUILD)" >&2
+  exit 1
+fi
+CATI_UPDATE_GOLDEN=1 "$BUILD/tests/test_golden"

@@ -1,0 +1,108 @@
+// Shared micro-model fixture for test_parallel and test_golden: a tiny
+// corpus + engine configuration that trains in seconds yet exercises the
+// whole pipeline (synth -> corpus -> word2vec -> six CNN stages).
+//
+// The trained engine is cached on disk under ./cati_test_cache/ so the two
+// suites (which ctest may schedule concurrently) do not both pay for
+// training. Both register with RESOURCE_LOCK micro_model_cache in
+// tests/CMakeLists.txt, so cache reads and the atomic temp+rename write
+// never race. A corrupt or stale cache entry is never trusted: load errors
+// fall back to retraining.
+#pragma once
+
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cati/engine.h"
+#include "common/parallel.h"
+#include "corpus/corpus.h"
+#include "synth/synth.h"
+
+namespace cati::testsupport {
+
+/// Bump whenever generator output or training numerics change; old cache
+/// entries are keyed by rev and simply ignored afterwards.
+inline constexpr int kMicroRev = 1;
+inline constexpr uint64_t kMicroSeed = 0xCA71;
+
+inline EngineConfig microConfig() {
+  EngineConfig cfg;
+  cfg.window = 4;
+  cfg.w2v.dim = 8;
+  cfg.w2v.epochs = 1;
+  cfg.conv1 = 4;
+  cfg.conv2 = 8;
+  cfg.fcHidden = 16;
+  cfg.epochs = 1;
+  cfg.maxTrainPerStage = 400;
+  cfg.seed = kMicroSeed;
+  return cfg;
+}
+
+inline std::vector<synth::Binary> microBinaries(
+    par::ThreadPool* pool = nullptr) {
+  return synth::generateCorpus(2, 6, synth::Dialect::Gcc, kMicroSeed, pool);
+}
+
+inline corpus::Dataset microDataset(par::ThreadPool* pool = nullptr) {
+  return corpus::extractAll(microBinaries(pool), microConfig().window,
+                            /*groundTruth=*/true, pool);
+}
+
+inline std::string serializeEngine(const Engine& e) {
+  std::ostringstream os;
+  e.save(os);
+  return std::move(os).str();
+}
+
+/// Trains the micro engine from scratch at the given job count and returns
+/// the serialized model bytes. The determinism contract (DESIGN.md §7) says
+/// the result is the same string for every `jobs` value.
+inline std::string trainMicroEngineBytes(int jobs) {
+  par::ThreadPool pool(jobs);
+  const corpus::Dataset ds = microDataset(&pool);
+  Engine e(microConfig());
+  e.train(ds, &pool);
+  return serializeEngine(e);
+}
+
+inline std::filesystem::path microCachePath() {
+  return std::filesystem::path("cati_test_cache") /
+         ("micro_engine_r" + std::to_string(kMicroRev) + ".bin");
+}
+
+/// Atomic publish: a concurrent reader either sees the old file or the
+/// complete new one, never a half-written model.
+inline void writeMicroCache(const std::string& bytes) {
+  const std::filesystem::path p = microCachePath();
+  std::filesystem::create_directories(p.parent_path());
+  const std::filesystem::path tmp = p.string() + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  std::filesystem::rename(tmp, p);
+}
+
+/// Loads the cached micro engine, retraining (and repopulating the cache)
+/// when it is missing or fails the model file's CRC.
+inline Engine cachedMicroEngine() {
+  const std::filesystem::path p = microCachePath();
+  if (std::filesystem::exists(p)) {
+    try {
+      return Engine::loadFile(p);
+    } catch (const std::exception&) {
+      // Corrupt/stale cache entry: fall through and retrain.
+    }
+  }
+  const std::string bytes = trainMicroEngineBytes(par::resolveJobs());
+  writeMicroCache(bytes);
+  std::istringstream is(bytes);
+  return Engine::load(is);
+}
+
+}  // namespace cati::testsupport

@@ -244,6 +244,54 @@ TEST_F(FuzzTest, RandomBytesNeverCrash) {
   }
 }
 
+TEST_F(FuzzTest, ParallelRecoveringDisassembleMatchesSerial) {
+  // decodeAllRecover under jobs>1: the pooled overload must produce the
+  // exact function list AND diagnostic sequence of the serial walk, even on
+  // hostile images where some boundaries error and others quarantine bytes
+  // (the merge is keyed on boundary-table order, not completion order).
+  const int iters = scaledIters(300);
+  Rng rng(0xF0220005);
+  par::ThreadPool pool(3);
+  for (int i = 0; i < iters; ++i) {
+    loader::Image img = (*images_)[static_cast<size_t>(i) % images_->size()];
+    // A light structural mutation mix: garbage .text block + one hostile
+    // boundary, so runs hit both diagnostic paths.
+    if (!img.text.empty()) {
+      const auto pos = static_cast<size_t>(
+          rng.uniformInt(0, static_cast<int64_t>(img.text.size()) - 1));
+      const auto len = static_cast<size_t>(rng.uniformInt(1, 96));
+      for (size_t j = pos; j < img.text.size() && j < pos + len; ++j) {
+        img.text[j] = static_cast<uint8_t>(rng.uniformInt(0, 255));
+      }
+    }
+    if (!img.boundaries.empty() && rng.chance(0.5)) {
+      auto& bd = img.boundaries[static_cast<size_t>(rng.uniformInt(
+          0, static_cast<int64_t>(img.boundaries.size()) - 1))];
+      bd.start = rng.next();
+      bd.end = rng.chance(0.5) ? bd.start + rng.uniformInt(0, 4096)
+                               : rng.next();
+    }
+
+    DiagList serialDiags;
+    DiagList poolDiags;
+    const auto serial = loader::disassemble(img, serialDiags);
+    const auto pooled = loader::disassemble(img, poolDiags, pool);
+
+    ASSERT_EQ(serial.size(), pooled.size()) << "iteration " << i;
+    for (size_t f = 0; f < serial.size(); ++f) {
+      EXPECT_EQ(serial[f].name, pooled[f].name) << "iteration " << i;
+      EXPECT_EQ(serial[f].addr, pooled[f].addr) << "iteration " << i;
+      EXPECT_EQ(serial[f].insns.size(), pooled[f].insns.size())
+          << "iteration " << i;
+    }
+    ASSERT_EQ(serialDiags.size(), poolDiags.size()) << "iteration " << i;
+    for (size_t d = 0; d < serialDiags.size(); ++d) {
+      EXPECT_EQ(toString(serialDiags[d]), toString(poolDiags[d]))
+          << "iteration " << i << " diag " << d;
+    }
+  }
+}
+
 TEST_F(FuzzTest, DecoderResyncIsTotalOnRandomCode) {
   // decodeAllRecover directly on random byte soup: must account for every
   // byte and never throw.

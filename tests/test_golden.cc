@@ -1,0 +1,165 @@
+// Golden-file regression tests: seeded pipeline outputs (corpus statistics
+// and vote tallies) rendered to text and compared against checked-in files
+// under tests/golden/. Any silent numeric drift — a generator tweak, an
+// embedding/training change, a voting-formula edit — fails tier-1 here with
+// a readable diff instead of slipping through as a small accuracy shift.
+//
+// To bless intentional changes, regenerate with tests/golden/update.sh
+// (which runs this binary with CATI_UPDATE_GOLDEN=1) and review the diff.
+//
+// Shares the ./cati_test_cache/ micro model with test_parallel; both suites
+// hold RESOURCE_LOCK micro_model_cache so the cache never races.
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "support/micro_model.h"
+
+#ifndef CATI_GOLDEN_DIR
+#define CATI_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace cati {
+namespace {
+
+namespace fs = std::filesystem;
+
+uint64_t fnv1a(const std::string& bytes) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Compares `actual` against the golden file, or rewrites the file when
+/// CATI_UPDATE_GOLDEN is set (the update.sh path).
+void compareOrUpdate(const std::string& name, const std::string& actual) {
+  const fs::path p = fs::path(CATI_GOLDEN_DIR) / name;
+  const char* update = std::getenv("CATI_UPDATE_GOLDEN");
+  if (update != nullptr && std::string(update) != "0") {
+    fs::create_directories(p.parent_path());
+    std::ofstream os(p, std::ios::binary);
+    os << actual;
+    ASSERT_TRUE(os.good()) << "failed to write " << p;
+    std::fprintf(stderr, "[golden] updated %s\n", p.string().c_str());
+    return;
+  }
+  std::ifstream is(p, std::ios::binary);
+  ASSERT_TRUE(is.good())
+      << "missing golden file " << p
+      << " — generate it with tests/golden/update.sh BUILD_DIR";
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  EXPECT_EQ(ss.str(), actual)
+      << "golden mismatch for " << name
+      << ". If the change is intentional, regenerate with "
+         "tests/golden/update.sh and review the diff.";
+}
+
+TEST(Golden, CorpusStats) {
+  const auto bins = testsupport::microBinaries();
+  const corpus::Dataset ds = testsupport::microDataset();
+  const corpus::DatasetStats st = corpus::computeStats(ds);
+
+  std::ostringstream os;
+  os << "micro_rev " << testsupport::kMicroRev << "\n";
+  os << "seed " << testsupport::kMicroSeed << "\n";
+  os << "binaries " << bins.size() << "\n";
+  size_t funcs = 0;
+  size_t insns = 0;
+  for (const synth::Binary& b : bins) {
+    funcs += b.funcs.size();
+    insns += b.totalInstructions();
+  }
+  os << "functions " << funcs << "\n";
+  os << "instructions " << insns << "\n";
+  os << "apps " << ds.appNames.size() << "\n";
+  os << "vars " << ds.vars.size() << "\n";
+  os << "vucs " << ds.vucs.size() << "\n";
+  os << "window " << ds.window << "\n";
+  char hex[32];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(
+                    fnv1a([&] {
+                      std::ostringstream b;
+                      corpus::save(ds, b);
+                      return std::move(b).str();
+                    }())));
+  os << "dataset_fnv1a " << hex << "\n";
+  for (const TypeLabel t : allTypes()) {
+    size_t n = 0;
+    for (const corpus::VarInfo& v : ds.vars) n += v.label == t ? 1 : 0;
+    os << "label " << typeName(t) << " " << n << "\n";
+  }
+  os << "vars_with_1_vuc " << st.varsWith1Vuc << "\n";
+  os << "vars_with_2_vucs " << st.varsWith2Vucs << "\n";
+  os << "uncertain1 " << st.uncertain1 << "\n";
+  os << "uncertain2 " << st.uncertain2 << "\n";
+
+  compareOrUpdate("corpus_stats.txt", os.str());
+}
+
+TEST(Golden, VoteTallies) {
+  Engine engine = testsupport::cachedMicroEngine();
+  const corpus::Dataset ds = testsupport::microDataset();
+
+  par::ThreadPool pool(par::resolveJobs());
+  const std::vector<StageProbs> probs = engine.predictVucs(ds.vucs, &pool);
+
+  std::array<size_t, kNumTypes> routeTally{};
+  for (const StageProbs& p : probs) {
+    ++routeTally[static_cast<size_t>(engine.routeVuc(p))];
+  }
+
+  std::array<size_t, kNumTypes> finalTally{};
+  std::array<std::array<size_t, 16>, kNumStages> stageTally{};
+  size_t voted = 0;
+  const auto byVar = ds.vucsByVar();
+  for (size_t v = 0; v < byVar.size(); ++v) {
+    if (byVar[v].empty()) continue;
+    std::vector<StageProbs> vp;
+    vp.reserve(byVar[v].size());
+    for (const uint32_t i : byVar[v]) vp.push_back(probs[i]);
+    const VariableDecision d = engine.voteVariable(vp);
+    ++voted;
+    ++finalTally[static_cast<size_t>(d.finalType)];
+    for (int s = 0; s < kNumStages; ++s) {
+      ++stageTally[static_cast<size_t>(s)]
+                  [static_cast<size_t>(d.stageClass[static_cast<size_t>(s)])];
+    }
+  }
+
+  std::ostringstream os;
+  os << "micro_rev " << testsupport::kMicroRev << "\n";
+  os << "vucs " << probs.size() << "\n";
+  os << "vars_voted " << voted << "\n";
+  for (const TypeLabel t : allTypes()) {
+    os << "route " << typeName(t) << " "
+       << routeTally[static_cast<size_t>(t)] << "\n";
+  }
+  for (const TypeLabel t : allTypes()) {
+    os << "final " << typeName(t) << " "
+       << finalTally[static_cast<size_t>(t)] << "\n";
+  }
+  for (int s = 0; s < kNumStages; ++s) {
+    os << "stage " << stageName(static_cast<Stage>(s));
+    for (int c = 0; c < numClasses(static_cast<Stage>(s)); ++c) {
+      os << " " << stageTally[static_cast<size_t>(s)][static_cast<size_t>(c)];
+    }
+    os << "\n";
+  }
+
+  compareOrUpdate("vote_tallies.txt", os.str());
+}
+
+}  // namespace
+}  // namespace cati

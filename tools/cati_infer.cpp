@@ -7,7 +7,7 @@
 // one-line diagnostic on stderr and a nonzero exit, never a crash; images
 // with garbage bytes degrade via recovering disassembly.
 //
-// Usage: cati-infer MODEL.bin IMAGE.img [--confidence-min X]
+// Usage: cati-infer MODEL.bin IMAGE.img [--confidence-min X] [--jobs N]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -16,6 +16,7 @@
 #include <unordered_map>
 
 #include "cati/engine.h"
+#include "common/parallel.h"
 #include "loader/image.h"
 
 namespace {
@@ -25,10 +26,11 @@ int run(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: cati-infer MODEL.bin IMAGE.img "
-                 "[--confidence-min X]\n");
+                 "[--confidence-min X] [--jobs N]\n");
     return 2;
   }
   float confMin = 0.0F;
+  int jobs = 0;  // 0: CATI_JOBS env or hardware concurrency
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--confidence-min") == 0 && i + 1 < argc) {
       char* end = nullptr;
@@ -38,6 +40,8 @@ int run(int argc, char** argv) {
                      argv[i]);
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
     } else {
       std::fprintf(stderr, "cati-infer: unknown argument: %s\n", argv[i]);
       return 2;
@@ -52,11 +56,13 @@ int run(int argc, char** argv) {
     return 1;
   }
 
+  par::ThreadPool pool(par::resolveJobs(jobs));
   size_t total = 0;
   size_t withTruth = 0;
   size_t correct = 0;
-  for (const loader::LoadedFunction& fn : loader::disassemble(*img, diags)) {
-    const auto vars = engine.analyzeFunction(fn.insns);
+  for (const loader::LoadedFunction& fn :
+       loader::disassemble(*img, diags, pool)) {
+    const auto vars = engine.analyzeFunction(fn.insns, &pool);
     if (vars.empty()) continue;
     std::printf("%s:\n", fn.name.c_str());
 

@@ -2,7 +2,7 @@
 // debug info), the corpus substrate in file form.
 //
 // Usage: cati-synth OUT.img [--name N] [--funcs K] [--dialect gcc|clang]
-//                   [--opt 0..3] [--seed S] [--strip]
+//                   [--opt 0..3] [--seed S] [--strip] [--jobs N]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -10,6 +10,7 @@
 #include <fstream>
 #include <string>
 
+#include "common/parallel.h"
 #include "loader/image.h"
 #include "synth/synth.h"
 
@@ -18,7 +19,8 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: cati-synth OUT.img [--name N] [--funcs K] "
-               "[--dialect gcc|clang] [--opt 0..3] [--seed S] [--strip]\n");
+               "[--dialect gcc|clang] [--opt 0..3] [--seed S] [--strip] "
+               "[--jobs N]\n");
 }
 
 int run(int argc, char** argv) {
@@ -34,6 +36,7 @@ int run(int argc, char** argv) {
   int opt = 2;
   uint64_t seed = 1;
   bool doStrip = false;
+  int jobs = 0;  // 0: CATI_JOBS env or hardware concurrency
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
@@ -56,14 +59,18 @@ int run(int argc, char** argv) {
       seed = std::strtoull(next(), nullptr, 0);
     } else if (arg == "--strip") {
       doStrip = true;
+    } else if (arg == "--jobs") {
+      jobs = std::atoi(next());
     } else {
       usage();
       return 2;
     }
   }
 
+  par::ThreadPool pool(par::resolveJobs(jobs));
   const synth::Binary bin = synth::generateBinary(
-      synth::defaultProfile(name, seed ^ 0xabc, funcs), dialect, opt, seed);
+      synth::defaultProfile(name, seed ^ 0xabc, funcs), dialect, opt, seed,
+      &pool);
   loader::Image img = loader::buildImage(bin);
   if (doStrip) loader::strip(img);
 

@@ -2,7 +2,7 @@
 //
 // Usage: cati-train MODEL.bin [--apps N] [--funcs K] [--dialect gcc|clang]
 //                   [--epochs E] [--cap C] [--hidden H] [--window W]
-//                   [--seed S] [--quiet]
+//                   [--seed S] [--quiet] [--jobs N]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -10,6 +10,7 @@
 #include <string>
 
 #include "cati/engine.h"
+#include "common/parallel.h"
 #include "corpus/corpus.h"
 #include "synth/synth.h"
 
@@ -21,7 +22,7 @@ int run(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: cati-train MODEL.bin [--apps N] [--funcs K] "
                  "[--dialect gcc|clang] [--epochs E] [--cap C] [--hidden H] "
-                 "[--window W] [--seed S] [--quiet]\n");
+                 "[--window W] [--seed S] [--quiet] [--jobs N]\n");
     return 2;
   }
   const std::string out = argv[1];
@@ -34,6 +35,7 @@ int run(int argc, char** argv) {
   cfg.maxTrainPerStage = 10000;
   cfg.fcHidden = 96;
   uint64_t seed = 2026;
+  int jobs = 0;  // 0: CATI_JOBS env or hardware concurrency
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
@@ -59,21 +61,27 @@ int run(int argc, char** argv) {
       seed = std::strtoull(next(), nullptr, 0);
     } else if (arg == "--quiet") {
       cfg.verbose = false;
+    } else if (arg == "--jobs") {
+      jobs = std::atoi(next());
     } else {
       std::fprintf(stderr, "cati-train: unknown option %s\n", arg.c_str());
       return 2;
     }
   }
 
-  std::printf("generating corpus: %d apps x O0-O3 x %d functions (%s)\n",
-              apps, funcs, std::string(synth::dialectName(dialect)).c_str());
-  const auto bins = synth::generateCorpus(apps, funcs, dialect, seed);
-  const corpus::Dataset train = corpus::extractAll(bins, cfg.window);
+  par::ThreadPool pool(par::resolveJobs(jobs));
+  std::printf("generating corpus: %d apps x O0-O3 x %d functions (%s, %d "
+              "jobs)\n",
+              apps, funcs, std::string(synth::dialectName(dialect)).c_str(),
+              pool.jobs());
+  const auto bins = synth::generateCorpus(apps, funcs, dialect, seed, &pool);
+  const corpus::Dataset train =
+      corpus::extractAll(bins, cfg.window, true, &pool);
   std::printf("  %zu variables, %zu VUCs\n", train.vars.size(),
               train.vucs.size());
 
   Engine engine(cfg);
-  engine.train(train);
+  engine.train(train, &pool);
   engine.saveFile(out);
   std::printf("model written to %s\n", out.c_str());
   return 0;
