@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Coverage gate: per-directory line coverage must not drop below baseline.
+
+Usage: check_coverage.py GCOVR_JSON_SUMMARY BASELINE_JSON
+
+GCOVR_JSON_SUMMARY is the output of `gcovr --json-summary`. BASELINE_JSON
+maps directory prefixes (e.g. "src/eval") to the minimum acceptable line
+coverage percentage. Coverage for a prefix is aggregated over every source
+file under it (covered lines / executable lines, like gcovr's totals), so a
+new untested file lowers the directory figure instead of hiding.
+
+Exit status 1 if any gated directory is below its baseline. To raise a
+baseline after improving tests, edit .github/coverage-baseline.json —
+keep recorded floors a few points below measured so unrelated refactors
+don't trip the gate.
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1], encoding="utf-8") as f:
+        summary = json.load(f)
+    with open(sys.argv[2], encoding="utf-8") as f:
+        baseline = json.load(f)
+
+    totals = {prefix: [0, 0] for prefix in baseline}  # covered, total
+    for entry in summary.get("files", []):
+        name = entry["filename"]
+        for prefix in baseline:
+            if name.startswith(prefix.rstrip("/") + "/"):
+                totals[prefix][0] += entry.get("line_covered", 0)
+                totals[prefix][1] += entry.get("line_total", 0)
+
+    failed = False
+    for prefix, floor in sorted(baseline.items()):
+        covered, total = totals[prefix]
+        if total == 0:
+            print(f"FAIL {prefix}: no coverage data found (build with "
+                  f"-DCATI_COVERAGE=ON and run the tests first)")
+            failed = True
+            continue
+        pct = 100.0 * covered / total
+        status = "ok  " if pct >= floor else "FAIL"
+        if pct < floor:
+            failed = True
+        print(f"{status} {prefix}: {pct:.1f}% line coverage "
+              f"({covered}/{total} lines, baseline {floor:.1f}%)")
+
+    if failed:
+        print("\ncoverage gate failed: a gated directory dropped below its "
+              "recorded baseline (.github/coverage-baseline.json)",
+              file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,19 @@ using namespace cati;
 
 bench::Bundle& bundle() { return bench::sharedBundle(); }
 
+// With CATI_METRICS=1 the instrumented pipeline attributes each end-to-end
+// row to its stages: every nonzero metric delta over the measured region
+// becomes a per-iteration counter column (so BENCH_*.json carries
+// engine.train.stage_ns.*, engine.infer.samples.*, …). Without the env var
+// this is a no-op and the rows measure the uninstrumented-cost path.
+void exportMetricsColumns(benchmark::State& state,
+                          const obs::Snapshot& base) {
+  for (const auto& [name, value] : bench::metricsDelta(base)) {
+    state.counters[name] =
+        benchmark::Counter(value, benchmark::Counter::kAvgIterations);
+  }
+}
+
 synth::Binary testBinary() {
   return synth::generateBinary(synth::defaultProfile("speed", 0x99, 24),
                                synth::Dialect::Gcc, 2, 0x5eed);
@@ -73,6 +86,7 @@ void BM_AnalyzeBinaryEndToEnd(benchmark::State& state) {
   Engine& e = bundle().engine();
   const synth::Binary bin = testBinary();
   size_t vars = 0;
+  const obs::Snapshot base = bench::metricsBaseline();
   for (auto _ : state) {
     vars = 0;
     for (const synth::FunctionCode& fn : bin.funcs) {
@@ -81,6 +95,7 @@ void BM_AnalyzeBinaryEndToEnd(benchmark::State& state) {
       benchmark::DoNotOptimize(out);
     }
   }
+  exportMetricsColumns(state, base);
   state.counters["variables"] = static_cast<double>(vars);
   state.counters["instructions"] =
       static_cast<double>(bin.totalInstructions());
@@ -149,10 +164,12 @@ void BM_PredictBatchJobs(benchmark::State& state) {
   par::ThreadPool pool(static_cast<int>(state.range(0)));
   const size_t n = std::min<size_t>(test.vucs.size(), 256);
   const std::span<const corpus::Vuc> batch(test.vucs.data(), n);
+  const obs::Snapshot base = bench::metricsBaseline();
   for (auto _ : state) {
     const auto out = e.predictVucs(batch, &pool);
     benchmark::DoNotOptimize(out);
   }
+  exportMetricsColumns(state, base);
   state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
 }
 BENCHMARK(BM_PredictBatchJobs)
@@ -192,11 +209,13 @@ void BM_TrainEndToEndJobs(benchmark::State& state) {
   cfg.w2v.epochs = 1;
   cfg.maxTrainPerStage = 512;
   cfg.fcHidden = 32;
+  const obs::Snapshot base = bench::metricsBaseline();
   for (auto _ : state) {
     Engine e(cfg);
     e.train(ds, &pool);
     benchmark::DoNotOptimize(e);
   }
+  exportMetricsColumns(state, base);
   state.counters["train_vucs"] = static_cast<double>(ds.vucs.size());
 }
 BENCHMARK(BM_TrainEndToEndJobs)

@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <unordered_map>
 
 namespace cati::bench {
 
@@ -189,8 +190,7 @@ StageScore vucStageScore(Bundle& b, uint32_t appId, Stage s) {
     if (cls < 0) continue;
     const auto& p = probs[i].probs[static_cast<size_t>(s)];
     yTrue.push_back(cls);
-    yPred.push_back(static_cast<int>(
-        std::max_element(p.begin(), p.end()) - p.begin()));
+    yPred.push_back(eval::argmax(p));
   }
   return scoreFromPairs(yTrue, yPred, numClasses(s));
 }
@@ -235,6 +235,37 @@ AppAccuracy appAccuracy(Bundle& b, uint32_t appId) {
                static_cast<double>(a.varSupport);
   }
   return a;
+}
+
+obs::Snapshot metricsBaseline() {
+  if (!obs::enabled()) return {};
+  return obs::Registry::global().snapshot();
+}
+
+std::vector<std::pair<std::string, double>> metricsDelta(
+    const obs::Snapshot& before) {
+  std::vector<std::pair<std::string, double>> out;
+  if (!obs::enabled()) return out;
+  const obs::Snapshot now = obs::Registry::global().snapshot();
+  std::unordered_map<std::string, uint64_t> prevCounters;
+  for (const auto& c : before.counters) prevCounters[c.name] = c.value;
+  std::unordered_map<std::string, int64_t> prevSums;
+  for (const auto& h : before.histograms) prevSums[h.name] = h.sumFx;
+  for (const auto& c : now.counters) {
+    const auto it = prevCounters.find(c.name);
+    const uint64_t prev = it == prevCounters.end() ? 0 : it->second;
+    if (c.value != prev) {
+      out.emplace_back(c.name, static_cast<double>(c.value - prev));
+    }
+  }
+  for (const auto& h : now.histograms) {
+    if (h.unit != obs::Unit::Nanoseconds) continue;
+    const auto it = prevSums.find(h.name);
+    const int64_t prev = it == prevSums.end() ? 0 : it->second;
+    if (h.sumFx != prev) out.emplace_back(h.name, obs::fromFx(h.sumFx - prev));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 }  // namespace cati::bench

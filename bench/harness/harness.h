@@ -9,9 +9,11 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cati/engine.h"
+#include "common/obs.h"
 #include "common/parallel.h"
 #include "corpus/corpus.h"
 #include "eval/metrics.h"
@@ -114,5 +116,19 @@ struct AppAccuracy {
   size_t varSupport = 0;
 };
 AppAccuracy appAccuracy(Bundle& b, uint32_t appId);
+
+// --- observability columns ------------------------------------------------------
+
+/// Snapshot of the global metrics registry taken before a measured region.
+/// Empty (and free) when metrics are disabled, so the default bench numbers
+/// are unperturbed; set CATI_METRICS=1 to populate the columns.
+obs::Snapshot metricsBaseline();
+
+/// Nonzero per-metric deltas since `before`, name-sorted: counters by value
+/// and timing histograms by nanosecond sum (name kept verbatim, `_ns`
+/// suffix marks timings). Benches export these as per-iteration counter
+/// columns so BENCH_*.json carries per-stage attribution.
+std::vector<std::pair<std::string, double>> metricsDelta(
+    const obs::Snapshot& before);
 
 }  // namespace cati::bench

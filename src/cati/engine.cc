@@ -1,14 +1,49 @@
 #include "cati/engine.h"
 
 #include <algorithm>
+#include <array>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 
+#include "common/obs.h"
 #include "common/serialize.h"
 
 namespace cati {
+
+namespace {
+
+/// Per-classifier-stage metric handles, resolved once per name pattern
+/// (e.g. "engine.infer.samples.Stage2-1") so hot paths never build strings.
+/// Call sites hold these in magic statics — initialization is thread-safe
+/// and registers all six stage names eagerly, so a snapshot always carries
+/// the full stage set once the pattern is touched.
+std::string stageMetricName(const char* prefix, Stage s) {
+  return std::string(prefix) + "." + std::string(stageName(s));
+}
+
+std::array<obs::Counter*, kNumStages> stageCounters(const char* prefix) {
+  std::array<obs::Counter*, kNumStages> a{};
+  for (int i = 0; i < kNumStages; ++i) {
+    a[static_cast<size_t>(i)] =
+        &obs::counter(stageMetricName(prefix, static_cast<Stage>(i)));
+  }
+  return a;
+}
+
+std::array<obs::Histogram*, kNumStages> stageHistograms(const char* prefix,
+                                                        obs::Unit unit) {
+  std::array<obs::Histogram*, kNumStages> a{};
+  for (int i = 0; i < kNumStages; ++i) {
+    a[static_cast<size_t>(i)] = &obs::Registry::global().histogram(
+        stageMetricName(prefix, static_cast<Stage>(i)), unit);
+  }
+  return a;
+}
+
+}  // namespace
 
 Engine::Engine(EngineConfig cfg) : cfg_(cfg) {}
 
@@ -104,6 +139,11 @@ constexpr uint64_t kChunkStreams = 1ULL << 16;
 
 void Engine::trainStage(Stage s, const corpus::Dataset& ds, uint64_t seed,
                         par::ThreadPool& pool) {
+  static const std::array<obs::Histogram*, kNumStages> stageNs =
+      stageHistograms("engine.train.stage_ns", obs::Unit::Nanoseconds);
+  static const std::array<obs::Counter*, kNumStages> stageSamples =
+      stageCounters("engine.train.samples");
+  const obs::ScopedTimer stageTiming(*stageNs[static_cast<size_t>(s)]);
   Rng rng(seed);
   const int classes = numClasses(s);
 
@@ -116,6 +156,8 @@ void Engine::trainStage(Stage s, const corpus::Dataset& ds, uint64_t seed,
   }
   std::vector<uint32_t> train = balancedSubsample(
       byClass, cfg_.maxTrainPerStage, cfg_.balanceMultiplier, rng);
+  stageSamples[static_cast<size_t>(s)]->add(
+      train.size() * static_cast<size_t>(std::max(0, cfg_.epochs)));
 
   auto& net = stages_[static_cast<size_t>(s)];
   nn::Adam adam(net.params(), {.lr = cfg_.lr});
@@ -156,6 +198,8 @@ void Engine::trainStage(Stage s, const corpus::Dataset& ds, uint64_t seed,
     size_t correct = 0;
     for (size_t batch = 0; batch < train.size();
          batch += batchSize, ++batchId) {
+      static obs::Histogram& batchNs = obs::timer("engine.train.batch_ns");
+      const obs::ScopedTimer batchTiming(batchNs);
       const size_t bn = std::min(batchSize, train.size() - batch);
       const size_t chunks = par::numChunks(bn, kGradChunk);
       chunkOut.assign(chunks, {});
@@ -225,6 +269,8 @@ void Engine::train(const corpus::Dataset& trainSet, par::ThreadPool* pool) {
   if (trainSet.window != cfg_.window) {
     throw std::invalid_argument("Engine::train: dataset window mismatch");
   }
+  static obs::Histogram& trainNs = obs::timer("engine.train_ns");
+  const obs::ScopedTimer timing(trainNs);
   replicas_.clear();
   par::ThreadPool inlinePool(1);
   par::ThreadPool& tp = pool ? *pool : inlinePool;
@@ -252,6 +298,9 @@ void Engine::train(const corpus::Dataset& trainSet, par::ThreadPool* pool) {
 
 void Engine::runStage(Stage s, std::span<const float> input,
                       std::span<float> probs) {
+  static const std::array<obs::Counter*, kNumStages> samples =
+      stageCounters("engine.infer.samples");
+  samples[static_cast<size_t>(s)]->add();
   auto& net = stages_[static_cast<size_t>(s)];
   const auto logits = net.forward(input, /*train=*/false);
   nn::SoftmaxCE::forward(logits, -1, probs);
@@ -295,6 +344,10 @@ void Engine::ensureReplicas(int n) {
 std::vector<StageProbs> Engine::predictVucs(std::span<const corpus::Vuc> vucs,
                                             par::ThreadPool* pool) {
   if (!trained()) throw std::logic_error("Engine::predictVucs: not trained");
+  static obs::Histogram& batchNs = obs::timer("engine.infer.batch_ns");
+  static obs::Counter& inferVucs = obs::counter("engine.infer.vucs");
+  const obs::ScopedTimer timing(batchNs);
+  inferVucs.add(vucs.size());
   par::ThreadPool inlinePool(1);
   par::ThreadPool& tp = pool ? *pool : inlinePool;
   ensureReplicas(tp.jobs() - 1);
@@ -337,8 +390,16 @@ VariableDecision Engine::voteVariable(std::span<const StageProbs> vucProbs,
   if (vucProbs.empty()) {
     throw std::invalid_argument("voteVariable: no VUCs");
   }
+  static const std::array<obs::Histogram*, kNumStages> confidence =
+      stageHistograms("engine.vote.confidence", obs::Unit::Count);
+  static obs::Counter& voteVars = obs::counter("engine.vote.variables");
+  static obs::Counter& voteVucs = obs::counter("engine.vote.vucs");
+  static obs::Counter& voteClipped = obs::counter("engine.vote.clipped");
+  voteVars.add();
+  voteVucs.add(vucProbs.size());
   VariableDecision d;
   // Formula 3-4 per stage: clip high confidences to 1.0 and sum.
+  uint64_t clipped = 0;
   for (int s = 0; s < kNumStages; ++s) {
     const int classes = numClasses(static_cast<Stage>(s));
     std::vector<float> sums(static_cast<size_t>(classes), 0.0F);
@@ -346,12 +407,22 @@ VariableDecision Engine::voteVariable(std::span<const StageProbs> vucProbs,
       const auto& probs = p.probs[static_cast<size_t>(s)];
       for (int c = 0; c < classes; ++c) {
         float z = probs[static_cast<size_t>(c)];
-        if (clipEnabled && z >= clipThreshold) z = 1.0F;
+        if (clipEnabled && z >= clipThreshold) {
+          z = 1.0F;
+          ++clipped;
+        }
         sums[static_cast<size_t>(c)] += z;
       }
     }
-    d.stageClass[static_cast<size_t>(s)] = argmax(sums);
+    const int winner = argmax(sums);
+    d.stageClass[static_cast<size_t>(s)] = winner;
+    // Mean winning-class vote per stage — the distribution the paper's
+    // formula 4 argmaxes over, normalized to [0, 1] by the VUC count.
+    confidence[static_cast<size_t>(s)]->observe(
+        static_cast<double>(sums[static_cast<size_t>(winner)]) /
+        static_cast<double>(vucProbs.size()));
   }
+  voteClipped.add(clipped);
   // Route the voted classes down the tree to the final type.
   Stage s = Stage::S1;
   for (;;) {
@@ -386,6 +457,12 @@ double Engine::occlusionEpsilon(const corpus::Vuc& vuc, int k, Stage u) {
 std::vector<AnalyzedVariable> Engine::analyzeFunction(
     std::span<const asmx::Instruction> insns, par::ThreadPool* pool) {
   if (!trained()) throw std::logic_error("analyzeFunction: not trained");
+  static obs::Histogram& analyzeNs = obs::timer("engine.analyze_ns");
+  static obs::Counter& fnCount = obs::counter("engine.analyze.functions");
+  static obs::Counter& varCount = obs::counter("engine.analyze.variables");
+  static obs::Counter& vucCount = obs::counter("engine.analyze.vucs");
+  const obs::ScopedTimer timing(analyzeNs);
+  fnCount.add();
   const dataflow::RecoveryResult rec = dataflow::recoverVariables(insns);
 
   std::vector<int32_t> varOfInsn(insns.size(), -1);
@@ -427,6 +504,8 @@ std::vector<AnalyzedVariable> Engine::analyzeFunction(
     av.confidence = sum / static_cast<float>(probs.size());
     out.push_back(std::move(av));
   }
+  varCount.add(out.size());
+  vucCount.add(ds.vucs.size());
   return out;
 }
 

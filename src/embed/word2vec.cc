@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/obs.h"
 #include "common/serialize.h"
 
 namespace cati::embed {
@@ -182,6 +183,8 @@ void trainRange(const TokenizedCorpus& corpus, const W2VConfig& cfg, int dim,
 
 void Word2Vec::train(const TokenizedCorpus& corpus, const W2VConfig& cfg,
                      par::ThreadPool* pool) {
+  static obs::Histogram& trainNs = obs::timer("w2v.train_ns");
+  const obs::ScopedTimer timing(trainNs);
   const Vocab& vocab = corpus.vocab;
   dim_ = cfg.dim;
   const auto vocabSize = static_cast<size_t>(vocab.size());
@@ -198,6 +201,8 @@ void Word2Vec::train(const TokenizedCorpus& corpus, const W2VConfig& cfg,
 
   uint64_t totalTokens = 0;
   for (const auto& s : corpus.sentences) totalTokens += s.size();
+  obs::counter("w2v.tokens_processed")
+      .add(totalTokens * static_cast<uint64_t>(cfg.epochs));
 
   // Subsampling keep-probability per token (frequent-token downsampling).
   std::vector<float> keepProb(vocabSize, 1.0F);
@@ -242,8 +247,12 @@ void Word2Vec::train(const TokenizedCorpus& corpus, const W2VConfig& cfg,
   std::vector<uint16_t> countV(vocabSize);
   std::vector<uint16_t> countC(vocabSize);
 
+  static obs::Counter& rounds = obs::counter("w2v.rounds");
+  static obs::Histogram& roundNs = obs::timer("w2v.round_ns");
   for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
     for (size_t round = 0; round < chunks; round += kRoundChunks) {
+      rounds.add();
+      const obs::ScopedTimer roundTiming(roundNs);
       const size_t inRound = std::min(kRoundChunks, chunks - round);
       snapV = vectors_;
       snapC = context_;

@@ -23,6 +23,14 @@ std::vector<size_t> confusion(std::span<const int> yTrue,
   return m;
 }
 
+int argmax(std::span<const float> scores) {
+  if (scores.empty()) return -1;
+  // std::max_element returns the FIRST maximal element, so exact ties
+  // resolve to the lowest class index.
+  return static_cast<int>(std::max_element(scores.begin(), scores.end()) -
+                          scores.begin());
+}
+
 Report compute(std::span<const int> yTrue, std::span<const int> yPred,
                int numClasses) {
   const std::vector<size_t> cm = confusion(yTrue, yPred, numClasses);

@@ -37,6 +37,11 @@ Report compute(std::span<const int> yTrue, std::span<const int> yPred,
 std::vector<size_t> confusion(std::span<const int> yTrue,
                               std::span<const int> yPred, int numClasses);
 
+/// Index of the largest score; ties break to the lowest index (the
+/// convention every vote/top-1 site in the repo follows — keeping it in one
+/// place makes tie-breaking testable). Returns -1 on an empty span.
+int argmax(std::span<const float> scores);
+
 // --- table formatting ---------------------------------------------------------
 
 /// Plain-text table writer used by every bench binary to print paper-shaped

@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "asmx/encode.h"
+#include "common/obs.h"
 #include "common/parallel.h"
 #include "common/serialize.h"
 
@@ -239,6 +240,8 @@ namespace {
 /// exactly what the serial walk produced.
 std::vector<LoadedFunction> disassembleImpl(const Image& img, DiagList* diags,
                                             par::ThreadPool* pool) {
+  static obs::Histogram& disasmNs = obs::timer("loader.disassemble_ns");
+  const obs::ScopedTimer timing(disasmNs);
   // Address -> symbol for call re-attachment and function naming.
   std::map<uint64_t, const Symbol*> byAddr;
   for (const Symbol& s : img.symbols) byAddr[s.value] = &s;
@@ -292,13 +295,41 @@ std::vector<LoadedFunction> disassembleImpl(const Image& img, DiagList* diags,
 
   std::vector<LoadedFunction> out;
   out.reserve(parts.size());
-  for (BoundaryOut& part : parts) {
+  // Metrics are tallied in this serial boundary-order merge, never in the
+  // parallel map above, so the counts are trivially jobs-invariant.
+  uint64_t bytesDecoded = 0;
+  uint64_t quarantined = 0;
+  uint64_t skipped = 0;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    BoundaryOut& part = parts[i];
+    if (obs::enabled()) {
+      if (part.fn) {
+        const BoundaryEntry& b = img.boundaries[i];
+        bytesDecoded += b.end - b.start;
+      }
+      for (const Diag& d : part.diags) {
+        // decodeAllRecover emits one Decoder-stage warning per maximal
+        // quarantined `.byte` run; a Loader-stage error is a dropped boundary.
+        if (d.stage == DiagStage::Decoder && d.severity == Severity::Warning) {
+          ++quarantined;
+        } else if (d.stage == DiagStage::Loader &&
+                   d.severity == Severity::Error) {
+          ++skipped;
+        }
+      }
+    }
     if (diags != nullptr) {
       diags->insert(diags->end(),
                     std::make_move_iterator(part.diags.begin()),
                     std::make_move_iterator(part.diags.end()));
     }
     if (part.fn) out.push_back(std::move(*part.fn));
+  }
+  if (obs::enabled()) {
+    obs::counter("loader.functions").add(out.size());
+    obs::counter("loader.bytes_decoded").add(bytesDecoded);
+    obs::counter("loader.quarantined_byte_runs").add(quarantined);
+    obs::counter("loader.boundaries_skipped").add(skipped);
   }
   return out;
 }

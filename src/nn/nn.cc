@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/obs.h"
 #include "common/serialize.h"
 
 namespace cati::nn {
@@ -454,6 +455,8 @@ Adam::Adam(std::vector<Param*> params, Config cfg)
 }
 
 void Adam::step(float gradScale) {
+  static obs::Counter& steps = obs::counter("nn.adam.steps");
+  steps.add();
   ++t_;
   const float bc1 = 1.0F - std::pow(cfg_.beta1, static_cast<float>(t_));
   const float bc2 = 1.0F - std::pow(cfg_.beta2, static_cast<float>(t_));

@@ -3,14 +3,17 @@
 #
 #   tests/golden/update.sh [BUILD_DIR]      (default: build)
 #
-# Runs test_golden with CATI_UPDATE_GOLDEN=1, which rewrites the files in
-# this directory instead of comparing against them. Review the resulting
-# diff before committing: every changed line is an intentional (or caught!)
-# numeric drift of the seeded pipeline.
+# Runs test_golden and test_obs with CATI_UPDATE_GOLDEN=1, which rewrites
+# the files in this directory instead of comparing against them. Review the
+# resulting diff before committing: every changed line is an intentional
+# (or caught!) numeric drift of the seeded pipeline.
 set -eu
 BUILD="${1:-build}"
-if [ ! -x "$BUILD/tests/test_golden" ]; then
-  echo "update.sh: $BUILD/tests/test_golden not built (cmake --build $BUILD)" >&2
-  exit 1
-fi
+for bin in test_golden test_obs; do
+  if [ ! -x "$BUILD/tests/$bin" ]; then
+    echo "update.sh: $BUILD/tests/$bin not built (cmake --build $BUILD)" >&2
+    exit 1
+  fi
+done
 CATI_UPDATE_GOLDEN=1 "$BUILD/tests/test_golden"
+CATI_UPDATE_GOLDEN=1 "$BUILD/tests/test_obs"

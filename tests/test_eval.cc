@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 namespace cati::eval {
 namespace {
 
@@ -67,6 +69,115 @@ TEST(Metrics, EmptyInput) {
   EXPECT_DOUBLE_EQ(r.accuracy, 0.0);
 }
 
+TEST(Metrics, EmptyInputLeavesEveryAverageZero) {
+  // An empty prediction set must not divide by zero anywhere: every
+  // aggregate is defined to be 0 and every class is absent.
+  const std::vector<int> none;
+  const Report r = compute(none, none, 4);
+  EXPECT_DOUBLE_EQ(r.weightedPrecision, 0.0);
+  EXPECT_DOUBLE_EQ(r.weightedRecall, 0.0);
+  EXPECT_DOUBLE_EQ(r.weightedF1, 0.0);
+  EXPECT_DOUBLE_EQ(r.macroF1, 0.0);
+  ASSERT_EQ(r.perClass.size(), 4U);
+  for (const ClassMetrics& c : r.perClass) {
+    EXPECT_EQ(c.support, 0U);
+    EXPECT_DOUBLE_EQ(c.precision, 0.0);
+    EXPECT_DOUBLE_EQ(c.recall, 0.0);
+    EXPECT_DOUBLE_EQ(c.f1, 0.0);
+  }
+}
+
+TEST(Metrics, SingleClassEverythingCorrect) {
+  // Degenerate single-class problem: all mass on class 0 of 1.
+  const std::vector<int> y = {0, 0, 0};
+  const Report r = compute(y, y, 1);
+  EXPECT_DOUBLE_EQ(r.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(r.perClass[0].precision, 1.0);
+  EXPECT_DOUBLE_EQ(r.perClass[0].recall, 1.0);
+  EXPECT_DOUBLE_EQ(r.macroF1, 1.0);
+  EXPECT_EQ(r.perClass[0].support, 3U);
+}
+
+TEST(Metrics, AllPredictionsOnOneClass) {
+  // Predicting the majority class everywhere: class 0 has perfect recall
+  // but diluted precision; class 1 is all false negatives (R=0, and P=0
+  // because nothing was predicted 1).
+  const std::vector<int> yt = {0, 0, 0, 1, 1};
+  const std::vector<int> yp = {0, 0, 0, 0, 0};
+  const Report r = compute(yt, yp, 2);
+  EXPECT_NEAR(r.perClass[0].precision, 3.0 / 5.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r.perClass[0].recall, 1.0);
+  EXPECT_DOUBLE_EQ(r.perClass[1].precision, 0.0);
+  EXPECT_DOUBLE_EQ(r.perClass[1].recall, 0.0);
+  EXPECT_DOUBLE_EQ(r.perClass[1].f1, 0.0);
+  EXPECT_NEAR(r.accuracy, 3.0 / 5.0, 1e-12);
+  // Weighted recall still equals accuracy; macro-F1 averages the present
+  // classes only — both are present here.
+  EXPECT_NEAR(r.weightedRecall, r.accuracy, 1e-12);
+  EXPECT_NEAR(r.macroF1, 0.5 * (r.perClass[0].f1 + 0.0), 1e-12);
+}
+
+TEST(Metrics, PredictionsIntoAbsentClassDiluteWeighted) {
+  // Truth never contains class 2, but predictions do: the absent class has
+  // support 0 (weight 0 in the weighted averages) yet its false positives
+  // still cost the present classes recall.
+  const std::vector<int> yt = {0, 0, 1, 1};
+  const std::vector<int> yp = {0, 2, 1, 2};
+  const Report r = compute(yt, yp, 3);
+  EXPECT_EQ(r.perClass[2].support, 0U);
+  EXPECT_DOUBLE_EQ(r.perClass[2].precision, 0.0);  // 0 TP over 2 predicted
+  EXPECT_NEAR(r.perClass[0].recall, 0.5, 1e-12);
+  EXPECT_NEAR(r.perClass[1].recall, 0.5, 1e-12);
+  EXPECT_NEAR(r.accuracy, 0.5, 1e-12);
+  // Absent class contributes zero weight: weighted F1 is the mean of the
+  // two present classes' F1 (equal supports).
+  EXPECT_NEAR(r.weightedF1, 0.5 * (r.perClass[0].f1 + r.perClass[1].f1),
+              1e-12);
+}
+
+TEST(Confusion, SingleClassIsOneCell) {
+  const std::vector<int> y = {0, 0, 0, 0};
+  const auto cm = confusion(y, y, 1);
+  ASSERT_EQ(cm.size(), 1U);
+  EXPECT_EQ(cm[0], 4U);
+}
+
+TEST(Confusion, EmptyInputIsAllZero) {
+  const std::vector<int> none;
+  const auto cm = confusion(none, none, 3);
+  ASSERT_EQ(cm.size(), 9U);
+  for (const size_t cell : cm) EXPECT_EQ(cell, 0U);
+}
+
+TEST(Confusion, NegativeLabelThrows) {
+  const std::vector<int> yt = {0, -1};
+  const std::vector<int> yp = {0, 0};
+  EXPECT_THROW(confusion(yt, yp, 2), std::invalid_argument);
+  EXPECT_THROW(confusion(yp, yt, 2), std::invalid_argument);
+}
+
+TEST(Argmax, FirstIndexWinsTies) {
+  // Top-1 tie-breaking: exact ties resolve to the LOWEST index, the
+  // convention every vote site relies on for determinism.
+  const std::vector<float> tied = {0.25F, 0.5F, 0.5F, 0.25F};
+  EXPECT_EQ(argmax(tied), 1);
+  const std::vector<float> allEqual = {1.0F, 1.0F, 1.0F};
+  EXPECT_EQ(argmax(allEqual), 0);
+}
+
+TEST(Argmax, EmptyAndSingle) {
+  EXPECT_EQ(argmax({}), -1);
+  const std::vector<float> one = {0.125F};
+  EXPECT_EQ(argmax(one), 0);
+}
+
+TEST(Argmax, PlainMaximum) {
+  const std::vector<float> v = {0.1F, 0.7F, 0.2F};
+  EXPECT_EQ(argmax(v), 1);
+  const std::vector<float> neg = {-3.0F, -1.0F, -2.0F};
+  EXPECT_EQ(argmax(neg), 1);
+}
+
 TEST(Confusion, CountsLandInRightCells) {
   const std::vector<int> yt = {0, 0, 1, 1, 1};
   const std::vector<int> yp = {0, 1, 1, 1, 0};
@@ -97,6 +208,27 @@ TEST(Fmt2, FormatsAndDashes) {
   EXPECT_EQ(fmt2(1.0), "1.00");
   EXPECT_EQ(fmt2(0.123), "0.12");
   EXPECT_EQ(fmt2(0.5, false), "-");
+}
+
+TEST(Table, IndentPrefixesEveryLine) {
+  Table t({"a"});
+  t.addRow({"1"});
+  const std::string s = t.str(4);
+  std::istringstream is(s);
+  std::string line;
+  int lines = 0;
+  while (std::getline(is, line)) {
+    EXPECT_EQ(line.substr(0, 4), "    ") << "line: " << line;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 3);  // header + rule + one row
+}
+
+TEST(Table, EmptyTableStillRendersHeader) {
+  Table t({"col1", "col2"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("col1"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
 }
 
 }  // namespace

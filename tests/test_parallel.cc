@@ -14,10 +14,12 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/obs.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "support/micro_model.h"
@@ -177,14 +179,29 @@ TEST(JobsInvariance, ModelPredictionAndVoteBytesIdenticalAcrossJobs) {
   // stages) at jobs 1/2/7 must serialize to the same CENG byte string, and
   // batched parallel inference must equal the serial predictVuc loop
   // bit-for-bit, which forces vote equality too.
-  const std::string ref = testsupport::trainMicroEngineBytes(1);
+  //
+  // Metrics ride along on the same runs: with observability enabled, every
+  // non-timing metric (counters, Count-unit histograms) in the global
+  // snapshot must also be bit-identical across job counts (DESIGN.md §8).
+  obs::setEnabled(true);
+  const auto trainWithMetrics = [](int jobs) {
+    obs::Registry::global().reset();
+    std::string bytes = testsupport::trainMicroEngineBytes(jobs);
+    return std::pair(std::move(bytes),
+                     obs::Registry::global().snapshot().withoutTimings());
+  };
+
+  const auto [ref, metricsSerial] = trainWithMetrics(1);
   ASSERT_FALSE(ref.empty());
+  EXPECT_FALSE(metricsSerial.counters.empty());
   testsupport::writeMicroCache(ref);  // shared with test_golden
 
   for (const int jobs : {2, 7}) {
-    const std::string got = testsupport::trainMicroEngineBytes(jobs);
+    const auto [got, metrics] = trainWithMetrics(jobs);
     ASSERT_EQ(got.size(), ref.size()) << "jobs=" << jobs;
     EXPECT_TRUE(got == ref) << "model bytes differ at jobs=" << jobs;
+    EXPECT_EQ(metrics, metricsSerial)
+        << "non-timing metrics differ at jobs=" << jobs;
   }
 
   std::istringstream is(ref);

@@ -4,6 +4,8 @@
 // confidence-clipped voting rule.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "cati/engine.h"
 #include "corpus/corpus.h"
 #include "synth/synth.h"
@@ -122,6 +124,105 @@ TEST_P(VotingProperty, DecisionInvariants) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, VotingProperty,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// The clip comparison is inclusive (z >= voteClip, formula 3): a vote at
+// EXACTLY the threshold is promoted to 1.0. Three hand-built VUCs at
+// threshold 0.9 distinguish >= from >: with inclusive clipping class 0
+// collects 1.0 + 0.28 + 0.29 = 1.57 against 0.1 + 0.72 + 0.71 = 1.53 and
+// wins; without clipping (or with a threshold just above 0.9) class 0 only
+// reaches 0.9 + 0.28 + 0.29 = 1.47 and loses. All margins are ~0.04,
+// orders of magnitude above float rounding at this scale.
+TEST(VotingClip, BoundaryValueIsClippedInclusively) {
+  const Engine e{EngineConfig{}};
+  const std::vector<StageProbs> probs = {
+      uniformExcept(Stage::S1, {0.9F, 0.1F}),   // sits exactly at the clip
+      uniformExcept(Stage::S1, {0.28F, 0.72F}),
+      uniformExcept(Stage::S1, {0.29F, 0.71F}),
+  };
+  // z == voteClip must clip: class 0 wins.
+  EXPECT_EQ(e.voteVariable(probs, 0.9F, true).stageClass[0], 0);
+  // Same votes, clipping off: class 1 wins — proving the clip decided it.
+  EXPECT_EQ(e.voteVariable(probs, 0.9F, false).stageClass[0], 1);
+  // Threshold nudged above the vote: 0.9 no longer clips, class 1 wins —
+  // proving the comparison is >= and not >.
+  EXPECT_EQ(e.voteVariable(probs, 0.9001F, true).stageClass[0], 1);
+}
+
+// Values on the 1/64 grid are exactly representable, so float sums are
+// exact regardless of accumulation order — the properties below hold
+// bit-for-bit, not just approximately.
+std::vector<float> gridDist(Rng& rng, int classes) {
+  std::vector<float> d(static_cast<size_t>(classes));
+  for (float& v : d) {
+    v = static_cast<float>(rng.uniformInt(1, 64)) / 64.0F;
+  }
+  return d;
+}
+
+StageProbs gridProbs(Rng& rng) {
+  StageProbs p;
+  for (int s = 0; s < kNumStages; ++s) {
+    p.probs[static_cast<size_t>(s)] =
+        gridDist(rng, numClasses(static_cast<Stage>(s)));
+  }
+  return p;
+}
+
+class VotingAlgebra : public ::testing::TestWithParam<uint64_t> {};
+
+// clipEnabled=false is plain summed voting, i.e. the argmax of the
+// per-class MEAN vote (sums and means share an argmax for n > 0). The
+// reference winner is recomputed in double; grid values make both sides
+// exact, so the equality is strict on every stage.
+TEST_P(VotingAlgebra, ClipDisabledEqualsPlainAveraging) {
+  Rng rng(GetParam());
+  const Engine e{EngineConfig{}};
+  const int n = static_cast<int>(rng.uniformInt(1, 9));
+  std::vector<StageProbs> probs;
+  for (int i = 0; i < n; ++i) probs.push_back(gridProbs(rng));
+
+  const VariableDecision d = e.voteVariable(probs, 0.9F, false);
+  for (int s = 0; s < kNumStages; ++s) {
+    const int classes = numClasses(static_cast<Stage>(s));
+    // Sums, not means: dividing by n would reintroduce rounding, and for
+    // n > 0 the argmax is the same either way.
+    std::vector<double> sum(static_cast<size_t>(classes), 0.0);
+    for (const StageProbs& p : probs) {
+      for (int c = 0; c < classes; ++c) {
+        sum[static_cast<size_t>(c)] += static_cast<double>(
+            p.probs[static_cast<size_t>(s)][static_cast<size_t>(c)]);
+      }
+    }
+    const int expect = static_cast<int>(
+        std::max_element(sum.begin(), sum.end()) - sum.begin());
+    EXPECT_EQ(d.stageClass[static_cast<size_t>(s)], expect)
+        << "stage " << stageName(static_cast<Stage>(s));
+  }
+}
+
+// The winner never depends on VUC order, clipping on or off, at EVERY
+// stage of the tree (the older VotingProperty covers Stage 1 only).
+TEST_P(VotingAlgebra, WinnerIsPermutationInvariantOnAllStages) {
+  Rng rng(GetParam() ^ 0xA5A5);
+  const Engine e{EngineConfig{}};
+  const int n = static_cast<int>(rng.uniformInt(2, 10));
+  std::vector<StageProbs> probs;
+  for (int i = 0; i < n; ++i) probs.push_back(gridProbs(rng));
+
+  for (const bool clip : {true, false}) {
+    const VariableDecision d = e.voteVariable(probs, 0.9F, clip);
+    std::vector<StageProbs> shuffled = probs;
+    for (int trial = 0; trial < 4; ++trial) {
+      rng.shuffle(shuffled);
+      const VariableDecision ds = e.voteVariable(shuffled, 0.9F, clip);
+      EXPECT_EQ(ds.stageClass, d.stageClass) << "clip=" << clip;
+      EXPECT_EQ(ds.finalType, d.finalType) << "clip=" << clip;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VotingAlgebra,
+                         ::testing::Values(2, 3, 5, 7, 11, 13, 17, 19));
 
 // Clipping monotonicity: raising a single VUC's winning confidence above
 // the threshold can only help that class.

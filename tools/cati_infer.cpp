@@ -16,17 +16,19 @@
 #include <unordered_map>
 
 #include "cati/engine.h"
+#include "cli.h"
 #include "common/parallel.h"
 #include "loader/image.h"
 
 namespace {
 
-int run(int argc, char** argv) {
+int run(int argc, char** argv, const cati::cli::Common& common) {
   using namespace cati;
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: cati-infer MODEL.bin IMAGE.img "
-                 "[--confidence-min X] [--jobs N]\n");
+                 "[--confidence-min X] [--jobs N]%s\n",
+                 cli::kCommonUsage);
     return 2;
   }
   float confMin = 0.0F;
@@ -52,7 +54,7 @@ int run(int argc, char** argv) {
   DiagList diags;
   const auto img = loader::readFile(argv[2], diags);
   if (!img) {
-    print(diags, std::cerr);
+    cli::printDiags(diags, common);
     return 1;
   }
 
@@ -105,17 +107,12 @@ int run(int argc, char** argv) {
                 correct, withTruth);
   }
   std::printf("\n");
-  print(diags, std::cerr);
+  cli::printDiags(diags, common);
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  try {
-    return run(argc, argv);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "cati-infer: error: %s\n", e.what());
-    return 1;
-  }
+  return cati::cli::toolMain("cati-infer", argc, argv, run);
 }

@@ -8,12 +8,13 @@
 #include <exception>
 #include <iostream>
 
+#include "cli.h"
 #include "corpus/corpus.h"
 #include "loader/image.h"
 
 namespace {
 
-int run(int argc, char** argv) {
+int run(int argc, char** argv, const cati::cli::Common& common) {
   using namespace cati;
   bool generalize = false;
   const char* path = nullptr;
@@ -25,13 +26,14 @@ int run(int argc, char** argv) {
     }
   }
   if (path == nullptr) {
-    std::fprintf(stderr, "usage: cati-objdump [--generalize] IMAGE\n");
+    std::fprintf(stderr, "usage: cati-objdump [--generalize] IMAGE%s\n",
+                 cli::kCommonUsage);
     return 2;
   }
   DiagList diags;
   const auto img = loader::readFile(path, diags);
   if (!img) {
-    print(diags, std::cerr);
+    cli::printDiags(diags, common);
     return 1;
   }
   std::printf("%s: %zu bytes of .text at %#llx%s\n\n", path, img->text.size(),
@@ -50,17 +52,12 @@ int run(int argc, char** argv) {
     }
     std::printf("\n");
   }
-  print(diags, std::cerr);
+  cli::printDiags(diags, common);
   return hasErrors(diags) ? 1 : 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  try {
-    return run(argc, argv);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "cati-objdump: error: %s\n", e.what());
-    return 1;
-  }
+  return cati::cli::toolMain("cati-objdump", argc, argv, run);
 }

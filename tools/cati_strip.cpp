@@ -6,14 +6,16 @@
 #include <fstream>
 #include <iostream>
 
+#include "cli.h"
 #include "loader/image.h"
 
 namespace {
 
-int run(int argc, char** argv) {
+int run(int argc, char** argv, const cati::cli::Common& common) {
   using namespace cati;
   if (argc < 2 || argc > 3) {
-    std::fprintf(stderr, "usage: cati-strip IN.img [OUT.img]\n");
+    std::fprintf(stderr, "usage: cati-strip IN.img [OUT.img]%s\n",
+                 cli::kCommonUsage);
     return 2;
   }
   const char* in = argv[1];
@@ -21,7 +23,7 @@ int run(int argc, char** argv) {
   DiagList diags;
   auto img = loader::readFile(in, diags);
   if (!img) {
-    print(diags, std::cerr);
+    cli::printDiags(diags, common);
     return 1;
   }
   const size_t before = img->symbols.size();
@@ -34,17 +36,12 @@ int run(int argc, char** argv) {
   loader::write(*img, os);
   std::printf("%s: removed %zu symbols and debug info -> %s\n", in, before,
               out);
-  print(diags, std::cerr);
+  cli::printDiags(diags, common);
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  try {
-    return run(argc, argv);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "cati-strip: error: %s\n", e.what());
-    return 1;
-  }
+  return cati::cli::toolMain("cati-strip", argc, argv, run);
 }

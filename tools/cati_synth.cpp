@@ -10,6 +10,7 @@
 #include <fstream>
 #include <string>
 
+#include "cli.h"
 #include "common/parallel.h"
 #include "loader/image.h"
 #include "synth/synth.h"
@@ -20,10 +21,11 @@ void usage() {
   std::fprintf(stderr,
                "usage: cati-synth OUT.img [--name N] [--funcs K] "
                "[--dialect gcc|clang] [--opt 0..3] [--seed S] [--strip] "
-               "[--jobs N]\n");
+               "[--jobs N]%s\n",
+               cati::cli::kCommonUsage);
 }
 
-int run(int argc, char** argv) {
+int run(int argc, char** argv, const cati::cli::Common& /*common*/) {
   using namespace cati;
   if (argc < 2) {
     usage();
@@ -89,10 +91,5 @@ int run(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  try {
-    return run(argc, argv);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "cati-synth: error: %s\n", e.what());
-    return 1;
-  }
+  return cati::cli::toolMain("cati-synth", argc, argv, run);
 }

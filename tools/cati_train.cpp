@@ -10,19 +10,21 @@
 #include <string>
 
 #include "cati/engine.h"
+#include "cli.h"
 #include "common/parallel.h"
 #include "corpus/corpus.h"
 #include "synth/synth.h"
 
 namespace {
 
-int run(int argc, char** argv) {
+int run(int argc, char** argv, const cati::cli::Common& /*common*/) {
   using namespace cati;
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: cati-train MODEL.bin [--apps N] [--funcs K] "
                  "[--dialect gcc|clang] [--epochs E] [--cap C] [--hidden H] "
-                 "[--window W] [--seed S] [--quiet] [--jobs N]\n");
+                 "[--window W] [--seed S] [--quiet] [--jobs N]%s\n",
+                 cli::kCommonUsage);
     return 2;
   }
   const std::string out = argv[1];
@@ -90,10 +92,5 @@ int run(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  try {
-    return run(argc, argv);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "cati-train: error: %s\n", e.what());
-    return 1;
-  }
+  return cati::cli::toolMain("cati-train", argc, argv, run);
 }

@@ -1,0 +1,102 @@
+// Shared command-line plumbing for the five cati tools: the flags every
+// tool accepts (--verbose, --metrics[=FILE]), severity-filtered diagnostic
+// printing, metrics emission, and the one-line stderr error wrapper that
+// backs the robustness contract (README "Error handling").
+//
+// Tools call cli::toolMain from main(); their run() receives argv with the
+// common flags already stripped, so per-tool option loops stay untouched.
+#pragma once
+
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+
+#include "common/diag.h"
+#include "common/obs.h"
+
+namespace cati::cli {
+
+struct Common {
+  bool verbose = false;       ///< --verbose: include Note-severity diagnostics
+  bool metrics = false;       ///< --metrics[=FILE]: emit a JSON snapshot
+  std::string metricsPath;    ///< empty means stderr
+};
+
+/// Strips the common flags out of (argc, argv) in place and returns their
+/// parsed values. Enabling --metrics flips the process-global obs switch
+/// before the tool's pipeline runs.
+inline Common extractCommon(int& argc, char** argv) {
+  Common c;
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--verbose") {
+      c.verbose = true;
+    } else if (arg == "--metrics") {
+      c.metrics = true;
+    } else if (arg.starts_with("--metrics=")) {
+      c.metrics = true;
+      c.metricsPath = std::string(arg.substr(std::string_view("--metrics=").size()));
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  argc = w;
+  if (c.metrics) obs::setEnabled(true);
+  return c;
+}
+
+/// Usage-string suffix so every tool advertises the shared flags.
+inline constexpr const char* kCommonUsage = " [--verbose] [--metrics[=FILE]]";
+
+/// Diagnostics to stderr: warnings and errors always, notes only with
+/// --verbose (the passthrough cati-objdump/cati-strip previously lacked).
+inline void printDiags(const DiagList& diags, const Common& c) {
+  if (c.verbose) {
+    print(diags, std::cerr);
+    return;
+  }
+  DiagList filtered;
+  for (const Diag& d : diags) {
+    if (d.severity != Severity::Note) filtered.push_back(d);
+  }
+  print(filtered, std::cerr);
+}
+
+/// Writes the global registry snapshot as JSON to the --metrics target
+/// (stderr by default). No-op when --metrics was not given.
+inline void emitMetrics(const Common& c, const char* tool) {
+  if (!c.metrics) return;
+  const std::string json = obs::Registry::global().snapshot().toJson();
+  if (c.metricsPath.empty()) {
+    std::cerr << json;
+    return;
+  }
+  std::ofstream os(c.metricsPath, std::ios::binary);
+  if (!os) {
+    std::fprintf(stderr, "%s: cannot open metrics file: %s\n", tool,
+                 c.metricsPath.c_str());
+    return;
+  }
+  os << json;
+}
+
+/// The shared main(): parse common flags, run the tool, emit metrics, and
+/// turn any escaped exception into a one-line diagnostic + exit 1.
+template <typename Fn>
+int toolMain(const char* tool, int argc, char** argv, Fn&& run) {
+  try {
+    const Common c = extractCommon(argc, argv);
+    const int rc = run(argc, argv, c);
+    emitMetrics(c, tool);
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: error: %s\n", tool, e.what());
+    return 1;
+  }
+}
+
+}  // namespace cati::cli
