@@ -178,6 +178,31 @@ BENCHMARK(BM_PredictBatchJobs)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+void BM_PredictBatchSize(benchmark::State& state) {
+  // Batched inference at jobs=1: isolates the NN batching win (shared-const
+  // weights, per-worker scratch, no per-sample temporaries) from thread
+  // scaling. items_per_second at /8 and /32 vs the /1 row is the batching
+  // speedup; results are bit-identical at every batch size (DESIGN.md §7).
+  Engine& e = bundle().engine();
+  const corpus::Dataset& test = bundle().testSet();
+  par::ThreadPool pool(1);
+  const size_t n = std::min<size_t>(test.vucs.size(), 256);
+  const std::span<const corpus::Vuc> vucs(test.vucs.data(), n);
+  const int batch = static_cast<int>(state.range(0));
+  const obs::Snapshot base = bench::metricsBaseline();
+  for (auto _ : state) {
+    const auto out = e.predictVucs(vucs, &pool, batch);
+    benchmark::DoNotOptimize(out);
+  }
+  exportMetricsColumns(state, base);
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_PredictBatchSize)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_DisassembleRecoverJobs(benchmark::State& state) {
   loader::Image img = loader::buildImage(testBinary());
   loader::strip(img);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/numeric.h"
+
 namespace cati::baseline {
 
 // --- NaiveBayes ----------------------------------------------------------------
@@ -57,16 +59,10 @@ std::vector<float> NaiveBayes::scores(
                     vocab));
     }
   }
-  // Softmax for comparability with the CNN confidences.
-  const double maxv = *std::max_element(logp.begin(), logp.end());
-  double sum = 0.0;
+  // Softmax for comparability with the CNN confidences (shared stable
+  // implementation; double accumulation over the log-posteriors).
   std::vector<float> out(static_cast<size_t>(numClasses_));
-  for (int c = 0; c < numClasses_; ++c) {
-    const double e = std::exp(logp[static_cast<size_t>(c)] - maxv);
-    out[static_cast<size_t>(c)] = static_cast<float>(e);
-    sum += e;
-  }
-  for (float& v : out) v = static_cast<float>(v / sum);
+  num::softmaxFromLog(logp, out);
   return out;
 }
 

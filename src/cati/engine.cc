@@ -8,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/numeric.h"
 #include "common/obs.h"
 #include "common/serialize.h"
 
@@ -62,19 +63,13 @@ void Engine::encodeInput(const corpus::Vuc& vuc, int occlude,
         "Engine: VUC window length does not match the engine's window "
         "configuration");
   }
-  // Row-major [rows x cols] from the encoder, transposed to [cols x rows].
-  std::vector<float> rowMajor(static_cast<size_t>(rows) * cols);
-  if (occlude >= 0) {
-    encoder_->encodeOccluded(vuc, occlude, rowMajor);
-  } else {
-    encoder_->encode(vuc, rowMajor);
+  if (static_cast<int>(out.size()) != rows * cols) {
+    throw std::invalid_argument("Engine::encodeInput: bad output size");
   }
-  for (int r = 0; r < rows; ++r) {
-    for (int c = 0; c < cols; ++c) {
-      out[static_cast<size_t>(c) * rows + r] =
-          rowMajor[static_cast<size_t>(r) * cols + c];
-    }
-  }
+  // Straight into the [cols x rows] channel-major layout the CNNs consume —
+  // no row-major temporary, no transpose pass. `out` is typically a slice
+  // of a worker's batch buffer.
+  encoder_->encodeChannelMajor(vuc, occlude, out);
 }
 
 namespace {
@@ -126,7 +121,7 @@ std::vector<uint32_t> balancedSubsample(
 namespace {
 
 // Fixed data-parallel grain: a minibatch is split into chunks of
-// kGradChunk samples whose gradients accumulate on per-worker replicas and
+// kGradChunk samples whose gradients accumulate in per-worker scratch and
 // are then summed in ascending chunk order. Chunk boundaries and dropout
 // streams depend only on these constants — never on the job count — so
 // trained weights are jobs-invariant.
@@ -165,20 +160,21 @@ void Engine::trainStage(Stage s, const corpus::Dataset& ds, uint64_t seed,
   size_t totalParams = 0;
   for (const nn::Param* p : masterParams) totalParams += p->value.size();
 
-  // Per-worker replicas: master weights are fixed within a batch, so any
-  // worker can process any chunk identically once its replica values are
-  // synced (at most once per batch).
+  // Workers share the one const net — master weights only change in
+  // adam.step, outside the parallel region — and own only a scratch arena
+  // plus reusable batch buffers. No weight replicas, no per-batch sync.
   const int jobs = pool.jobs();
-  std::vector<nn::Sequential> reps;
-  std::vector<std::vector<nn::Param*>> repParams;
-  reps.reserve(static_cast<size_t>(jobs));
-  for (int w = 0; w < jobs; ++w) reps.push_back(net.clone());
-  repParams.reserve(reps.size());
-  for (auto& r : reps) repParams.push_back(r.params());
-  std::vector<uint64_t> repSynced(static_cast<size_t>(jobs), 0);
+  struct TrainWorker {
+    nn::Scratch scratch;
+    std::vector<float> input;    // [chunk x inSize]
+    std::vector<float> dLogits;  // [chunk x classes]
+    std::vector<float> probs;    // [classes]
+  };
+  std::vector<TrainWorker> workers(static_cast<size_t>(jobs));
+  for (TrainWorker& t : workers) t.scratch = net.makeScratch();
 
   // Dropout stream base, drawn serially so it is jobs-invariant; each chunk
-  // reseeds its replica per (batch, chunk), making dropout draws a function
+  // reseeds its scratch per (batch, chunk), making dropout draws a function
   // of the samples, not of the worker.
   const uint64_t dropBase = rng.next();
 
@@ -205,36 +201,40 @@ void Engine::trainStage(Stage s, const corpus::Dataset& ds, uint64_t seed,
       chunkOut.assign(chunks, {});
       pool.run(chunks, [&](size_t c, int w) {
         const auto [cb, ce] = par::chunkRange(bn, kGradChunk, c);
-        nn::Sequential& rep = reps[static_cast<size_t>(w)];
-        const auto& rp = repParams[static_cast<size_t>(w)];
-        if (repSynced[static_cast<size_t>(w)] != batchId) {
-          for (size_t i = 0; i < rp.size(); ++i) {
-            rp[i]->value = masterParams[i]->value;
-          }
-          repSynced[static_cast<size_t>(w)] = batchId;
+        const size_t nb = ce - cb;
+        TrainWorker& t = workers[static_cast<size_t>(w)];
+        t.scratch.zeroGrad();
+        t.scratch.reseed(splitSeed(dropBase, batchId * kChunkStreams + c));
+        t.input.resize(nb * inSize);
+        t.dLogits.resize(nb * static_cast<size_t>(classes));
+        t.probs.resize(static_cast<size_t>(classes));
+        for (size_t k = 0; k < nb; ++k) {
+          encodeInput(ds.vucs[train[batch + cb + k]], -1,
+                      std::span(t.input).subspan(k * inSize, inSize));
         }
-        rep.zeroGrad();
-        rep.reseed(splitSeed(dropBase, batchId * kChunkStreams + c));
-        std::vector<float> input(inSize);
-        std::vector<float> probs(static_cast<size_t>(classes));
-        std::vector<float> dLogits(static_cast<size_t>(classes));
+        // One batched forward/backward over the chunk. Kernels keep the
+        // per-sample accumulation order, so gradients are bit-identical to
+        // the historical sample-at-a-time fold over [cb, ce).
+        const auto logits = net.forward(t.input, static_cast<int>(nb),
+                                        t.scratch, nn::Phase::kTrain);
         ChunkOut out;
-        for (size_t k = cb; k < ce; ++k) {
-          const corpus::Vuc& vuc = ds.vucs[train[batch + k]];
-          const int target = stageClassOf(s, vuc.label);
-          encodeInput(vuc, -1, input);
-          const auto logits = rep.forward(input, /*train=*/true);
-          out.loss += nn::SoftmaxCE::forward(logits, target, probs);
-          const auto pred = static_cast<int>(
-              std::max_element(probs.begin(), probs.end()) - probs.begin());
-          if (pred == target) ++out.correct;
-          nn::SoftmaxCE::backward(probs, target, dLogits);
-          rep.backward(dLogits);
+        for (size_t k = 0; k < nb; ++k) {
+          const int target =
+              stageClassOf(s, ds.vucs[train[batch + cb + k]].label);
+          out.loss += nn::SoftmaxCE::forward(
+              logits.subspan(k * static_cast<size_t>(classes),
+                             static_cast<size_t>(classes)),
+              target, t.probs);
+          if (num::argmax(t.probs) == target) ++out.correct;
+          nn::SoftmaxCE::backward(
+              t.probs, target,
+              std::span(t.dLogits)
+                  .subspan(k * static_cast<size_t>(classes),
+                           static_cast<size_t>(classes)));
         }
+        net.backward(t.dLogits, static_cast<int>(nb), t.scratch);
         out.grads.reserve(totalParams);
-        for (const nn::Param* p : rp) {
-          out.grads.insert(out.grads.end(), p->grad.begin(), p->grad.end());
-        }
+        t.scratch.appendGrads(out.grads);
         chunkOut[c] = std::move(out);
       });
       // Ordered merge: chunk gradients sum into the master in ascending
@@ -271,7 +271,7 @@ void Engine::train(const corpus::Dataset& trainSet, par::ThreadPool* pool) {
   }
   static obs::Histogram& trainNs = obs::timer("engine.train_ns");
   const obs::ScopedTimer timing(trainNs);
-  replicas_.clear();
+  workers_.clear();
   par::ThreadPool inlinePool(1);
   par::ThreadPool& tp = pool ? *pool : inlinePool;
   if (cfg_.verbose) std::cerr << "training word2vec embedding...\n";
@@ -296,26 +296,76 @@ void Engine::train(const corpus::Dataset& trainSet, par::ThreadPool* pool) {
   }
 }
 
+Engine::WorkerState& Engine::worker(int w) {
+  if (static_cast<int>(workers_.size()) <= w) {
+    workers_.resize(static_cast<size_t>(w) + 1);
+  }
+  WorkerState& ws = workers_[static_cast<size_t>(w)];
+  if (ws.stages.size() != stages_.size()) {
+    ws.stages.clear();
+    ws.stages.reserve(stages_.size());
+    for (const nn::Sequential& net : stages_) {
+      ws.stages.push_back(net.makeScratch());
+    }
+  }
+  return ws;
+}
+
+void Engine::predictRange(std::span<const corpus::Vuc> vucs, size_t b,
+                          size_t e, int batch, WorkerState& ws,
+                          StageProbs* out) {
+  static const std::array<obs::Counter*, kNumStages> samples =
+      stageCounters("engine.infer.samples");
+  // Tail sub-batches run short rather than padded; this counter records the
+  // slots a padded design would have wasted (it depends only on the VUC
+  // count and the batch size, so it is jobs-invariant).
+  static obs::Counter& batchPad = obs::counter("engine.infer.batch_pad");
+  const auto inSize = static_cast<size_t>(inputShape().size());
+  const auto bs = static_cast<size_t>(std::max(1, batch));
+  for (size_t sb = b; sb < e; sb += bs) {
+    const size_t nb = std::min(bs, e - sb);
+    ws.input.resize(nb * inSize);
+    for (size_t k = 0; k < nb; ++k) {
+      encodeInput(vucs[sb + k], -1,
+                  std::span(ws.input).subspan(k * inSize, inSize));
+    }
+    for (int s = 0; s < kNumStages; ++s) {
+      samples[static_cast<size_t>(s)]->add(nb);
+      const auto classes =
+          static_cast<size_t>(numClasses(static_cast<Stage>(s)));
+      // One shared-const forward over the whole sub-batch, caches skipped
+      // (Phase::kInfer).
+      const auto logits =
+          stages_[static_cast<size_t>(s)].forward(ws.input,
+                                                  static_cast<int>(nb),
+                                                  ws.stages[static_cast<size_t>(s)],
+                                                  nn::Phase::kInfer);
+      for (size_t k = 0; k < nb; ++k) {
+        auto& probs = out[sb + k].probs[static_cast<size_t>(s)];
+        probs.resize(classes);
+        nn::SoftmaxCE::forward(logits.subspan(k * classes, classes), -1,
+                               probs);
+      }
+    }
+    if (nb < bs) batchPad.add(bs - nb);
+  }
+}
+
 void Engine::runStage(Stage s, std::span<const float> input,
                       std::span<float> probs) {
   static const std::array<obs::Counter*, kNumStages> samples =
       stageCounters("engine.infer.samples");
   samples[static_cast<size_t>(s)]->add();
-  auto& net = stages_[static_cast<size_t>(s)];
-  const auto logits = net.forward(input, /*train=*/false);
+  const auto logits = stages_[static_cast<size_t>(s)].forward(
+      input, 1, worker(0).stages[static_cast<size_t>(s)], nn::Phase::kInfer);
   nn::SoftmaxCE::forward(logits, -1, probs);
 }
 
 StageProbs Engine::predictVuc(const corpus::Vuc& vuc) {
   if (!trained()) throw std::logic_error("Engine::predictVuc: not trained");
-  std::vector<float> input(static_cast<size_t>(inputShape().size()));
-  encodeInput(vuc, -1, input);
   StageProbs out;
-  for (int s = 0; s < kNumStages; ++s) {
-    out.probs[static_cast<size_t>(s)].resize(
-        static_cast<size_t>(numClasses(static_cast<Stage>(s))));
-    runStage(static_cast<Stage>(s), input, out.probs[static_cast<size_t>(s)]);
-  }
+  predictRange(std::span<const corpus::Vuc>(&vuc, 1), 0, 1, 1, worker(0),
+               &out);
   return out;
 }
 
@@ -326,23 +376,16 @@ namespace {
 // affect results here (each VUC is independent), but keep them fixed anyway.
 constexpr size_t kPredictGrain = 16;
 
+// Default inference batch when neither the caller nor CATI_BATCH asks for a
+// specific size: big enough to amortize per-layer dispatch, small enough
+// that a worker's activation arena stays cache-resident.
+constexpr int kDefaultInferBatch = 32;
+
 }  // namespace
 
-void Engine::ensureReplicas(int n) {
-  if (static_cast<int>(replicas_.size()) >= n) return;
-  // One exact serialized copy, deserialized per extra worker: binary float
-  // round trips are bit-exact, so every replica predicts the master's bits.
-  std::stringstream ss;
-  save(ss);
-  const std::string bytes = ss.str();
-  while (static_cast<int>(replicas_.size()) < n) {
-    std::istringstream is(bytes);
-    replicas_.push_back(std::make_unique<Engine>(load(is)));
-  }
-}
-
 std::vector<StageProbs> Engine::predictVucs(std::span<const corpus::Vuc> vucs,
-                                            par::ThreadPool* pool) {
+                                            par::ThreadPool* pool,
+                                            int batch) {
   if (!trained()) throw std::logic_error("Engine::predictVucs: not trained");
   static obs::Histogram& batchNs = obs::timer("engine.infer.batch_ns");
   static obs::Counter& inferVucs = obs::counter("engine.infer.vucs");
@@ -350,28 +393,26 @@ std::vector<StageProbs> Engine::predictVucs(std::span<const corpus::Vuc> vucs,
   inferVucs.add(vucs.size());
   par::ThreadPool inlinePool(1);
   par::ThreadPool& tp = pool ? *pool : inlinePool;
-  ensureReplicas(tp.jobs() - 1);
+  const int bs = par::resolveBatch(batch, kDefaultInferBatch);
+  // Worker scratches are created outside the parallel region (worker() may
+  // grow the vector); the fan-out then only touches disjoint entries.
+  for (int w = 0; w < tp.jobs(); ++w) worker(w);
+  // Grain grows with the batch size so a full chunk feeds at least one full
+  // forward pass; boundaries stay fixed for a given (n, batch).
+  const size_t grain = std::max(kPredictGrain, static_cast<size_t>(bs));
   std::vector<StageProbs> out(vucs.size());
   par::parallelChunks(
-      tp, vucs.size(), kPredictGrain, [&](size_t b, size_t e, size_t, int w) {
-        Engine& eng = w == 0 ? *this : *replicas_[static_cast<size_t>(w - 1)];
-        for (size_t i = b; i < e; ++i) out[i] = eng.predictVuc(vucs[i]);
+      tp, vucs.size(), grain, [&](size_t b, size_t e, size_t, int w) {
+        predictRange(vucs, b, e, bs, workers_[static_cast<size_t>(w)],
+                     out.data());
       });
   return out;
 }
 
-namespace {
-
-int argmax(std::span<const float> v) {
-  return static_cast<int>(std::max_element(v.begin(), v.end()) - v.begin());
-}
-
-}  // namespace
-
 TypeLabel Engine::routeVuc(const StageProbs& p) const {
   Stage s = Stage::S1;
   for (;;) {
-    const int cls = argmax(p.probs[static_cast<size_t>(s)]);
+    const int cls = num::argmax(p.probs[static_cast<size_t>(s)]);
     if (const auto leaf = leafOf(s, cls)) return *leaf;
     const auto next = nextStage(s, cls);
     if (!next) throw std::logic_error("routeVuc: broken stage tree");
@@ -414,7 +455,7 @@ VariableDecision Engine::voteVariable(std::span<const StageProbs> vucProbs,
         sums[static_cast<size_t>(c)] += z;
       }
     }
-    const int winner = argmax(sums);
+    const int winner = num::argmax(sums);
     d.stageClass[static_cast<size_t>(s)] = winner;
     // Mean winning-class vote per stage — the distribution the paper's
     // formula 4 argmaxes over, normalized to [0, 1] by the VUC count.
@@ -445,7 +486,7 @@ double Engine::occlusionEpsilon(const corpus::Vuc& vuc, int k, Stage u) {
 
   encodeInput(vuc, -1, input);
   runStage(u, input, probs);
-  const int predicted = argmax(probs);
+  const int predicted = num::argmax(probs);
   const double base = probs[static_cast<size_t>(predicted)];
 
   encodeInput(vuc, k, input);
@@ -455,7 +496,8 @@ double Engine::occlusionEpsilon(const corpus::Vuc& vuc, int k, Stage u) {
 }
 
 std::vector<AnalyzedVariable> Engine::analyzeFunction(
-    std::span<const asmx::Instruction> insns, par::ThreadPool* pool) {
+    std::span<const asmx::Instruction> insns, par::ThreadPool* pool,
+    int batch) {
   if (!trained()) throw std::logic_error("analyzeFunction: not trained");
   static obs::Histogram& analyzeNs = obs::timer("engine.analyze_ns");
   static obs::Counter& fnCount = obs::counter("engine.analyze.functions");
@@ -477,7 +519,7 @@ std::vector<AnalyzedVariable> Engine::analyzeFunction(
 
   // Every VUC of the function is predicted in one batched fan-out, then
   // votes gather per variable — same per-VUC results as the serial loop.
-  const std::vector<StageProbs> allProbs = predictVucs(ds.vucs, pool);
+  const std::vector<StageProbs> allProbs = predictVucs(ds.vucs, pool, batch);
 
   const auto byVar = ds.vucsByVar();
   std::vector<AnalyzedVariable> out;

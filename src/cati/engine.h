@@ -90,15 +90,20 @@ class Engine {
   bool trained() const { return encoder_.has_value(); }
 
   // --- VUC-level inference ---
-  // (non-const: layers cache activations during forward, so an Engine is not
-  // shareable across threads; predictVucs fans out over per-worker replicas
-  // cloned via save/load.)
+  // (Model weights are shared-const during inference; all mutable state is
+  // per-worker scratch owned by this Engine, so one Engine must not be used
+  // from multiple threads concurrently — fan-out happens *inside*
+  // predictVucs, where each pool worker gets its own scratch arena.)
   StageProbs predictVuc(const corpus::Vuc& vuc);
-  /// Batched prediction; out[i] corresponds to vucs[i]. Replica forward
-  /// passes run on bit-identical weights, so results match a serial
-  /// predictVuc loop exactly at any job count.
+  /// Batched prediction; out[i] corresponds to vucs[i]. Workers run forward
+  /// passes on the one shared set of weights with per-worker scratch;
+  /// kernels preserve per-sample accumulation order, so results are
+  /// bit-identical to a serial predictVuc loop at any job count and any
+  /// batch size. batch <= 0 resolves via par::resolveBatch (CATI_BATCH env,
+  /// then a default of 32).
   std::vector<StageProbs> predictVucs(std::span<const corpus::Vuc> vucs,
-                                      par::ThreadPool* pool = nullptr);
+                                      par::ThreadPool* pool = nullptr,
+                                      int batch = 0);
   /// Hard routing of one VUC's stage distributions down the tree.
   TypeLabel routeVuc(const StageProbs& p) const;
 
@@ -120,7 +125,7 @@ class Engine {
   /// in for IDA Pro.
   std::vector<AnalyzedVariable> analyzeFunction(
       std::span<const asmx::Instruction> insns,
-      par::ThreadPool* pool = nullptr);
+      par::ThreadPool* pool = nullptr, int batch = 0);
 
   // --- persistence ---
   void save(std::ostream& os) const;
@@ -132,6 +137,14 @@ class Engine {
   const embed::VucEncoder& encoder() const { return *encoder_; }
 
  private:
+  /// Per-worker inference state: one nn::Scratch per stage net plus the
+  /// reusable batch input buffer. Grown lazily, reused across predictVucs /
+  /// analyzeFunction calls so steady-state inference allocates nothing.
+  struct WorkerState {
+    std::vector<nn::Scratch> stages;
+    std::vector<float> input;  // [batch x inputShape]
+  };
+
   nn::Shape inputShape() const;
   /// Encodes a VUC (optionally occluding instruction `k`) into the
   /// channel-major layout the CNNs consume.
@@ -140,17 +153,20 @@ class Engine {
   void trainStage(Stage s, const corpus::Dataset& ds, uint64_t seed,
                   par::ThreadPool& pool);
   void runStage(Stage s, std::span<const float> input, std::span<float> probs);
-  /// Ensures `n` cached inference replicas exist (exact save/load copies of
-  /// this engine, one per extra worker). Must be called outside any
-  /// parallel region; train() invalidates them.
-  void ensureReplicas(int n);
+  /// The lazily-created scratch for worker `w`. Must be called outside any
+  /// parallel region (it may grow workers_); train() invalidates all states.
+  WorkerState& worker(int w);
+  /// Predicts vucs[b, e) into out[b, e) in sub-batches of `batch` samples
+  /// on one worker's scratch.
+  void predictRange(std::span<const corpus::Vuc> vucs, size_t b, size_t e,
+                    int batch, WorkerState& ws, StageProbs* out);
 
   EngineConfig cfg_;
   std::optional<embed::VucEncoder> encoder_;
   std::vector<nn::Sequential> stages_;  // kNumStages entries once trained
-  /// Lazily built per-worker clones used by predictVucs (worker 0 runs on
-  /// this object). Never serialized.
-  std::vector<std::unique_ptr<Engine>> replicas_;
+  /// Per-worker inference scratch (index = pool worker id; worker 0 also
+  /// serves the single-sample paths). Never serialized.
+  std::vector<WorkerState> workers_;
 };
 
 }  // namespace cati

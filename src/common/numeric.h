@@ -1,0 +1,71 @@
+// Shared numerically-stable primitives. Before this header existed the
+// stable-softmax pattern (shift by the max, exponentiate, normalize) was
+// hand-rolled three times — the NN softmax head, the Naive Bayes posterior,
+// and the evaluation argmax that both inference routing and voting lean on —
+// with subtly different accumulation types. The helpers here are the single
+// implementation; each caller keeps its historical accumulation width
+// (float for the NN head, double for log-score posteriors) because trained
+// models and golden files pin those exact operation orders.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <span>
+
+namespace cati::num {
+
+/// Index of the first maximal element (exact ties resolve to the lowest
+/// index — the tie rule the voting tables and eval metrics rely on); -1 for
+/// an empty span.
+inline int argmax(std::span<const float> v) {
+  if (v.empty()) return -1;
+  return static_cast<int>(std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+/// Stable softmax over float logits, accumulated in float: probs[i] =
+/// exp(logits[i] - max) / sum. This is the NN head's operation order —
+/// single float pass, division at the end — which model golden files pin
+/// bit-for-bit; do not "improve" the accumulation width here.
+/// probs.size() must equal logits.size() (>= 1).
+inline void softmax(std::span<const float> logits, std::span<float> probs) {
+  float maxv = logits[0];
+  for (const float v : logits) maxv = std::max(maxv, v);
+  float sum = 0.0F;
+  for (size_t i = 0; i < logits.size(); ++i) {
+    probs[i] = std::exp(logits[i] - maxv);
+    sum += probs[i];
+  }
+  for (float& p : probs) p /= sum;
+}
+
+/// Stable softmax over double log-scores (e.g. Naive Bayes log-posteriors),
+/// accumulated in double and emitted as float. Mirrors the historical
+/// baseline implementation exactly: exps are summed in double, stored as
+/// float, and each stored float is divided by the double sum.
+/// out.size() must equal logp.size() (>= 1).
+inline void softmaxFromLog(std::span<const double> logp,
+                           std::span<float> out) {
+  const double maxv = *std::max_element(logp.begin(), logp.end());
+  double sum = 0.0;
+  for (size_t i = 0; i < logp.size(); ++i) {
+    const double e = std::exp(logp[i] - maxv);
+    out[i] = static_cast<float>(e);
+    sum += e;
+  }
+  for (float& v : out) v = static_cast<float>(v / sum);
+}
+
+/// log(sum_i exp(v[i])) without overflow: shifts by the max first, so
+/// logSumExp({1000, 1000}) is 1000 + log(2), not inf. Returns -inf for an
+/// empty span (the sum of zero terms).
+inline double logSumExp(std::span<const double> v) {
+  if (v.empty()) return -std::numeric_limits<double>::infinity();
+  const double maxv = *std::max_element(v.begin(), v.end());
+  if (!std::isfinite(maxv)) return maxv;  // all -inf, or a +inf/NaN input
+  double sum = 0.0;
+  for (const double x : v) sum += std::exp(x - maxv);
+  return maxv + std::log(sum);
+}
+
+}  // namespace cati::num

@@ -20,6 +20,18 @@ int resolveJobs(int requested) {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+int resolveBatch(int requested, int fallback) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("CATI_BATCH")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0 && v <= 65536) {
+      return static_cast<int>(v);
+    }
+  }
+  return fallback < 1 ? 1 : fallback;
+}
+
 struct ThreadPool::State {
   std::mutex m;
   std::condition_variable workCv;  // workers wait here for a new generation

@@ -33,6 +33,12 @@ namespace cati::par {
 /// std::thread::hardware_concurrency() (>= 1).
 int resolveJobs(int requested = 0);
 
+/// Batch-size resolution, mirroring resolveJobs: an explicit request > 0
+/// wins; otherwise the CATI_BATCH environment variable (when a positive
+/// integer <= 65536); otherwise `fallback`. Batch size never affects
+/// results — only how many samples share one forward pass (DESIGN.md §7).
+int resolveBatch(int requested, int fallback);
+
 /// A fixed-size pool of worker threads. Worker 0 is the calling thread;
 /// jobs-1 persistent threads are spawned for workers 1..jobs-1.
 class ThreadPool {

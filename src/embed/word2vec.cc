@@ -367,6 +367,29 @@ void VucEncoder::encodeOccluded(const corpus::Vuc& v, int k,
   }
 }
 
+void VucEncoder::encodeChannelMajor(const corpus::Vuc& v, int k,
+                                    std::span<float> out) const {
+  const int dim = w2v_.dim();
+  const size_t rows = v.window.size();
+  if (out.size() != rows * static_cast<size_t>(3 * dim)) {
+    throw std::invalid_argument("VucEncoder::encodeChannelMajor: bad size");
+  }
+  std::fill(out.begin(), out.end(), 0.0F);
+  for (size_t r = 0; r < rows; ++r) {
+    if (static_cast<int>(r) == k) continue;  // occluded row stays zero=BLANK
+    const corpus::GenInstr& g = v.window[r];
+    const std::string* toks[3] = {&g.mnem, &g.op1, &g.op2};
+    for (int p = 0; p < 3; ++p) {
+      const int32_t id = vocab_.lookup(*toks[p]);
+      const auto src = w2v_.vec(id);
+      // Channel c = p*dim + d is a row of length `rows`; this instruction
+      // fills column r of each.
+      float* dst = out.data() + static_cast<size_t>(p) * dim * rows + r;
+      for (int d = 0; d < dim; ++d) dst[static_cast<size_t>(d) * rows] = src[d];
+    }
+  }
+}
+
 void VucEncoder::save(std::ostream& os) const {
   vocab_.save(os);
   w2v_.save(os);

@@ -116,6 +116,14 @@ class VucEncoder {
   /// of paper eq. 5.
   void encodeOccluded(const corpus::Vuc& v, int k, std::span<float> out) const;
 
+  /// Encodes directly into the channel-major [3*dim x rows] layout the CNNs
+  /// consume (element (r, c) of the row-major matrix lands at c*rows + r),
+  /// with instruction `k` occluded (k < 0: no occlusion). Same values as
+  /// encodeOccluded + transpose, without the row-major temporary — `out` may
+  /// be a slice of a larger batch buffer.
+  void encodeChannelMajor(const corpus::Vuc& v, int k,
+                          std::span<float> out) const;
+
   const Vocab& vocab() const { return vocab_; }
   const Word2Vec& w2v() const { return w2v_; }
 

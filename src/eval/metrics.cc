@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/numeric.h"
+
 namespace cati::eval {
 
 std::vector<size_t> confusion(std::span<const int> yTrue,
@@ -24,11 +26,9 @@ std::vector<size_t> confusion(std::span<const int> yTrue,
 }
 
 int argmax(std::span<const float> scores) {
-  if (scores.empty()) return -1;
-  // std::max_element returns the FIRST maximal element, so exact ties
-  // resolve to the lowest class index.
-  return static_cast<int>(std::max_element(scores.begin(), scores.end()) -
-                          scores.begin());
+  // First-maximal tie rule (lowest class index wins) lives in num::argmax,
+  // shared with the engine's routing/voting paths.
+  return num::argmax(scores);
 }
 
 Report compute(std::span<const int> yTrue, std::span<const int> yPred,

@@ -5,8 +5,16 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/numeric.h"
 #include "common/obs.h"
 #include "common/serialize.h"
+
+// Determinism note (DESIGN.md §7): every batched kernel below iterates
+// samples in ascending order and keeps the per-element accumulation order of
+// the historical sample-at-a-time kernels — for a conv/linear output that is
+// `bias, then (channel, tap) in ascending lexicographic order`, for gradient
+// accumulators it is ascending sample order. Changing any of these orders
+// changes trained-model bits and fails tests/golden/.
 
 namespace cati::nn {
 
@@ -20,6 +28,13 @@ void checkSize(std::span<const float> s, size_t expected, const char* what) {
     throw std::invalid_argument(std::string(what) + ": bad span size " +
                                 std::to_string(s.size()) + " != " +
                                 std::to_string(expected));
+  }
+}
+
+void checkBatch(int n, const char* what) {
+  if (n <= 0) {
+    throw std::invalid_argument(std::string(what) + ": bad batch size " +
+                                std::to_string(n));
   }
 }
 
@@ -47,59 +62,135 @@ Shape Conv1d::outShape(Shape in) const {
   return {outC_, in.l};
 }
 
-void Conv1d::forward(std::span<const float> x, std::span<float> y, bool) {
-  len_ = static_cast<int>(x.size()) / inC_;
-  checkSize(x, static_cast<size_t>(inC_) * len_, "Conv1d::forward x");
-  checkSize(y, static_cast<size_t>(outC_) * len_, "Conv1d::forward y");
-  x_.assign(x.begin(), x.end());
+void Conv1d::forward(std::span<const float> x, std::span<float> y, int n,
+                     LayerScratch& s, Phase phase) const {
+  checkBatch(n, "Conv1d::forward");
+  const int len =
+      static_cast<int>(x.size() / (static_cast<size_t>(n) * inC_));
+  checkSize(x, static_cast<size_t>(n) * inC_ * len, "Conv1d::forward x");
+  checkSize(y, static_cast<size_t>(n) * outC_ * len, "Conv1d::forward y");
+  if (phase != Phase::kInfer) s.cache.assign(x.begin(), x.end());
   const int pad = k_ / 2;
-  for (int o = 0; o < outC_; ++o) {
-    const float* wRow = w_.value.data() + static_cast<size_t>(o) * inC_ * k_;
-    float* yRow = y.data() + static_cast<size_t>(o) * len_;
-    const float bias = b_.value[static_cast<size_t>(o)];
-    for (int t = 0; t < len_; ++t) yRow[t] = bias;
-    for (int c = 0; c < inC_; ++c) {
-      const float* xRow = x.data() + static_cast<size_t>(c) * len_;
-      const float* wk = wRow + static_cast<size_t>(c) * k_;
-      for (int kk = 0; kk < k_; ++kk) {
-        const float wv = wk[kk];
-        const int shift = kk - pad;
-        const int lo = std::max(0, -shift);
-        const int hi = std::min(len_, len_ - shift);
-        for (int t = lo; t < hi; ++t) yRow[t] += wv * xRow[t + shift];
+
+  // Per output element the accumulation order is fixed: bias, then taps in
+  // ascending (c, kk) order, one multiply-add per tap. Both execution paths
+  // below perform exactly that per-element op sequence, so batch size never
+  // changes a single bit of the output (DESIGN.md §7).
+  //
+  // Full lanes of kLane samples run batch-transposed: the input is packed
+  // [c][t][lane] so the innermost loop is a contiguous lane-wide axpy — one
+  // vector FMA covers kLane samples at once. Packing is a pure permutation
+  // (no FP ops). The remainder (and any small batch) takes the historical
+  // per-sample pass structure.
+  int b0 = 0;
+  if (n >= kBatchLane) {
+    const size_t inPlane = static_cast<size_t>(inC_) * len;
+    const size_t outPlane = static_cast<size_t>(outC_) * len;
+    s.laneIn.resize(inPlane * kBatchLane);
+    s.laneOut.resize(outPlane * kBatchLane);
+    for (; b0 + kBatchLane <= n; b0 += kBatchLane) {
+      for (int b = 0; b < kBatchLane; ++b) {
+        const float* xs =
+            x.data() + static_cast<size_t>(b0 + b) * inPlane;
+        float* dst = s.laneIn.data() + b;
+        for (size_t i = 0; i < inPlane; ++i) dst[i * kBatchLane] = xs[i];
+      }
+      const float* xl = s.laneIn.data();
+      float* yl = s.laneOut.data();
+      for (int o = 0; o < outC_; ++o) {
+        const float* wRow =
+            w_.value.data() + static_cast<size_t>(o) * inC_ * k_;
+        float* yRow = yl + static_cast<size_t>(o) * len * kBatchLane;
+        const float bias = b_.value[static_cast<size_t>(o)];
+        for (int i = 0; i < len * kBatchLane; ++i) yRow[i] = bias;
+        for (int c = 0; c < inC_; ++c) {
+          const float* xRow = xl + static_cast<size_t>(c) * len * kBatchLane;
+          const float* wk = wRow + static_cast<size_t>(c) * k_;
+          for (int kk = 0; kk < k_; ++kk) {
+            const float wv = wk[kk];
+            const int shift = kk - pad;
+            const int lo = std::max(0, -shift);
+            const int hi = std::min(len, len - shift);
+            float* yp = yRow + static_cast<size_t>(lo) * kBatchLane;
+            const float* xp = xRow + static_cast<size_t>(lo + shift) * kBatchLane;
+            const int cnt = (hi - lo) * kBatchLane;
+            for (int i = 0; i < cnt; ++i) yp[i] += wv * xp[i];
+          }
+        }
+      }
+      for (int b = 0; b < kBatchLane; ++b) {
+        float* ys = y.data() + static_cast<size_t>(b0 + b) * outPlane;
+        const float* src = s.laneOut.data() + b;
+        for (size_t i = 0; i < outPlane; ++i) ys[i] = src[i * kBatchLane];
+      }
+    }
+  }
+  for (int b = b0; b < n; ++b) {
+    const float* xs = x.data() + static_cast<size_t>(b) * inC_ * len;
+    float* ys = y.data() + static_cast<size_t>(b) * outC_ * len;
+    for (int o = 0; o < outC_; ++o) {
+      const float* wRow = w_.value.data() + static_cast<size_t>(o) * inC_ * k_;
+      float* yRow = ys + static_cast<size_t>(o) * len;
+      const float bias = b_.value[static_cast<size_t>(o)];
+      for (int t = 0; t < len; ++t) yRow[t] = bias;
+      for (int c = 0; c < inC_; ++c) {
+        const float* xRow = xs + static_cast<size_t>(c) * len;
+        const float* wk = wRow + static_cast<size_t>(c) * k_;
+        for (int kk = 0; kk < k_; ++kk) {
+          const float wv = wk[kk];
+          const int shift = kk - pad;
+          const int lo = std::max(0, -shift);
+          const int hi = std::min(len, len - shift);
+          for (int t = lo; t < hi; ++t) yRow[t] += wv * xRow[t + shift];
+        }
       }
     }
   }
 }
 
-void Conv1d::backward(std::span<const float> dy, std::span<float> dx) {
-  checkSize(dy, static_cast<size_t>(outC_) * len_, "Conv1d::backward dy");
-  checkSize(dx, static_cast<size_t>(inC_) * len_, "Conv1d::backward dx");
+void Conv1d::backward(std::span<const float> dy, std::span<float> dx, int n,
+                      LayerScratch& s) const {
+  checkBatch(n, "Conv1d::backward");
+  const int len =
+      static_cast<int>(dx.size() / (static_cast<size_t>(n) * inC_));
+  checkSize(dy, static_cast<size_t>(n) * outC_ * len, "Conv1d::backward dy");
+  checkSize(dx, static_cast<size_t>(n) * inC_ * len, "Conv1d::backward dx");
+  checkSize(s.cache, static_cast<size_t>(n) * inC_ * len,
+            "Conv1d::backward cache");
   std::fill(dx.begin(), dx.end(), 0.0F);
+  // Highest index first: growing the accumulator list reallocates it, which
+  // would invalidate a reference taken from an earlier grad() call.
+  std::vector<float>& gbv = s.grad(1, b_.value.size());
+  std::vector<float>& gw = s.grad(0, w_.value.size());
   const int pad = k_ / 2;
-  for (int o = 0; o < outC_; ++o) {
-    const float* dyRow = dy.data() + static_cast<size_t>(o) * len_;
-    float* gwRow = w_.grad.data() + static_cast<size_t>(o) * inC_ * k_;
-    const float* wRow = w_.value.data() + static_cast<size_t>(o) * inC_ * k_;
-    float gb = 0.0F;
-    for (int t = 0; t < len_; ++t) gb += dyRow[t];
-    b_.grad[static_cast<size_t>(o)] += gb;
-    for (int c = 0; c < inC_; ++c) {
-      const float* xRow = x_.data() + static_cast<size_t>(c) * len_;
-      float* dxRow = dx.data() + static_cast<size_t>(c) * len_;
-      float* gwk = gwRow + static_cast<size_t>(c) * k_;
-      const float* wk = wRow + static_cast<size_t>(c) * k_;
-      for (int kk = 0; kk < k_; ++kk) {
-        const int shift = kk - pad;
-        const int lo = std::max(0, -shift);
-        const int hi = std::min(len_, len_ - shift);
-        float gw = 0.0F;
-        const float wv = wk[kk];
-        for (int t = lo; t < hi; ++t) {
-          gw += dyRow[t] * xRow[t + shift];
-          dxRow[t + shift] += dyRow[t] * wv;
+  for (int b = 0; b < n; ++b) {
+    const float* xs = s.cache.data() + static_cast<size_t>(b) * inC_ * len;
+    const float* dys = dy.data() + static_cast<size_t>(b) * outC_ * len;
+    float* dxs = dx.data() + static_cast<size_t>(b) * inC_ * len;
+    for (int o = 0; o < outC_; ++o) {
+      const float* dyRow = dys + static_cast<size_t>(o) * len;
+      float* gwRow = gw.data() + static_cast<size_t>(o) * inC_ * k_;
+      const float* wRow = w_.value.data() + static_cast<size_t>(o) * inC_ * k_;
+      float gb = 0.0F;
+      for (int t = 0; t < len; ++t) gb += dyRow[t];
+      gbv[static_cast<size_t>(o)] += gb;
+      for (int c = 0; c < inC_; ++c) {
+        const float* xRow = xs + static_cast<size_t>(c) * len;
+        float* dxRow = dxs + static_cast<size_t>(c) * len;
+        float* gwk = gwRow + static_cast<size_t>(c) * k_;
+        const float* wk = wRow + static_cast<size_t>(c) * k_;
+        for (int kk = 0; kk < k_; ++kk) {
+          const int shift = kk - pad;
+          const int lo = std::max(0, -shift);
+          const int hi = std::min(len, len - shift);
+          float gwAcc = 0.0F;
+          const float wv = wk[kk];
+          for (int t = lo; t < hi; ++t) {
+            gwAcc += dyRow[t] * xRow[t + shift];
+            dxRow[t + shift] += dyRow[t] * wv;
+          }
+          gwk[kk] += gwAcc;
         }
-        gwk[kk] += gw;
       }
     }
   }
@@ -127,55 +218,82 @@ void Conv1d::loadExtra(std::istream& is) {
 
 // --- ReLU --------------------------------------------------------------------
 
-void ReLU::forward(std::span<const float> x, std::span<float> y, bool) {
+void ReLU::forward(std::span<const float> x, std::span<float> y, int n,
+                   LayerScratch& s, Phase phase) const {
+  checkBatch(n, "ReLU::forward");
   checkSize(y, x.size(), "ReLU::forward");
-  mask_.resize(x.size());
+  if (phase == Phase::kInfer) {
+    for (size_t i = 0; i < x.size(); ++i) y[i] = x[i] > 0.0F ? x[i] : 0.0F;
+    return;
+  }
+  s.mask.resize(x.size());
   for (size_t i = 0; i < x.size(); ++i) {
     const bool pos = x[i] > 0.0F;
-    mask_[i] = pos ? 1 : 0;
+    s.mask[i] = pos ? 1 : 0;
     y[i] = pos ? x[i] : 0.0F;
   }
 }
 
-void ReLU::backward(std::span<const float> dy, std::span<float> dx) {
-  checkSize(dy, mask_.size(), "ReLU::backward");
+void ReLU::backward(std::span<const float> dy, std::span<float> dx, int n,
+                    LayerScratch& s) const {
+  checkBatch(n, "ReLU::backward");
+  checkSize(dy, s.mask.size(), "ReLU::backward");
   for (size_t i = 0; i < dy.size(); ++i) {
-    dx[i] = mask_[i] != 0 ? dy[i] : 0.0F;
+    dx[i] = s.mask[i] != 0 ? dy[i] : 0.0F;
   }
 }
 
 // --- MaxPool1d ----------------------------------------------------------------
 
-void MaxPool1d::forward(std::span<const float> x, std::span<float> y, bool) {
+void MaxPool1d::forward(std::span<const float> x, std::span<float> y, int n,
+                        LayerScratch& s, Phase phase) const {
+  checkBatch(n, "MaxPool1d::forward");
   const int outL = in_.l / k_;
-  checkSize(x, static_cast<size_t>(in_.c) * in_.l, "MaxPool1d::forward x");
-  checkSize(y, static_cast<size_t>(in_.c) * outL, "MaxPool1d::forward y");
-  argmax_.assign(y.size(), 0);
-  for (int c = 0; c < in_.c; ++c) {
-    const float* xRow = x.data() + static_cast<size_t>(c) * in_.l;
-    float* yRow = y.data() + static_cast<size_t>(c) * outL;
-    int32_t* aRow = argmax_.data() + static_cast<size_t>(c) * outL;
-    for (int t = 0; t < outL; ++t) {
-      int best = t * k_;
-      for (int j = 1; j < k_; ++j) {
-        if (xRow[t * k_ + j] > xRow[best]) best = t * k_ + j;
+  const size_t inSize = static_cast<size_t>(in_.c) * in_.l;
+  const size_t outSize = static_cast<size_t>(in_.c) * outL;
+  checkSize(x, static_cast<size_t>(n) * inSize, "MaxPool1d::forward x");
+  checkSize(y, static_cast<size_t>(n) * outSize, "MaxPool1d::forward y");
+  const bool track = phase != Phase::kInfer;
+  if (track) s.argmax.assign(static_cast<size_t>(n) * outSize, 0);
+  for (int b = 0; b < n; ++b) {
+    const float* xs = x.data() + static_cast<size_t>(b) * inSize;
+    float* ys = y.data() + static_cast<size_t>(b) * outSize;
+    int32_t* as =
+        track ? s.argmax.data() + static_cast<size_t>(b) * outSize : nullptr;
+    for (int c = 0; c < in_.c; ++c) {
+      const float* xRow = xs + static_cast<size_t>(c) * in_.l;
+      float* yRow = ys + static_cast<size_t>(c) * outL;
+      for (int t = 0; t < outL; ++t) {
+        int best = t * k_;
+        for (int j = 1; j < k_; ++j) {
+          if (xRow[t * k_ + j] > xRow[best]) best = t * k_ + j;
+        }
+        yRow[t] = xRow[best];
+        if (track) as[static_cast<size_t>(c) * outL + t] = best;
       }
-      yRow[t] = xRow[best];
-      aRow[t] = best;
     }
   }
 }
 
-void MaxPool1d::backward(std::span<const float> dy, std::span<float> dx) {
+void MaxPool1d::backward(std::span<const float> dy, std::span<float> dx,
+                         int n, LayerScratch& s) const {
+  checkBatch(n, "MaxPool1d::backward");
   const int outL = in_.l / k_;
-  checkSize(dy, static_cast<size_t>(in_.c) * outL, "MaxPool1d::backward dy");
-  checkSize(dx, static_cast<size_t>(in_.c) * in_.l, "MaxPool1d::backward dx");
+  const size_t inSize = static_cast<size_t>(in_.c) * in_.l;
+  const size_t outSize = static_cast<size_t>(in_.c) * outL;
+  checkSize(dy, static_cast<size_t>(n) * outSize, "MaxPool1d::backward dy");
+  checkSize(dx, static_cast<size_t>(n) * inSize, "MaxPool1d::backward dx");
   std::fill(dx.begin(), dx.end(), 0.0F);
-  for (int c = 0; c < in_.c; ++c) {
-    const float* dyRow = dy.data() + static_cast<size_t>(c) * outL;
-    float* dxRow = dx.data() + static_cast<size_t>(c) * in_.l;
-    const int32_t* aRow = argmax_.data() + static_cast<size_t>(c) * outL;
-    for (int t = 0; t < outL; ++t) dxRow[aRow[t]] += dyRow[t];
+  for (int b = 0; b < n; ++b) {
+    const float* dys = dy.data() + static_cast<size_t>(b) * outSize;
+    float* dxs = dx.data() + static_cast<size_t>(b) * inSize;
+    const int32_t* as = s.argmax.data() + static_cast<size_t>(b) * outSize;
+    for (int c = 0; c < in_.c; ++c) {
+      const float* dyRow = dys + static_cast<size_t>(c) * outL;
+      float* dxRow = dxs + static_cast<size_t>(c) * in_.l;
+      const int32_t* aRow = as + static_cast<size_t>(c) * outL;
+      for (int t = 0; t < outL; ++t) dxRow[aRow[t]] += dyRow[t];
+    }
   }
 }
 
@@ -192,28 +310,44 @@ void MaxPool1d::loadExtra(std::istream& is) {
 // --- GlobalMaxPool -------------------------------------------------------------
 
 void GlobalMaxPool::forward(std::span<const float> x, std::span<float> y,
-                            bool) {
-  checkSize(x, static_cast<size_t>(in_.c) * in_.l, "GlobalMaxPool x");
-  checkSize(y, static_cast<size_t>(in_.c), "GlobalMaxPool y");
-  argmax_.assign(static_cast<size_t>(in_.c), 0);
-  for (int c = 0; c < in_.c; ++c) {
-    const float* xRow = x.data() + static_cast<size_t>(c) * in_.l;
-    int best = 0;
-    for (int t = 1; t < in_.l; ++t) {
-      if (xRow[t] > xRow[best]) best = t;
+                            int n, LayerScratch& s, Phase phase) const {
+  checkBatch(n, "GlobalMaxPool::forward");
+  const size_t inSize = static_cast<size_t>(in_.c) * in_.l;
+  checkSize(x, static_cast<size_t>(n) * inSize, "GlobalMaxPool x");
+  checkSize(y, static_cast<size_t>(n) * in_.c, "GlobalMaxPool y");
+  const bool track = phase != Phase::kInfer;
+  if (track) s.argmax.assign(static_cast<size_t>(n) * in_.c, 0);
+  for (int b = 0; b < n; ++b) {
+    const float* xs = x.data() + static_cast<size_t>(b) * inSize;
+    float* ys = y.data() + static_cast<size_t>(b) * in_.c;
+    for (int c = 0; c < in_.c; ++c) {
+      const float* xRow = xs + static_cast<size_t>(c) * in_.l;
+      int best = 0;
+      for (int t = 1; t < in_.l; ++t) {
+        if (xRow[t] > xRow[best]) best = t;
+      }
+      ys[static_cast<size_t>(c)] = xRow[best];
+      if (track) {
+        s.argmax[static_cast<size_t>(b) * in_.c + c] = best;
+      }
     }
-    y[static_cast<size_t>(c)] = xRow[best];
-    argmax_[static_cast<size_t>(c)] = best;
   }
 }
 
-void GlobalMaxPool::backward(std::span<const float> dy, std::span<float> dx) {
-  checkSize(dy, static_cast<size_t>(in_.c), "GlobalMaxPool dy");
-  checkSize(dx, static_cast<size_t>(in_.c) * in_.l, "GlobalMaxPool dx");
+void GlobalMaxPool::backward(std::span<const float> dy, std::span<float> dx,
+                             int n, LayerScratch& s) const {
+  checkBatch(n, "GlobalMaxPool::backward");
+  const size_t inSize = static_cast<size_t>(in_.c) * in_.l;
+  checkSize(dy, static_cast<size_t>(n) * in_.c, "GlobalMaxPool dy");
+  checkSize(dx, static_cast<size_t>(n) * inSize, "GlobalMaxPool dx");
   std::fill(dx.begin(), dx.end(), 0.0F);
-  for (int c = 0; c < in_.c; ++c) {
-    dx[static_cast<size_t>(c) * in_.l + argmax_[static_cast<size_t>(c)]] =
-        dy[static_cast<size_t>(c)];
+  for (int b = 0; b < n; ++b) {
+    float* dxs = dx.data() + static_cast<size_t>(b) * inSize;
+    for (int c = 0; c < in_.c; ++c) {
+      dxs[static_cast<size_t>(c) * in_.l +
+          s.argmax[static_cast<size_t>(b) * in_.c + c]] =
+          dy[static_cast<size_t>(b) * in_.c + c];
+    }
   }
 }
 
@@ -234,31 +368,49 @@ Shape Linear::outShape(Shape in) const {
   return {out_, 1};
 }
 
-void Linear::forward(std::span<const float> x, std::span<float> y, bool) {
-  checkSize(x, static_cast<size_t>(in_), "Linear::forward x");
-  checkSize(y, static_cast<size_t>(out_), "Linear::forward y");
-  x_.assign(x.begin(), x.end());
-  for (int o = 0; o < out_; ++o) {
-    const float* wRow = w_.value.data() + static_cast<size_t>(o) * in_;
-    float acc = b_.value[static_cast<size_t>(o)];
-    for (int i = 0; i < in_; ++i) acc += wRow[i] * x[static_cast<size_t>(i)];
-    y[static_cast<size_t>(o)] = acc;
+void Linear::forward(std::span<const float> x, std::span<float> y, int n,
+                     LayerScratch& s, Phase phase) const {
+  checkBatch(n, "Linear::forward");
+  checkSize(x, static_cast<size_t>(n) * in_, "Linear::forward x");
+  checkSize(y, static_cast<size_t>(n) * out_, "Linear::forward y");
+  if (phase != Phase::kInfer) s.cache.assign(x.begin(), x.end());
+  for (int b = 0; b < n; ++b) {
+    const float* xs = x.data() + static_cast<size_t>(b) * in_;
+    float* ys = y.data() + static_cast<size_t>(b) * out_;
+    for (int o = 0; o < out_; ++o) {
+      const float* wRow = w_.value.data() + static_cast<size_t>(o) * in_;
+      float acc = b_.value[static_cast<size_t>(o)];
+      for (int i = 0; i < in_; ++i) acc += wRow[i] * xs[i];
+      ys[o] = acc;
+    }
   }
 }
 
-void Linear::backward(std::span<const float> dy, std::span<float> dx) {
-  checkSize(dy, static_cast<size_t>(out_), "Linear::backward dy");
-  checkSize(dx, static_cast<size_t>(in_), "Linear::backward dx");
+void Linear::backward(std::span<const float> dy, std::span<float> dx, int n,
+                      LayerScratch& s) const {
+  checkBatch(n, "Linear::backward");
+  checkSize(dy, static_cast<size_t>(n) * out_, "Linear::backward dy");
+  checkSize(dx, static_cast<size_t>(n) * in_, "Linear::backward dx");
+  checkSize(s.cache, static_cast<size_t>(n) * in_, "Linear::backward cache");
   std::fill(dx.begin(), dx.end(), 0.0F);
-  for (int o = 0; o < out_; ++o) {
-    const float g = dy[static_cast<size_t>(o)];
-    if (g == 0.0F) continue;
-    float* gwRow = w_.grad.data() + static_cast<size_t>(o) * in_;
-    const float* wRow = w_.value.data() + static_cast<size_t>(o) * in_;
-    b_.grad[static_cast<size_t>(o)] += g;
-    for (int i = 0; i < in_; ++i) {
-      gwRow[i] += g * x_[static_cast<size_t>(i)];
-      dx[static_cast<size_t>(i)] += g * wRow[i];
+  // Highest index first so the second grad() call cannot reallocate the
+  // accumulator list out from under the first reference.
+  std::vector<float>& gb = s.grad(1, b_.value.size());
+  std::vector<float>& gw = s.grad(0, w_.value.size());
+  for (int b = 0; b < n; ++b) {
+    const float* xs = s.cache.data() + static_cast<size_t>(b) * in_;
+    const float* dys = dy.data() + static_cast<size_t>(b) * out_;
+    float* dxs = dx.data() + static_cast<size_t>(b) * in_;
+    for (int o = 0; o < out_; ++o) {
+      const float g = dys[o];
+      if (g == 0.0F) continue;
+      float* gwRow = gw.data() + static_cast<size_t>(o) * in_;
+      const float* wRow = w_.value.data() + static_cast<size_t>(o) * in_;
+      gb[static_cast<size_t>(o)] += g;
+      for (int i = 0; i < in_; ++i) {
+        gwRow[i] += g * xs[i];
+        dxs[i] += g * wRow[i];
+      }
     }
   }
 }
@@ -283,25 +435,38 @@ void Linear::loadExtra(std::istream& is) {
 
 // --- Dropout ------------------------------------------------------------------
 
-void Dropout::forward(std::span<const float> x, std::span<float> y,
-                      bool train) {
+void Dropout::forward(std::span<const float> x, std::span<float> y, int n,
+                      LayerScratch& s, Phase phase) const {
+  checkBatch(n, "Dropout::forward");
   checkSize(y, x.size(), "Dropout::forward");
-  scale_.resize(x.size());
-  if (!train || p_ <= 0.0F) {
-    std::fill(scale_.begin(), scale_.end(), 1.0F);
+  if (phase != Phase::kTrain || p_ <= 0.0F) {
     std::copy(x.begin(), x.end(), y.begin());
+    if (phase == Phase::kEval) s.cache.assign(x.size(), 1.0F);
     return;
   }
+  if (!s.rngSeeded) {
+    // First use of this scratch stream: start at the layer's construction
+    // seed, so the unseeded single-thread path replays the historical
+    // member-RNG sequence. Data-parallel training overrides this via
+    // Scratch::reseed before every chunk.
+    s.rng = Rng(seed_);
+    s.rngSeeded = true;
+  }
+  s.cache.resize(x.size());
   const float keep = 1.0F - p_;
+  // Draws advance element-major, i.e. ascending sample order: batch=B pulls
+  // the same stream prefix as B sequential batch=1 calls.
   for (size_t i = 0; i < x.size(); ++i) {
-    scale_[i] = rng_.chance(p_) ? 0.0F : 1.0F / keep;
-    y[i] = x[i] * scale_[i];
+    s.cache[i] = s.rng.chance(p_) ? 0.0F : 1.0F / keep;
+    y[i] = x[i] * s.cache[i];
   }
 }
 
-void Dropout::backward(std::span<const float> dy, std::span<float> dx) {
-  checkSize(dy, scale_.size(), "Dropout::backward");
-  for (size_t i = 0; i < dy.size(); ++i) dx[i] = dy[i] * scale_[i];
+void Dropout::backward(std::span<const float> dy, std::span<float> dx, int n,
+                       LayerScratch& s) const {
+  checkBatch(n, "Dropout::backward");
+  checkSize(dy, s.cache.size(), "Dropout::backward");
+  for (size_t i = 0; i < dy.size(); ++i) dx[i] = dy[i] * s.cache[i];
 }
 
 void Dropout::saveExtra(std::ostream& os) const {
@@ -314,6 +479,31 @@ void Dropout::loadExtra(std::istream& is) {
   p_ = r.pod<float>();
 }
 
+// --- Scratch -------------------------------------------------------------------
+
+void Scratch::zeroGrad() {
+  for (LayerScratch& ls : layers_) {
+    for (std::vector<float>& g : ls.grads) {
+      std::fill(g.begin(), g.end(), 0.0F);
+    }
+  }
+}
+
+void Scratch::reseed(uint64_t seed) {
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i].rng = Rng(splitSeed(seed, i));
+    layers_[i].rngSeeded = true;
+  }
+}
+
+void Scratch::appendGrads(std::vector<float>& out) const {
+  for (const LayerScratch& ls : layers_) {
+    for (const std::vector<float>& g : ls.grads) {
+      out.insert(out.end(), g.begin(), g.end());
+    }
+  }
+}
+
 // --- Sequential ----------------------------------------------------------------
 
 void Sequential::add(std::unique_ptr<Layer> layer) {
@@ -322,33 +512,93 @@ void Sequential::add(std::unique_ptr<Layer> layer) {
   const Shape out = layer->outShape(in);
   shapes_.push_back(out);
   layers_.push_back(std::move(layer));
-  acts_.emplace_back(static_cast<size_t>(out.size()), 0.0F);
+  own_.reset();  // layer structure changed; any old scratch is stale
 }
 
 Shape Sequential::outShape() const {
   return shapes_.empty() ? inShape_ : shapes_.back();
 }
 
-std::span<const float> Sequential::forward(std::span<const float> x,
-                                           bool train) {
-  input_.assign(x.begin(), x.end());
-  std::span<const float> cur = input_;
+Scratch Sequential::makeScratch() const {
+  Scratch s;
+  s.layers_.resize(layers_.size());
+  s.acts_.resize(layers_.size());
   for (size_t i = 0; i < layers_.size(); ++i) {
-    layers_[i]->forward(cur, acts_[i], train);
-    cur = acts_[i];
+    // Pre-size the accumulator list so grad() never grows it mid-backward
+    // (growth would invalidate outstanding references).
+    s.layers_[i].grads.resize(
+        static_cast<const Layer&>(*layers_[i]).params().size());
+  }
+  return s;
+}
+
+std::span<const float> Sequential::forward(std::span<const float> x, int n,
+                                           Scratch& s, Phase phase) const {
+  checkBatch(n, "Sequential::forward");
+  checkSize(x, static_cast<size_t>(n) * inShape_.size(),
+            "Sequential::forward x");
+  if (s.layers_.size() != layers_.size()) {
+    throw std::invalid_argument(
+        "Sequential::forward: scratch does not match this net "
+        "(use makeScratch)");
+  }
+  std::span<const float> cur = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    std::vector<float>& act = s.acts_[i];
+    act.resize(static_cast<size_t>(n) * shapes_[i].size());
+    layers_[i]->forward(cur, act, n, s.layers_[i], phase);
+    cur = act;
   }
   return cur;
 }
 
-void Sequential::backward(std::span<const float> dOut) {
-  std::vector<float> dCur(dOut.begin(), dOut.end());
+void Sequential::backward(std::span<const float> dOut, int n,
+                          Scratch& s) const {
+  checkBatch(n, "Sequential::backward");
+  checkSize(dOut, static_cast<size_t>(n) * outShape().size(),
+            "Sequential::backward dOut");
+  if (s.layers_.size() != layers_.size()) {
+    throw std::invalid_argument(
+        "Sequential::backward: scratch does not match this net "
+        "(use makeScratch)");
+  }
+  std::vector<float>* cur = &s.dPing_;
+  std::vector<float>* next = &s.dPong_;
+  cur->assign(dOut.begin(), dOut.end());
   for (size_t i = layers_.size(); i-- > 0;) {
     const size_t inSize =
         i == 0 ? static_cast<size_t>(inShape_.size())
                : static_cast<size_t>(shapes_[i - 1].size());
-    std::vector<float> dIn(inSize, 0.0F);
-    layers_[i]->backward(dCur, dIn);
-    dCur = std::move(dIn);
+    next->resize(static_cast<size_t>(n) * inSize);
+    layers_[i]->backward(*cur, *next, n, s.layers_[i]);
+    std::swap(cur, next);
+  }
+}
+
+Scratch& Sequential::ownScratch() {
+  if (!own_) own_ = std::make_unique<Scratch>(makeScratch());
+  return *own_;
+}
+
+std::span<const float> Sequential::forward(std::span<const float> x,
+                                           bool train) {
+  // Caches are always kept (kEval, not kInfer) so a backward may follow —
+  // the historical single-sample contract.
+  return forward(x, 1, ownScratch(), train ? Phase::kTrain : Phase::kEval);
+}
+
+void Sequential::backward(std::span<const float> dOut) {
+  Scratch& s = ownScratch();
+  s.zeroGrad();
+  backward(dOut, 1, s);
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    const std::vector<Param*> ps = layers_[i]->params();
+    const LayerScratch& ls = s.layers_[i];
+    for (size_t p = 0; p < ps.size() && p < ls.grads.size(); ++p) {
+      for (size_t j = 0; j < ls.grads[p].size(); ++j) {
+        ps[p]->grad[j] += ls.grads[p][j];
+      }
+    }
   }
 }
 
@@ -360,20 +610,22 @@ std::vector<Param*> Sequential::params() {
   return out;
 }
 
+std::vector<const Param*> Sequential::params() const {
+  std::vector<const Param*> out;
+  for (const auto& l : layers_) {
+    for (const Param* p : static_cast<const Layer&>(*l).params()) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
 void Sequential::zeroGrad() {
   for (Param* p : params()) p->zeroGrad();
 }
 
 void Sequential::reseed(uint64_t seed) {
-  for (size_t i = 0; i < layers_.size(); ++i) {
-    layers_[i]->reseed(splitSeed(seed, i));
-  }
-}
-
-Sequential Sequential::clone() const {
-  std::stringstream ss;
-  save(ss);
-  return load(ss);
+  ownScratch().reseed(seed);
 }
 
 void Sequential::save(std::ostream& os) const {
@@ -425,14 +677,7 @@ Sequential Sequential::load(std::istream& is) {
 float SoftmaxCE::forward(std::span<const float> logits, int target,
                          std::span<float> probs) {
   checkSize(probs, logits.size(), "SoftmaxCE::forward");
-  float maxv = logits[0];
-  for (const float v : logits) maxv = std::max(maxv, v);
-  float sum = 0.0F;
-  for (size_t i = 0; i < logits.size(); ++i) {
-    probs[i] = std::exp(logits[i] - maxv);
-    sum += probs[i];
-  }
-  for (float& p : probs) p /= sum;
+  num::softmax(logits, probs);
   if (target < 0) return 0.0F;
   return -std::log(std::max(probs[static_cast<size_t>(target)], 1e-12F));
 }

@@ -108,15 +108,16 @@ TEST(GradCheckLayers, GlobalMaxPoolPath) {
 
 TEST(Layers, ReluMasksNegatives) {
   ReLU r;
+  LayerScratch s;
   std::vector<float> x = {-1.0F, 0.0F, 2.0F};
   std::vector<float> y(3);
-  r.forward(x, y, true);
+  r.forward(x, y, 1, s, Phase::kTrain);
   EXPECT_EQ(y[0], 0.0F);
   EXPECT_EQ(y[1], 0.0F);
   EXPECT_EQ(y[2], 2.0F);
   std::vector<float> dy = {1.0F, 1.0F, 1.0F};
   std::vector<float> dx(3);
-  r.backward(dy, dx);
+  r.backward(dy, dx, 1, s);
   EXPECT_EQ(dx[0], 0.0F);
   EXPECT_EQ(dx[2], 1.0F);
 }
@@ -124,15 +125,16 @@ TEST(Layers, ReluMasksNegatives) {
 TEST(Layers, MaxPoolForwardBackward) {
   MaxPool1d p(2);
   p.setInShape({1, 6});
+  LayerScratch s;
   std::vector<float> x = {1.0F, 3.0F, 2.0F, 2.0F, -1.0F, -5.0F};
   std::vector<float> y(3);
-  p.forward(x, y, true);
+  p.forward(x, y, 1, s, Phase::kTrain);
   EXPECT_EQ(y[0], 3.0F);
   EXPECT_EQ(y[1], 2.0F);
   EXPECT_EQ(y[2], -1.0F);
   std::vector<float> dy = {1.0F, 1.0F, 1.0F};
   std::vector<float> dx(6);
-  p.backward(dy, dx);
+  p.backward(dy, dx, 1, s);
   EXPECT_EQ(dx[1], 1.0F);
   EXPECT_EQ(dx[0], 0.0F);
   EXPECT_EQ(dx[4], 1.0F);
@@ -140,23 +142,41 @@ TEST(Layers, MaxPoolForwardBackward) {
 
 TEST(Layers, DropoutInferenceIsIdentity) {
   Dropout d(0.5F, 7);
+  LayerScratch s;
   std::vector<float> x = {1.0F, 2.0F, 3.0F};
   std::vector<float> y(3);
-  d.forward(x, y, /*train=*/false);
+  d.forward(x, y, 1, s, Phase::kInfer);
   EXPECT_EQ(y, x);
 }
 
 TEST(Layers, DropoutTrainZeroesSome) {
   Dropout d(0.5F, 7);
+  LayerScratch s;
   std::vector<float> x(1000, 1.0F);
   std::vector<float> y(1000);
-  d.forward(x, y, /*train=*/true);
+  d.forward(x, y, 1, s, Phase::kTrain);
   int zeros = 0;
   for (const float v : y) {
     if (v == 0.0F) ++zeros;
   }
   EXPECT_GT(zeros, 300);
   EXPECT_LT(zeros, 700);
+}
+
+TEST(Layers, InferSkipsBackwardCaches) {
+  // Phase::kInfer is the shared-const fast path: it must not populate the
+  // scratch caches a backward would need.
+  ReLU r;
+  LayerScratch s;
+  std::vector<float> x = {-1.0F, 2.0F};
+  std::vector<float> y(2);
+  r.forward(x, y, 1, s, Phase::kInfer);
+  EXPECT_TRUE(s.mask.empty());
+  MaxPool1d p(2);
+  p.setInShape({1, 2});
+  std::vector<float> py(1);
+  p.forward(x, py, 1, s, Phase::kInfer);
+  EXPECT_TRUE(s.argmax.empty());
 }
 
 TEST(Adam, LearnsXorLikeSeparation) {
@@ -212,9 +232,122 @@ TEST(Serialize, CorruptModelThrows) {
 TEST(Layers, SizeMismatchThrows) {
   Rng rng(2);
   Linear lin(4, 2, &rng);
+  LayerScratch s;
   std::vector<float> x(3);
   std::vector<float> y(2);
-  EXPECT_THROW(lin.forward(x, y, false), std::invalid_argument);
+  EXPECT_THROW(lin.forward(x, y, 1, s, Phase::kInfer), std::invalid_argument);
+  std::vector<float> x8(8);
+  std::vector<float> y4(4);
+  EXPECT_THROW(lin.forward(x8, y4, 3, s, Phase::kInfer),
+               std::invalid_argument);
+}
+
+// --- batch/per-sample differential: the §7 determinism contract at the nn
+// layer. batch=B must reproduce batch=1 bit-for-bit: forward activations,
+// accumulated gradients, and dropout draw order.
+
+TEST(Batch, ForwardMatchesPerSampleBitExact) {
+  Rng rng(21);
+  Sequential net = makeCnn({6, 9}, 4, 4, 8, 3, 0.0F, rng);
+  // 13 = one full conv batch lane (kBatchLane) plus a remainder, so this
+  // pins the transposed lane kernel against the per-sample kernel.
+  constexpr int kN = kBatchLane + 5;
+  const auto inSize = static_cast<size_t>(net.inShape().size());
+  const auto outSize = static_cast<size_t>(net.outShape().size());
+  std::vector<float> xs(kN * inSize);
+  for (float& v : xs) v = rng.normal();
+
+  Scratch sb = net.makeScratch();
+  const auto yb = net.forward(xs, kN, sb, Phase::kInfer);
+  ASSERT_EQ(yb.size(), kN * outSize);
+
+  Scratch s1 = net.makeScratch();
+  for (int i = 0; i < kN; ++i) {
+    const auto y1 = net.forward(
+        std::span(xs).subspan(static_cast<size_t>(i) * inSize, inSize), 1, s1,
+        Phase::kInfer);
+    for (size_t j = 0; j < outSize; ++j) {
+      EXPECT_EQ(yb[static_cast<size_t>(i) * outSize + j], y1[j])
+          << "sample " << i << " logit " << j;
+    }
+  }
+  // kEval (caching) must not change the numbers either.
+  Scratch se = net.makeScratch();
+  const auto ye = net.forward(xs, kN, se, Phase::kEval);
+  for (size_t j = 0; j < yb.size(); ++j) EXPECT_EQ(yb[j], ye[j]);
+}
+
+TEST(Batch, BackwardGradsMatchPerSampleFold) {
+  Rng rng(22);
+  Sequential net = makeCnn({6, 9}, 4, 4, 8, 3, 0.0F, rng);
+  constexpr int kN = 4;
+  const auto inSize = static_cast<size_t>(net.inShape().size());
+  const auto outSize = static_cast<size_t>(net.outShape().size());
+  std::vector<float> xs(kN * inSize);
+  std::vector<float> douts(kN * outSize);
+  for (float& v : xs) v = rng.normal();
+  for (float& v : douts) v = rng.normal();
+
+  Scratch sb = net.makeScratch();
+  net.forward(xs, kN, sb, Phase::kEval);
+  net.backward(douts, kN, sb);
+  std::vector<float> gb;
+  sb.appendGrads(gb);
+
+  // Per-sample fold on one scratch: gradients accumulate across backward
+  // calls in sample order — the historical chunk loop.
+  Scratch s1 = net.makeScratch();
+  for (int i = 0; i < kN; ++i) {
+    net.forward(std::span(xs).subspan(static_cast<size_t>(i) * inSize, inSize),
+                1, s1, Phase::kEval);
+    net.backward(
+        std::span(douts).subspan(static_cast<size_t>(i) * outSize, outSize), 1,
+        s1);
+  }
+  std::vector<float> g1;
+  s1.appendGrads(g1);
+
+  ASSERT_FALSE(gb.empty());
+  ASSERT_EQ(gb.size(), g1.size());
+  for (size_t j = 0; j < gb.size(); ++j) {
+    EXPECT_EQ(gb[j], g1[j]) << "grad element " << j;
+  }
+}
+
+TEST(Batch, DropoutDrawsMatchPerSampleOrder) {
+  Rng rng(23);
+  Sequential net = makeCnn({4, 5}, 4, 4, 8, 2, 0.5F, rng);
+  constexpr int kN = 3;
+  const auto inSize = static_cast<size_t>(net.inShape().size());
+  const auto outSize = static_cast<size_t>(net.outShape().size());
+  std::vector<float> xs(kN * inSize);
+  for (float& v : xs) v = rng.normal();
+
+  Scratch sb = net.makeScratch();
+  sb.reseed(99);
+  const auto yb = net.forward(xs, kN, sb, Phase::kTrain);
+  const std::vector<float> batched(yb.begin(), yb.end());
+
+  Scratch s1 = net.makeScratch();
+  s1.reseed(99);
+  for (int i = 0; i < kN; ++i) {
+    const auto y1 = net.forward(
+        std::span(xs).subspan(static_cast<size_t>(i) * inSize, inSize), 1, s1,
+        Phase::kTrain);
+    for (size_t j = 0; j < outSize; ++j) {
+      EXPECT_EQ(batched[static_cast<size_t>(i) * outSize + j], y1[j])
+          << "sample " << i << " logit " << j;
+    }
+  }
+}
+
+TEST(Batch, ScratchMismatchThrows) {
+  Rng rng(24);
+  Sequential a = makeCnn({6, 9}, 4, 4, 8, 3, 0.0F, rng);
+  Sequential b({6, 9});  // different layer structure
+  Scratch sb = b.makeScratch();
+  std::vector<float> x(54);
+  EXPECT_THROW(a.forward(x, 1, sb, Phase::kInfer), std::invalid_argument);
 }
 
 }  // namespace

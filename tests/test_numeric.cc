@@ -1,0 +1,126 @@
+// Unit tests for the shared numerically-stable primitives (src/common/
+// numeric.h) — the single softmax/log-sum-exp implementation that the NN
+// head, the Naive Bayes posterior, and the voting argmax all delegate to.
+#include "common/numeric.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace cati::num {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Argmax, FirstMaximalWinsTies) {
+  const std::vector<float> v = {0.5F, 2.0F, 2.0F, 1.0F};
+  EXPECT_EQ(argmax(v), 1);
+}
+
+TEST(Argmax, SingleAndEmpty) {
+  const std::vector<float> one = {-3.0F};
+  EXPECT_EQ(argmax(one), 0);
+  EXPECT_EQ(argmax(std::span<const float>{}), -1);
+}
+
+TEST(Softmax, SumsToOneOnOrdinaryLogits) {
+  const std::vector<float> logits = {1.0F, -2.0F, 0.5F, 3.0F};
+  std::vector<float> probs(4);
+  softmax(logits, probs);
+  float sum = 0.0F;
+  for (const float p : probs) {
+    EXPECT_GT(p, 0.0F);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0F, 1e-5F);
+  EXPECT_EQ(argmax(probs), 3);
+}
+
+TEST(Softmax, LargeLogitsDoNotOverflow) {
+  // Naive exp(1000) is inf in float; the max-shift must keep this finite.
+  const std::vector<float> logits = {1000.0F, 999.0F, 998.0F};
+  std::vector<float> probs(3);
+  softmax(logits, probs);
+  for (const float p : probs) {
+    EXPECT_TRUE(std::isfinite(p));
+    EXPECT_GE(p, 0.0F);
+  }
+  EXPECT_GT(probs[0], probs[1]);
+  EXPECT_GT(probs[1], probs[2]);
+  float sum = 0.0F;
+  for (const float p : probs) sum += p;
+  EXPECT_NEAR(sum, 1.0F, 1e-5F);
+}
+
+TEST(Softmax, AllEqualLogitsGiveUniform) {
+  const std::vector<float> logits(5, -40.0F);
+  std::vector<float> probs(5);
+  softmax(logits, probs);
+  for (const float p : probs) EXPECT_EQ(p, 0.2F);
+}
+
+TEST(Softmax, SingleClassIsCertain) {
+  const std::vector<float> logits = {-123.0F};
+  std::vector<float> probs(1);
+  softmax(logits, probs);
+  EXPECT_EQ(probs[0], 1.0F);
+}
+
+TEST(SoftmaxFromLog, MatchesSoftmaxOnSmallValues) {
+  const std::vector<double> logp = {-1.5, -0.25, -3.0};
+  std::vector<float> out(3);
+  softmaxFromLog(logp, out);
+  const std::vector<float> logits = {-1.5F, -0.25F, -3.0F};
+  std::vector<float> ref(3);
+  softmax(logits, ref);
+  for (size_t i = 0; i < out.size(); ++i) EXPECT_NEAR(out[i], ref[i], 1e-6F);
+}
+
+TEST(SoftmaxFromLog, ExtremeLogScoresStayNormalized) {
+  // Typical Naive Bayes territory: hugely negative log-posteriors whose
+  // direct exp underflows to zero in double.
+  const std::vector<double> logp = {-1e5, -1e5 - 1.0, -1e5 - 2.0};
+  std::vector<float> out(3);
+  softmaxFromLog(logp, out);
+  float sum = 0.0F;
+  for (const float p : out) {
+    EXPECT_TRUE(std::isfinite(p));
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0F, 1e-5F);
+  EXPECT_GT(out[0], out[1]);
+}
+
+TEST(SoftmaxFromLog, SingleClassIsCertain) {
+  const std::vector<double> logp = {-987.0};
+  std::vector<float> out(1);
+  softmaxFromLog(logp, out);
+  EXPECT_EQ(out[0], 1.0F);
+}
+
+TEST(LogSumExp, MatchesDirectSumOnSmallValues) {
+  const std::vector<double> v = {0.1, -1.0, 2.5};
+  double direct = 0.0;
+  for (const double x : v) direct += std::exp(x);
+  EXPECT_NEAR(logSumExp(v), std::log(direct), 1e-12);
+}
+
+TEST(LogSumExp, LargeValuesDoNotOverflow) {
+  const std::vector<double> v = {1000.0, 1000.0};
+  EXPECT_NEAR(logSumExp(v), 1000.0 + std::log(2.0), 1e-9);
+  const std::vector<double> tiny = {-1e6, -1e6};
+  EXPECT_NEAR(logSumExp(tiny), -1e6 + std::log(2.0), 1e-6);
+}
+
+TEST(LogSumExp, EdgeCases) {
+  EXPECT_EQ(logSumExp(std::span<const double>{}), -kInf);
+  const std::vector<double> allNegInf = {-kInf, -kInf};
+  EXPECT_EQ(logSumExp(allNegInf), -kInf);
+  const std::vector<double> one = {3.25};
+  EXPECT_NEAR(logSumExp(one), 3.25, 1e-12);
+}
+
+}  // namespace
+}  // namespace cati::num

@@ -140,6 +140,20 @@ TEST(OrderedReduction, MatchesSerialFoldForNonCommutativeCombine) {
   }
 }
 
+TEST(ResolveBatch, ExplicitEnvAndFallback) {
+  EXPECT_EQ(par::resolveBatch(4, 32), 4);  // explicit request wins
+  ::setenv("CATI_BATCH", "12", 1);
+  EXPECT_EQ(par::resolveBatch(0, 32), 12);
+  EXPECT_EQ(par::resolveBatch(3, 32), 3);  // explicit still beats env
+  ::setenv("CATI_BATCH", "not-a-number", 1);
+  EXPECT_EQ(par::resolveBatch(0, 32), 32);  // invalid env ignored
+  ::setenv("CATI_BATCH", "-2", 1);
+  EXPECT_EQ(par::resolveBatch(0, 32), 32);
+  ::unsetenv("CATI_BATCH");
+  EXPECT_EQ(par::resolveBatch(0, 32), 32);
+  EXPECT_EQ(par::resolveBatch(0, 0), 1);  // floor at one sample
+}
+
 TEST(SplitSeed, PureAndStreamDistinct) {
   EXPECT_EQ(splitSeed(42, 0), splitSeed(42, 0));
   std::vector<uint64_t> seen;
@@ -254,6 +268,64 @@ TEST(JobsInvariance, ModelPredictionAndVoteBytesIdenticalAcrossJobs) {
         << "variable " << i;
     EXPECT_EQ(varsSerial[i].numVucs, varsPool[i].numVucs) << "variable " << i;
   }
+}
+
+TEST(BatchInvariance, PredictionsIdenticalAcrossBatchSizes) {
+  // The batching half of the §7 contract at the engine level: predictVucs
+  // at any batch size (and any job count) must reproduce the serial
+  // per-sample predictVuc loop bit-for-bit. Batch only changes how many
+  // windows share one NN forward pass, never the numbers.
+  Engine engine = testsupport::cachedMicroEngine();
+  const corpus::Dataset ds = testsupport::microDataset();
+  ASSERT_FALSE(ds.vucs.empty());
+
+  std::vector<StageProbs> ref;
+  ref.reserve(ds.vucs.size());
+  for (const corpus::Vuc& v : ds.vucs) ref.push_back(engine.predictVuc(v));
+
+  for (const int jobs : {1, 5}) {
+    par::ThreadPool pool(jobs);
+    for (const int batch : {1, 3, 8, 64}) {
+      const std::vector<StageProbs> got =
+          engine.predictVucs(ds.vucs, &pool, batch);
+      ASSERT_EQ(got.size(), ref.size());
+      for (size_t i = 0; i < ref.size(); ++i) {
+        for (int s = 0; s < kNumStages; ++s) {
+          // Exact float equality on purpose: the contract is bit-identity.
+          EXPECT_TRUE(ref[i].probs[static_cast<size_t>(s)] ==
+                      got[i].probs[static_cast<size_t>(s)])
+              << "vuc " << i << " stage " << s << " jobs " << jobs
+              << " batch " << batch;
+        }
+      }
+    }
+  }
+
+  // CATI_BATCH routes through the same resolution as --batch.
+  ::setenv("CATI_BATCH", "3", 1);
+  const std::vector<StageProbs> viaEnv = engine.predictVucs(ds.vucs);
+  ::unsetenv("CATI_BATCH");
+  ASSERT_EQ(viaEnv.size(), ref.size());
+  for (size_t i = 0; i < ref.size(); ++i) {
+    for (int s = 0; s < kNumStages; ++s) {
+      EXPECT_TRUE(ref[i].probs[static_cast<size_t>(s)] ==
+                  viaEnv[i].probs[static_cast<size_t>(s)])
+          << "vuc " << i << " stage " << s << " via CATI_BATCH";
+    }
+  }
+
+  // Non-timing inference metrics (including the batch-padding counter) are
+  // jobs-invariant: they depend only on (n, batch), never on scheduling.
+  obs::setEnabled(true);
+  const auto inferMetrics = [&](int jobs, int batch) {
+    obs::Registry::global().reset();
+    par::ThreadPool pool(jobs);
+    engine.predictVucs(ds.vucs, &pool, batch);
+    return obs::Registry::global().snapshot().withoutTimings();
+  };
+  const auto serial = inferMetrics(1, 8);
+  EXPECT_EQ(inferMetrics(5, 8), serial)
+      << "inference metrics differ across job counts at batch=8";
 }
 
 }  // namespace

@@ -64,7 +64,9 @@ int run(int argc, char** argv, const cati::cli::Common& common) {
   size_t correct = 0;
   for (const loader::LoadedFunction& fn :
        loader::disassemble(*img, diags, pool)) {
-    const auto vars = engine.analyzeFunction(fn.insns, &pool);
+    // common.batch (or CATI_BATCH) sets the inference batch; results are
+    // identical at any batch size, only throughput changes.
+    const auto vars = engine.analyzeFunction(fn.insns, &pool, common.batch);
     if (vars.empty()) continue;
     std::printf("%s:\n", fn.name.c_str());
 

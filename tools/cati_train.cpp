@@ -17,7 +17,7 @@
 
 namespace {
 
-int run(int argc, char** argv, const cati::cli::Common& /*common*/) {
+int run(int argc, char** argv, const cati::cli::Common& common) {
   using namespace cati;
   if (argc < 2) {
     std::fprintf(stderr,
@@ -70,6 +70,10 @@ int run(int argc, char** argv, const cati::cli::Common& /*common*/) {
       return 2;
     }
   }
+
+  // --batch / CATI_BATCH override the training minibatch size (a documented
+  // hyperparameter: it changes the trained model, unlike inference batching).
+  cfg.batchSize = par::resolveBatch(common.batch, cfg.batchSize);
 
   par::ThreadPool pool(par::resolveJobs(jobs));
   std::printf("generating corpus: %d apps x O0-O3 x %d functions (%s, %d "

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <fstream>
 #include <iostream>
@@ -23,6 +24,11 @@ struct Common {
   bool verbose = false;       ///< --verbose: include Note-severity diagnostics
   bool metrics = false;       ///< --metrics[=FILE]: emit a JSON snapshot
   std::string metricsPath;    ///< empty means stderr
+  /// --batch N: samples per NN forward pass (training minibatch for
+  /// cati-train, inference batch for cati-infer). 0 = unset; resolve with
+  /// par::resolveBatch, which falls back to CATI_BATCH then a tool default.
+  /// Batch size never changes results, only throughput (DESIGN.md §7).
+  int batch = 0;
 };
 
 /// Strips the common flags out of (argc, argv) in place and returns their
@@ -40,6 +46,12 @@ inline Common extractCommon(int& argc, char** argv) {
     } else if (arg.starts_with("--metrics=")) {
       c.metrics = true;
       c.metricsPath = std::string(arg.substr(std::string_view("--metrics=").size()));
+    } else if (arg == "--batch" && i + 1 < argc) {
+      c.batch = std::atoi(argv[++i]);
+    } else if (arg.starts_with("--batch=")) {
+      c.batch =
+          std::atoi(std::string(arg.substr(std::string_view("--batch=").size()))
+                        .c_str());
     } else {
       argv[w++] = argv[i];
     }
@@ -50,7 +62,8 @@ inline Common extractCommon(int& argc, char** argv) {
 }
 
 /// Usage-string suffix so every tool advertises the shared flags.
-inline constexpr const char* kCommonUsage = " [--verbose] [--metrics[=FILE]]";
+inline constexpr const char* kCommonUsage =
+    " [--verbose] [--metrics[=FILE]] [--batch N]";
 
 /// Diagnostics to stderr: warnings and errors always, notes only with
 /// --verbose (the passthrough cati-objdump/cati-strip previously lacked).
