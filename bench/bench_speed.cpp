@@ -15,6 +15,8 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <system_error>
 
 #include "common/parallel.h"
 #include "harness/harness.h"
@@ -247,6 +249,44 @@ BENCHMARK(BM_TrainEndToEndJobs)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(1.0);
+
+void BM_TrainCheckpointOverhead(benchmark::State& state) {
+  // The durability tax (DESIGN.md §9): the same micro run as
+  // BM_TrainEndToEndJobs/1, with a checkpoint persisted at every epoch
+  // boundary (arg = 1) or disabled (arg = 0). The delta between the two
+  // rows is the per-run cost of crash safety — checkpoint serialization +
+  // the atomic-write fsync protocol; ckpt_bytes reports the container size.
+  par::ThreadPool pool(1);
+  const auto bins = synth::generateCorpus(2, 8, synth::Dialect::Gcc, 7, &pool);
+  const corpus::Dataset ds = corpus::extractAll(bins, 10, true, &pool);
+  EngineConfig cfg;
+  cfg.epochs = 1;
+  cfg.w2v.epochs = 1;
+  cfg.maxTrainPerStage = 512;
+  cfg.fcHidden = 32;
+  const bool checkpointing = state.range(0) != 0;
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "cati_bench_ckpt";
+  TrainCheckpointing ck{dir, 1, false};
+  const obs::Snapshot base = bench::metricsBaseline();
+  for (auto _ : state) {
+    Engine e(cfg);
+    e.train(ds, &pool, checkpointing ? &ck : nullptr);
+    benchmark::DoNotOptimize(e);
+  }
+  exportMetricsColumns(state, base);
+  if (checkpointing) {
+    std::error_code ec;
+    state.counters["ckpt_bytes"] = static_cast<double>(
+        std::filesystem::file_size(dir / "train.ckpt", ec));
+    std::filesystem::remove_all(dir, ec);
+  }
+}
+BENCHMARK(BM_TrainCheckpointOverhead)
+    ->Arg(0)
+    ->Arg(1)
     ->Unit(benchmark::kMillisecond)
     ->MinTime(1.0);
 

@@ -8,6 +8,8 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "common/fs.h"
+
 namespace cati::bench {
 
 namespace fs = std::filesystem;
@@ -58,6 +60,7 @@ Bundle::Bundle(HarnessConfig cfg)
 void Bundle::buildOrLoad() {
   const fs::path dir = fs::path("cati_cache");
   fs::create_directories(dir);
+  cati::fs::cleanupStaleTemps(dir);
   const std::string key = cfg_.cacheKey();
   const fs::path trainPath = dir / ("train_" + key + ".bin");
   const fs::path testPath = dir / ("test_" + key + ".bin");
@@ -88,10 +91,12 @@ void Bundle::buildOrLoad() {
       test.append(corpus::extractGroundTruth(bin, cfg_.engine.window));
     }
     test_ = std::move(test);
-    std::ofstream ta(trainPath, std::ios::binary);
-    corpus::save(train_, ta);
-    std::ofstream te(testPath, std::ios::binary);
-    corpus::save(test_, te);
+    // Atomic writes: a crash mid-save must not leave a torn cache entry that
+    // poisons every later bench run (DESIGN.md §9).
+    cati::fs::atomicWrite(trainPath,
+                          [this](std::ostream& os) { corpus::save(train_, os); });
+    cati::fs::atomicWrite(testPath,
+                          [this](std::ostream& os) { corpus::save(test_, os); });
   }
   std::fprintf(stderr,
                "[harness] train: %zu vars / %zu VUCs; test: %zu vars / %zu "

@@ -8,6 +8,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/fault.h"
+#include "common/fs.h"
 #include "common/numeric.h"
 #include "common/obs.h"
 #include "common/serialize.h"
@@ -133,7 +135,9 @@ constexpr uint64_t kChunkStreams = 1ULL << 16;
 }  // namespace
 
 void Engine::trainStage(Stage s, const corpus::Dataset& ds, uint64_t seed,
-                        par::ThreadPool& pool) {
+                        par::ThreadPool& pool, int startEpoch,
+                        std::istream* adamState, const TrainCheckpointing* ck,
+                        const std::array<uint64_t, kNumStages>* seeds) {
   static const std::array<obs::Histogram*, kNumStages> stageNs =
       stageHistograms("engine.train.stage_ns", obs::Unit::Nanoseconds);
   static const std::array<obs::Counter*, kNumStages> stageSamples =
@@ -152,7 +156,8 @@ void Engine::trainStage(Stage s, const corpus::Dataset& ds, uint64_t seed,
   std::vector<uint32_t> train = balancedSubsample(
       byClass, cfg_.maxTrainPerStage, cfg_.balanceMultiplier, rng);
   stageSamples[static_cast<size_t>(s)]->add(
-      train.size() * static_cast<size_t>(std::max(0, cfg_.epochs)));
+      train.size() *
+      static_cast<size_t>(std::max(0, cfg_.epochs - startEpoch)));
 
   auto& net = stages_[static_cast<size_t>(s)];
   nn::Adam adam(net.params(), {.lr = cfg_.lr});
@@ -188,7 +193,19 @@ void Engine::trainStage(Stage s, const corpus::Dataset& ds, uint64_t seed,
   const auto batchSize = static_cast<size_t>(std::max(1, cfg_.batchSize));
   uint64_t batchId = 1;
 
-  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+  // Mid-stage resume: everything the checkpoint did NOT serialize is
+  // re-derived here by replaying the RNG prefix — the per-epoch shuffles
+  // advance `rng` and reorder `train` exactly as the original run did, and
+  // batchId (the dropout stream cursor) is a pure function of the epoch
+  // count. Only the Adam moments carry true state, restored below.
+  if (startEpoch > 0) {
+    for (int e = 0; e < startEpoch; ++e) rng.shuffle(train);
+    batchId += static_cast<uint64_t>(startEpoch) *
+               par::numChunks(train.size(), batchSize);
+    if (adamState != nullptr) adam.load(*adamState);
+  }
+
+  for (int epoch = startEpoch; epoch < cfg_.epochs; ++epoch) {
     rng.shuffle(train);
     double lossSum = 0.0;
     size_t correct = 0;
@@ -262,10 +279,30 @@ void Engine::trainStage(Stage s, const corpus::Dataset& ds, uint64_t seed,
                        static_cast<double>(train.size())
                 << '\n';
     }
+    if (ck != nullptr && !ck->dir.empty() && seeds != nullptr) {
+      const int done = epoch + 1;
+      const bool stageEnd = done >= cfg_.epochs;
+      if (stageEnd || done % std::max(1, ck->everyEpochs) == 0) {
+        // A stage boundary records "next stage, epoch 0" with no Adam state
+        // (the next stage starts its own optimizer); a mid-stage boundary
+        // records the position and the moments needed to continue exactly.
+        if (stageEnd) {
+          writeTrainCheckpoint(*ck, static_cast<int>(s) + 1, 0, *seeds,
+                               nullptr, ds);
+        } else {
+          writeTrainCheckpoint(*ck, static_cast<int>(s), done, *seeds, &adam,
+                               ds);
+        }
+        // The crash-sweep seam: a kill here models dying right after the
+        // checkpoint landed (the write itself is covered by the fs.* seams).
+        fault::killPoint("train.checkpoint");
+      }
+    }
   }
 }
 
-void Engine::train(const corpus::Dataset& trainSet, par::ThreadPool* pool) {
+void Engine::train(const corpus::Dataset& trainSet, par::ThreadPool* pool,
+                   const TrainCheckpointing* ckpt) {
   if (trainSet.window != cfg_.window) {
     throw std::invalid_argument("Engine::train: dataset window mismatch");
   }
@@ -274,25 +311,62 @@ void Engine::train(const corpus::Dataset& trainSet, par::ThreadPool* pool) {
   workers_.clear();
   par::ThreadPool inlinePool(1);
   par::ThreadPool& tp = pool ? *pool : inlinePool;
-  if (cfg_.verbose) std::cerr << "training word2vec embedding...\n";
-  embed::TokenizedCorpus tokens = embed::tokenize(trainSet);
-  embed::Word2Vec w2v;
-  w2v.train(tokens, cfg_.w2v, &tp);
-  encoder_.emplace(std::move(tokens.vocab), std::move(w2v));
 
-  Rng rng(cfg_.seed);
-  stages_.clear();
-  for (int s = 0; s < kNumStages; ++s) {
-    stages_.push_back(nn::makeCnn(inputShape(), cfg_.conv1, cfg_.conv2,
-                                  cfg_.fcHidden,
-                                  numClasses(static_cast<Stage>(s)),
-                                  cfg_.dropout, rng));
+  int startStage = 0;
+  int startEpoch = 0;
+  std::array<uint64_t, kNumStages> stageSeeds{};
+  std::string adamBlob;
+  bool resumed = false;
+  if (ckpt != nullptr && ckpt->resume) {
+    resumed = loadTrainCheckpoint(*ckpt, trainSet, startStage, startEpoch,
+                                  stageSeeds, adamBlob);
+    if (resumed && cfg_.verbose) {
+      std::cerr << "resuming from checkpoint: stage " << startStage
+                << ", epoch " << startEpoch << '\n';
+    }
   }
-  for (int s = 0; s < kNumStages; ++s) {
+
+  if (!resumed) {
+    if (cfg_.verbose) std::cerr << "training word2vec embedding...\n";
+    embed::TokenizedCorpus tokens = embed::tokenize(trainSet);
+    embed::Word2Vec w2v;
+    w2v.train(tokens, cfg_.w2v, &tp);
+    encoder_.emplace(std::move(tokens.vocab), std::move(w2v));
+
+    Rng rng(cfg_.seed);
+    stages_.clear();
+    for (int s = 0; s < kNumStages; ++s) {
+      stages_.push_back(nn::makeCnn(inputShape(), cfg_.conv1, cfg_.conv2,
+                                    cfg_.fcHidden,
+                                    numClasses(static_cast<Stage>(s)),
+                                    cfg_.dropout, rng));
+    }
+    // The per-stage seeds are drawn up front (same engine-RNG op sequence
+    // as the historical lazy rng.fork() per stage — trainStage never draws
+    // from `rng`), so a resumed run can reuse them from the checkpoint
+    // without replaying layer initialization.
+    for (int s = 0; s < kNumStages; ++s) {
+      stageSeeds[static_cast<size_t>(s)] = rng.fork();
+    }
+    if (ckpt != nullptr && !ckpt->dir.empty()) {
+      // Post-embedding checkpoint: word2vec is the most expensive
+      // epoch-less phase; a crash right after it resumes without repaying.
+      writeTrainCheckpoint(*ckpt, 0, 0, stageSeeds, nullptr, trainSet);
+      fault::killPoint("train.checkpoint");
+    }
+  }
+
+  for (int s = startStage; s < kNumStages; ++s) {
     if (cfg_.verbose) {
       std::cerr << "training " << stageName(static_cast<Stage>(s)) << "...\n";
     }
-    trainStage(static_cast<Stage>(s), trainSet, rng.fork(), tp);
+    const bool firstResumed = resumed && s == startStage && startEpoch > 0;
+    std::istringstream adamIs(adamBlob);
+    trainStage(static_cast<Stage>(s), trainSet,
+               stageSeeds[static_cast<size_t>(s)], tp,
+               firstResumed ? startEpoch : 0,
+               firstResumed && !adamBlob.empty() ? &adamIs : nullptr, ckpt,
+               &stageSeeds);
   }
 }
 
@@ -323,6 +397,9 @@ void Engine::predictRange(std::span<const corpus::Vuc> vucs, size_t b,
   const auto inSize = static_cast<size_t>(inputShape().size());
   const auto bs = static_cast<size_t>(std::max(1, batch));
   for (size_t sb = b; sb < e; sb += bs) {
+    // Deadline check once per sub-batch: cheap (a clock read, only when a
+    // deadline is set) and bounds how late a timeout can fire by one batch.
+    checkDeadline();
     const size_t nb = std::min(bs, e - sb);
     ws.input.resize(nb * inSize);
     for (size_t k = 0; k < nb; ++k) {
@@ -497,14 +574,16 @@ double Engine::occlusionEpsilon(const corpus::Vuc& vuc, int k, Stage u) {
 
 std::vector<AnalyzedVariable> Engine::analyzeFunction(
     std::span<const asmx::Instruction> insns, par::ThreadPool* pool,
-    int batch) {
+    int batch, DiagList* diags) {
   if (!trained()) throw std::logic_error("analyzeFunction: not trained");
   static obs::Histogram& analyzeNs = obs::timer("engine.analyze_ns");
   static obs::Counter& fnCount = obs::counter("engine.analyze.functions");
   static obs::Counter& varCount = obs::counter("engine.analyze.variables");
   static obs::Counter& vucCount = obs::counter("engine.analyze.vucs");
+  static obs::Counter& degraded = obs::counter("engine.analyze.degraded");
   const obs::ScopedTimer timing(analyzeNs);
   fnCount.add();
+  checkDeadline();
   const dataflow::RecoveryResult rec = dataflow::recoverVariables(insns);
 
   std::vector<int32_t> varOfInsn(insns.size(), -1);
@@ -525,30 +604,181 @@ std::vector<AnalyzedVariable> Engine::analyzeFunction(
   std::vector<AnalyzedVariable> out;
   for (size_t v = 0; v < rec.vars.size(); ++v) {
     if (byVar[v].empty()) continue;
-    std::vector<StageProbs> probs;
-    probs.reserve(byVar[v].size());
-    for (const uint32_t i : byVar[v]) probs.push_back(allProbs[i]);
-    const VariableDecision d = voteVariable(probs);
+    // Per-variable isolation: a poisoned variable (broken stage routing,
+    // malformed probabilities) degrades to a diagnostic and a counter; the
+    // rest of the function still gets typed. Deadline expiry is not a
+    // degradation — it must stop the whole analysis, so it passes through.
+    try {
+      std::vector<StageProbs> probs;
+      probs.reserve(byVar[v].size());
+      for (const uint32_t i : byVar[v]) probs.push_back(allProbs[i]);
+      const VariableDecision d = voteVariable(probs);
 
-    AnalyzedVariable av;
-    av.location = rec.vars[v];
-    av.type = d.finalType;
-    av.numVucs = byVar[v].size();
-    // Confidence: mean probability of the winning class at the leaf stage.
-    const StagePath path = pathOf(d.finalType);
-    const Stage leafStage = path.stages[static_cast<size_t>(path.length - 1)];
-    const int leafCls = stageClassOf(leafStage, d.finalType);
-    float sum = 0.0F;
-    for (const StageProbs& p : probs) {
-      sum += p.probs[static_cast<size_t>(leafStage)]
-                    [static_cast<size_t>(leafCls)];
+      AnalyzedVariable av;
+      av.location = rec.vars[v];
+      av.type = d.finalType;
+      av.numVucs = byVar[v].size();
+      // Confidence: mean probability of the winning class at the leaf stage.
+      const StagePath path = pathOf(d.finalType);
+      const Stage leafStage =
+          path.stages[static_cast<size_t>(path.length - 1)];
+      const int leafCls = stageClassOf(leafStage, d.finalType);
+      float sum = 0.0F;
+      for (const StageProbs& p : probs) {
+        sum += p.probs[static_cast<size_t>(leafStage)]
+                      [static_cast<size_t>(leafCls)];
+      }
+      av.confidence = sum / static_cast<float>(probs.size());
+      out.push_back(std::move(av));
+    } catch (const TimeoutError&) {
+      throw;
+    } catch (const std::exception& e) {
+      degraded.add();
+      addDiag(diags, Severity::Warning, DiagStage::Engine,
+              static_cast<uint64_t>(rec.vars[v].offset),
+              std::string("variable skipped (degraded): ") + e.what());
     }
-    av.confidence = sum / static_cast<float>(probs.size());
-    out.push_back(std::move(av));
   }
   varCount.add(out.size());
   vucCount.add(ds.vucs.size());
   return out;
+}
+
+// --- training checkpoints (DESIGN.md §9) ------------------------------------
+
+namespace {
+
+constexpr uint32_t kCkptMagic = 0x43434b50;  // "CCKP"
+constexpr uint32_t kCkptVersion = 1;
+constexpr const char* kCkptName = "train.ckpt";
+
+/// The config fields that shape training numerics; echoed into checkpoints
+/// so a resume with different hyperparameters fails loudly instead of
+/// producing a silently different model.
+void writeConfigEcho(io::Writer& w, const EngineConfig& cfg) {
+  w.pod(cfg.window);
+  w.pod(cfg.w2v.dim);
+  w.pod(cfg.w2v.window);
+  w.pod(cfg.w2v.negatives);
+  w.pod(cfg.w2v.epochs);
+  w.pod(cfg.w2v.lr);
+  w.pod(cfg.w2v.seed);
+  w.pod(cfg.w2v.subsample);
+  w.pod(cfg.conv1);
+  w.pod(cfg.conv2);
+  w.pod(cfg.fcHidden);
+  w.pod(cfg.dropout);
+  w.pod(cfg.epochs);
+  w.pod(cfg.lr);
+  w.pod(cfg.batchSize);
+  w.pod<uint64_t>(cfg.maxTrainPerStage);
+  w.pod(cfg.balanceMultiplier);
+  w.pod(cfg.seed);
+}
+
+void expectConfigEcho(io::Reader& r, const EngineConfig& cfg) {
+  const bool ok = r.pod<int>() == cfg.window && r.pod<int>() == cfg.w2v.dim &&
+                  r.pod<int>() == cfg.w2v.window &&
+                  r.pod<int>() == cfg.w2v.negatives &&
+                  r.pod<int>() == cfg.w2v.epochs &&
+                  r.pod<float>() == cfg.w2v.lr &&
+                  r.pod<uint64_t>() == cfg.w2v.seed &&
+                  r.pod<double>() == cfg.w2v.subsample &&
+                  r.pod<int>() == cfg.conv1 && r.pod<int>() == cfg.conv2 &&
+                  r.pod<int>() == cfg.fcHidden &&
+                  r.pod<float>() == cfg.dropout &&
+                  r.pod<int>() == cfg.epochs && r.pod<float>() == cfg.lr &&
+                  r.pod<int>() == cfg.batchSize &&
+                  r.pod<uint64_t>() == cfg.maxTrainPerStage &&
+                  r.pod<double>() == cfg.balanceMultiplier &&
+                  r.pod<uint64_t>() == cfg.seed;
+  if (!ok) {
+    throw std::runtime_error(
+        "checkpoint: training configuration mismatch — resume with the "
+        "flags the checkpoint was written with, or delete it");
+  }
+}
+
+}  // namespace
+
+void Engine::writeTrainCheckpoint(const TrainCheckpointing& ck, int nextStage,
+                                  int epochsDone,
+                                  const std::array<uint64_t, kNumStages>& seeds,
+                                  const nn::Adam* adam,
+                                  const corpus::Dataset& ds) const {
+  static obs::Counter& ckpts = obs::counter("engine.train.checkpoints");
+  static obs::Histogram& ckptNs = obs::timer("engine.train.checkpoint_ns");
+  const obs::ScopedTimer timing(ckptNs);
+  std::filesystem::create_directories(ck.dir);
+  fs::atomicWrite(ck.dir / kCkptName, [&](std::ostream& os) {
+    io::writeChecksummed(os, kCkptMagic, kCkptVersion, [&](std::ostream& body) {
+      io::Writer w(body);
+      writeConfigEcho(w, cfg_);
+      // Dataset fingerprint: a resume must see the same (regenerated)
+      // training set or the replayed subsample/shuffle order is garbage.
+      w.pod<uint64_t>(ds.vars.size());
+      w.pod<uint64_t>(ds.vucs.size());
+      w.pod<int32_t>(nextStage);
+      w.pod<int32_t>(epochsDone);
+      for (const uint64_t s : seeds) w.pod(s);
+      encoder_->save(body);
+      for (const auto& net : stages_) net.save(body);
+      std::string adamBytes;
+      if (adam != nullptr) {
+        std::ostringstream ab;
+        adam->save(ab);
+        adamBytes = std::move(ab).str();
+      }
+      w.str(adamBytes);
+    });
+  });
+  ckpts.add();
+}
+
+bool Engine::loadTrainCheckpoint(const TrainCheckpointing& ck,
+                                 const corpus::Dataset& ds, int& startStage,
+                                 int& startEpoch,
+                                 std::array<uint64_t, kNumStages>& seeds,
+                                 std::string& adamBlob) {
+  const std::filesystem::path path = ck.dir / kCkptName;
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;  // nothing to resume — train from scratch
+  io::readChecksummed(is, kCkptMagic, kCkptVersion, "checkpoint",
+                      [&](std::istream& body) {
+    io::Reader r(body);
+    expectConfigEcho(r, cfg_);
+    const auto vars = r.pod<uint64_t>();
+    const auto vucs = r.pod<uint64_t>();
+    if (vars != ds.vars.size() || vucs != ds.vucs.size()) {
+      throw std::runtime_error(
+          "checkpoint: training-set mismatch (checkpoint saw " +
+          std::to_string(vucs) + " VUCs, dataset has " +
+          std::to_string(ds.vucs.size()) + ")");
+    }
+    startStage = r.pod<int32_t>();
+    startEpoch = r.pod<int32_t>();
+    if (startStage < 0 || startStage > kNumStages || startEpoch < 0 ||
+        startEpoch > cfg_.epochs) {
+      throw CorruptError("checkpoint: position out of range");
+    }
+    for (uint64_t& s : seeds) s = r.pod<uint64_t>();
+    encoder_.emplace(embed::VucEncoder::load(body));
+    stages_.clear();
+    for (int s = 0; s < kNumStages; ++s) {
+      stages_.push_back(nn::Sequential::load(body));
+    }
+    adamBlob = r.str();
+    return 0;
+  });
+  return true;
+}
+
+void Engine::checkDeadline() const {
+  if (!deadline_) return;
+  if (std::chrono::steady_clock::now() <= *deadline_) return;
+  static obs::Counter& timeouts = obs::counter("engine.analyze.timeout");
+  timeouts.add();
+  throw TimeoutError("engine: analysis deadline exceeded (--timeout-ms)");
 }
 
 // v2: payload carried under a CRC32 trailer (io::writeChecksummed), so a
@@ -591,10 +821,10 @@ Engine Engine::load(std::istream& is) {
       });
 }
 
+// Durable write (DESIGN.md §9): serialize to a temp sibling, fsync, rename,
+// fsync the directory. A crash mid-save leaves the previous model intact.
 void Engine::saveFile(const std::filesystem::path& p) const {
-  std::ofstream os(p, std::ios::binary);
-  if (!os) throw std::runtime_error("Engine::saveFile: cannot open " + p.string());
-  save(os);
+  fs::atomicWrite(p, [this](std::ostream& os) { save(os); });
 }
 
 Engine Engine::loadFile(const std::filesystem::path& p) {

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <array>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <istream>
@@ -13,8 +14,11 @@
 #include <optional>
 #include <ostream>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "common/diag.h"
+#include "common/errors.h"
 #include "common/parallel.h"
 #include "common/types.h"
 #include "corpus/corpus.h"
@@ -67,6 +71,20 @@ struct VariableDecision {
   TypeLabel finalType = TypeLabel::Int;
 };
 
+/// Crash-safe training: when `dir` is set, train() persists a checkpoint
+/// (model + Adam moments + stage/epoch cursor, in a CRC-framed container
+/// written via fs::atomicWrite) after word2vec and at every epoch boundary
+/// matching `everyEpochs`, plus every stage boundary. With `resume`, train()
+/// continues from dir/train.ckpt — the final model is bit-identical to an
+/// uninterrupted run at any job count and batch size, because everything not
+/// serialized (subsample order, shuffles, dropout streams) is replayed from
+/// the same seeds (DESIGN.md §9).
+struct TrainCheckpointing {
+  std::filesystem::path dir;
+  int everyEpochs = 1;
+  bool resume = false;
+};
+
 /// A recovered-and-typed variable from the end-to-end stripped path.
 struct AnalyzedVariable {
   dataflow::RecoveredVariable location;
@@ -85,9 +103,18 @@ class Engine {
   /// word2vec and per-stage minibatch gradient accumulation; the trained
   /// model bytes are identical at any job count (fixed sample chunks,
   /// ordered gradient merge, per-chunk dropout streams).
-  void train(const corpus::Dataset& trainSet, par::ThreadPool* pool = nullptr);
+  void train(const corpus::Dataset& trainSet, par::ThreadPool* pool = nullptr,
+             const TrainCheckpointing* ckpt = nullptr);
 
   bool trained() const { return encoder_.has_value(); }
+
+  /// Wall-clock deadline for analysis (--timeout-ms): predictVucs /
+  /// analyzeFunction check it between NN sub-batches and throw
+  /// cati::TimeoutError on expiry, so a caller always gets back with the
+  /// partial results it accumulated so far. nullopt (default) disables.
+  void setDeadline(std::optional<std::chrono::steady_clock::time_point> d) {
+    deadline_ = d;
+  }
 
   // --- VUC-level inference ---
   // (Model weights are shared-const during inference; all mutable state is
@@ -122,10 +149,13 @@ class Engine {
   // --- end-to-end stripped-binary analysis ---
   /// Recovers variables from one function's instructions, extracts VUCs,
   /// predicts and votes. The full §III pipeline with src/dataflow standing
-  /// in for IDA Pro.
+  /// in for IDA Pro. One poisoned variable degrades (a Diag in `diags` +
+  /// the engine.analyze.degraded counter) instead of aborting the function;
+  /// only TimeoutError escapes, after the deadline set by setDeadline.
   std::vector<AnalyzedVariable> analyzeFunction(
       std::span<const asmx::Instruction> insns,
-      par::ThreadPool* pool = nullptr, int batch = 0);
+      par::ThreadPool* pool = nullptr, int batch = 0,
+      DiagList* diags = nullptr);
 
   // --- persistence ---
   void save(std::ostream& os) const;
@@ -150,8 +180,34 @@ class Engine {
   /// channel-major layout the CNNs consume.
   void encodeInput(const corpus::Vuc& vuc, int occlude,
                    std::span<float> out) const;
+  /// Trains stage `s` starting at `startEpoch` (0 for a fresh stage). On a
+  /// mid-stage resume, the shuffle/dropout RNG prefix is replayed from
+  /// `seed` and the Adam moments are restored from `adamState`, so the
+  /// continued run is bit-identical to one that never stopped. `ck`/`seeds`
+  /// drive checkpoint writes at epoch boundaries when checkpointing is on.
   void trainStage(Stage s, const corpus::Dataset& ds, uint64_t seed,
-                  par::ThreadPool& pool);
+                  par::ThreadPool& pool, int startEpoch = 0,
+                  std::istream* adamState = nullptr,
+                  const TrainCheckpointing* ck = nullptr,
+                  const std::array<uint64_t, kNumStages>* seeds = nullptr);
+  /// Atomically writes dir/train.ckpt: config echo, dataset fingerprint,
+  /// position (nextStage, epochsDone), stage seeds, encoder, all stage
+  /// nets, and the current stage's Adam moments (when mid-stage).
+  void writeTrainCheckpoint(const TrainCheckpointing& ck, int nextStage,
+                            int epochsDone,
+                            const std::array<uint64_t, kNumStages>& seeds,
+                            const nn::Adam* adam,
+                            const corpus::Dataset& ds) const;
+  /// Restores train() state from dir/train.ckpt. Returns false when no
+  /// checkpoint exists (fresh start); throws CorruptError on a damaged file
+  /// and std::runtime_error on a config / dataset mismatch.
+  bool loadTrainCheckpoint(const TrainCheckpointing& ck,
+                           const corpus::Dataset& ds, int& startStage,
+                           int& startEpoch,
+                           std::array<uint64_t, kNumStages>& seeds,
+                           std::string& adamBlob);
+  /// Throws TimeoutError when the analysis deadline has passed.
+  void checkDeadline() const;
   void runStage(Stage s, std::span<const float> input, std::span<float> probs);
   /// The lazily-created scratch for worker `w`. Must be called outside any
   /// parallel region (it may grow workers_); train() invalidates all states.
@@ -162,6 +218,7 @@ class Engine {
                     int batch, WorkerState& ws, StageProbs* out);
 
   EngineConfig cfg_;
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
   std::optional<embed::VucEncoder> encoder_;
   std::vector<nn::Sequential> stages_;  // kNumStages entries once trained
   /// Per-worker inference scratch (index = pool worker id; worker 0 also

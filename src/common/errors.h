@@ -1,0 +1,36 @@
+// Error taxonomy for the persistence and durability layers. The tools map
+// these to distinct exit codes (tools/cli.h): an operator retrying a failed
+// write wants to distinguish "the disk is broken / full" (IoError, exit 3,
+// retryable) from "the file's bytes are wrong" (CorruptError, exit 4, not
+// retryable — restore from a good copy). Both derive std::runtime_error so
+// existing catch sites and EXPECT_THROW(std::runtime_error) stay valid.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cati {
+
+/// The environment failed us: open/write/fsync/rename errors, ENOSPC,
+/// injected I/O faults. The data we tried to persist was fine.
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The bytes on disk are wrong: bad magic, unsupported version, truncation,
+/// checksum mismatch, hostile length fields. Retrying will not help.
+class CorruptError : public std::runtime_error {
+ public:
+  explicit CorruptError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// An analysis deadline (--timeout-ms) expired; partial results up to the
+/// deadline are still valid. Deliberately NOT an IoError/CorruptError:
+/// callers treat it as "stop cleanly", not as a failure of data or disk.
+class TimeoutError : public std::runtime_error {
+ public:
+  explicit TimeoutError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace cati

@@ -2,8 +2,10 @@
 // cached datasets and the DWARF-like debug-info encoding.
 //
 // Format: little-endian PODs, length-prefixed strings/vectors. Readers throw
-// std::runtime_error on truncated or corrupt input; writers throw on I/O
-// failure, so callers never silently persist half a model.
+// cati::CorruptError on truncated or corrupt input; writers throw
+// cati::IoError on I/O failure, so callers never silently persist half a
+// model (both derive std::runtime_error; the tools map them to distinct
+// exit codes — see common/errors.h).
 //
 // Top-level containers (image, engine model, dataset cache) use the
 // checksummed framing below: magic + version + length-prefixed payload +
@@ -20,6 +22,8 @@
 #include <string>
 #include <type_traits>
 #include <vector>
+
+#include "common/errors.h"
 
 namespace cati::io {
 
@@ -78,7 +82,7 @@ class Writer {
 
  private:
   void check() {
-    if (!os_) throw std::runtime_error("serialize: write failed");
+    if (!os_) throw IoError("serialize: write failed");
   }
   std::ostream& os_;
 };
@@ -120,13 +124,13 @@ class Reader {
 
  private:
   void check() {
-    if (!is_) throw std::runtime_error("serialize: truncated input");
+    if (!is_) throw CorruptError("serialize: truncated input");
   }
   // Rejects absurd length prefixes before allocating, so a corrupt file
   // fails with a clear error instead of bad_alloc.
   static void guardSize(uint64_t bytes) {
     constexpr uint64_t kMax = 1ULL << 34;  // 16 GiB
-    if (bytes > kMax) throw std::runtime_error("serialize: corrupt length");
+    if (bytes > kMax) throw CorruptError("serialize: corrupt length");
   }
   std::istream& is_;
 };
@@ -140,9 +144,9 @@ inline void writeHeader(Writer& w, uint32_t magic, uint32_t version) {
 inline void expectHeader(Reader& r, uint32_t magic, uint32_t version,
                          const char* what) {
   if (r.pod<uint32_t>() != magic)
-    throw std::runtime_error(std::string(what) + ": bad magic");
+    throw CorruptError(std::string(what) + ": bad magic");
   if (r.pod<uint32_t>() != version)
-    throw std::runtime_error(std::string(what) + ": unsupported version");
+    throw CorruptError(std::string(what) + ": unsupported version");
 }
 
 // --- checksummed container framing ------------------------------------------
@@ -167,7 +171,7 @@ void writeChecksummed(std::ostream& os, uint32_t magic, uint32_t version,
   w.pod<uint32_t>(crc32(payload.data(), payload.size()));
 }
 
-/// Returns whatever `body(payloadStream)` returns. Throws std::runtime_error
+/// Returns whatever `body(payloadStream)` returns. Throws cati::CorruptError
 /// naming `what` on bad magic, unsupported version, truncation, or CRC
 /// mismatch — before `body` ever sees a corrupt byte.
 template <typename Fn>
@@ -177,7 +181,7 @@ auto readChecksummed(std::istream& is, uint32_t magic, uint32_t version,
   expectHeader(r, magic, version, what);
   const auto n = r.pod<uint64_t>();
   if (n > (1ULL << 34)) {
-    throw std::runtime_error(std::string(what) + ": corrupt payload length");
+    throw CorruptError(std::string(what) + ": corrupt payload length");
   }
   // Chunked read: a hostile length field only ever costs one chunk of
   // allocation beyond the bytes actually present in the stream.
@@ -188,15 +192,27 @@ auto readChecksummed(std::istream& is, uint32_t magic, uint32_t version,
     const size_t old = payload.size();
     payload.resize(old + take);
     is.read(payload.data() + old, static_cast<std::streamsize>(take));
-    if (!is) {
-      throw std::runtime_error(std::string(what) + ": truncated input");
+    const auto got = static_cast<uint64_t>(is.gcount());
+    if (!is || got != take) {
+      throw CorruptError(std::string(what) + ": truncated input (payload cut " +
+                         std::to_string(n - remaining + got) + "/" +
+                         std::to_string(n) + " bytes in)");
     }
     remaining -= take;
   }
-  const auto stored = r.pod<uint32_t>();
+  // The CRC trailer is read explicitly: a file truncated exactly at the end
+  // of the payload (a chunk boundary — the likeliest kill point for a
+  // non-atomic writer) must name the container and the missing trailer, not
+  // die with a generic short-read error deep in Reader::pod.
+  uint32_t stored = 0;
+  is.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+  if (!is || is.gcount() != static_cast<std::streamsize>(sizeof(stored))) {
+    throw CorruptError(std::string(what) +
+                       ": truncated input (missing checksum trailer)");
+  }
   if (crc32(payload.data(), payload.size()) != stored) {
-    throw std::runtime_error(std::string(what) +
-                             ": checksum mismatch (corrupt file)");
+    throw CorruptError(std::string(what) +
+                       ": checksum mismatch (corrupt file)");
   }
   std::istringstream ps(std::move(payload));
   return body(static_cast<std::istream&>(ps));

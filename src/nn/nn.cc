@@ -719,6 +719,35 @@ void Adam::step(float gradScale) {
   }
 }
 
+void Adam::save(std::ostream& os) const {
+  io::Writer w(os);
+  io::writeHeader(w, 0x4144414d /*"ADAM"*/, 1);
+  w.pod(t_);
+  w.pod<uint64_t>(params_.size());
+  for (size_t p = 0; p < params_.size(); ++p) {
+    w.vec(m_[p]);
+    w.vec(v_[p]);
+  }
+}
+
+void Adam::load(std::istream& is) {
+  io::Reader r(is);
+  io::expectHeader(r, 0x4144414d, 1, "adam");
+  t_ = r.pod<int64_t>();
+  const auto n = r.pod<uint64_t>();
+  if (n != params_.size()) {
+    throw CorruptError("adam: parameter count mismatch");
+  }
+  for (size_t p = 0; p < params_.size(); ++p) {
+    m_[p] = r.vec<float>();
+    v_[p] = r.vec<float>();
+    if (m_[p].size() != params_[p]->value.size() ||
+        v_[p].size() != params_[p]->value.size()) {
+      throw CorruptError("adam: moment shape mismatch");
+    }
+  }
+}
+
 // --- factory / gradient check ---------------------------------------------------
 
 Sequential makeCnn(Shape in, int conv1, int conv2, int hidden, int classes,

@@ -369,6 +369,14 @@ class Adam {
   /// and zeroes them.
   void step(float gradScale = 1.0F);
 
+  /// Serializes the optimizer moments (m, v) and step count — everything a
+  /// training checkpoint needs to continue bit-identically. The parameter
+  /// values themselves belong to the net and are saved with it.
+  void save(std::ostream& os) const;
+  /// Restores state saved by save(); the bound params must have the same
+  /// shapes (throws cati::CorruptError otherwise).
+  void load(std::istream& is);
+
  private:
   Config cfg_;
   std::vector<Param*> params_;

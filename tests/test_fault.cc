@@ -1,0 +1,129 @@
+// Tests for the deterministic fault-injection layer (common/fault.h): spec
+// parsing, Nth-hit and probabilistic firing, wildcard sites, action
+// semantics of failPoint/killPoint, and schedule replayability.
+#include "common/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/errors.h"
+
+namespace cati::fault {
+namespace {
+
+/// Disarms the injector after every test so suites can run in any order.
+class FaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { configureForTest(""); }
+};
+
+TEST_F(FaultTest, DisarmedIsFree) {
+  configureForTest("");
+  EXPECT_FALSE(enabled());
+  EXPECT_EQ(hit("fs.write"), Action::kNone);
+  EXPECT_FALSE(failPoint("fs.write"));
+  EXPECT_NO_THROW(killPoint("train.checkpoint"));
+}
+
+TEST_F(FaultTest, NthHitFiresExactlyOnce) {
+  configureForTest("fail@fs.write:3");
+  EXPECT_TRUE(enabled());
+  EXPECT_EQ(hit("fs.write"), Action::kNone);
+  EXPECT_EQ(hit("fs.write"), Action::kNone);
+  EXPECT_EQ(hit("fs.write"), Action::kFail);  // third hit
+  // Nth rules are one-shot: later hits pass.
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(hit("fs.write"), Action::kNone);
+}
+
+TEST_F(FaultTest, SiteMatchIsExactUnlessWildcard) {
+  configureForTest("fail@fs.write:1");
+  EXPECT_EQ(hit("fs.writeX"), Action::kNone);
+  EXPECT_EQ(hit("fs.wri"), Action::kNone);
+  EXPECT_EQ(hit("fs.write"), Action::kFail);
+
+  configureForTest("stop@fs.*:1");
+  EXPECT_EQ(hit("train.checkpoint"), Action::kNone);
+  EXPECT_EQ(hit("fs.rename"), Action::kStop);
+}
+
+TEST_F(FaultTest, MultipleRulesCountIndependently) {
+  configureForTest("fail@fs.write:2,stop@fs.fsync:1");
+  EXPECT_EQ(hit("fs.fsync"), Action::kStop);   // rule 2, hit 1
+  EXPECT_EQ(hit("fs.write"), Action::kNone);   // rule 1, hit 1
+  EXPECT_EQ(hit("fs.write"), Action::kFail);   // rule 1, hit 2
+}
+
+TEST_F(FaultTest, MalformedRulesAreIgnored) {
+  // The injector must never take a run down by itself: garbage rules drop.
+  configureForTest("bogus,fail@:1,@site:1,zap@fs.write:1,fail@fs.write:,"
+                   "fail@fs.write:0,fail@fs.write:p=2.0");
+  EXPECT_FALSE(enabled());
+  // A valid rule mixed with garbage still arms.
+  configureForTest("bogus,fail@fs.write:1");
+  EXPECT_TRUE(enabled());
+  EXPECT_EQ(hit("fs.write"), Action::kFail);
+}
+
+TEST_F(FaultTest, FailPointActions) {
+  configureForTest("fail@a:1,truncate@b:1,stop@c:1");
+  EXPECT_THROW(failPoint("a"), IoError);
+  EXPECT_TRUE(failPoint("b"));   // caller simulates the short write
+  EXPECT_THROW(failPoint("c"), Stop);
+  // All one-shot rules spent.
+  EXPECT_FALSE(failPoint("a"));
+  EXPECT_FALSE(failPoint("b"));
+  EXPECT_FALSE(failPoint("c"));
+}
+
+TEST_F(FaultTest, KillPointDegradesNonKillActionsToStop) {
+  // At a kill seam there is no write to fail or shorten, so fail/truncate
+  // degrade to the catchable crash (stop). kill itself would _exit(137) —
+  // covered by the subprocess sweep in test_crash.cc.
+  configureForTest("fail@x:1,truncate@y:1,stop@z:1");
+  EXPECT_THROW(killPoint("x"), Stop);
+  EXPECT_THROW(killPoint("y"), Stop);
+  EXPECT_THROW(killPoint("z"), Stop);
+}
+
+TEST_F(FaultTest, ProbabilisticScheduleReplaysWithSameSeed) {
+  const auto schedule = [](uint64_t seed) {
+    configureForTest("fail@p:p=0.5", seed);
+    std::vector<bool> fired;
+    fired.reserve(64);
+    for (int i = 0; i < 64; ++i) fired.push_back(hit("p") == Action::kFail);
+    return fired;
+  };
+  const auto a = schedule(7);
+  const auto b = schedule(7);
+  EXPECT_EQ(a, b) << "same seed must replay the same fault schedule";
+  const auto c = schedule(8);
+  EXPECT_NE(a, c) << "a different seed should produce a different schedule";
+  // p=0.5 over 64 draws: both outcomes must actually occur.
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 64);
+}
+
+TEST_F(FaultTest, ProbabilityBoundsAreDeterministic) {
+  configureForTest("fail@always:p=1.0");
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(hit("always"), Action::kFail);
+  configureForTest("fail@never:p=0.0");
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(hit("never"), Action::kNone);
+}
+
+TEST_F(FaultTest, StopCarriesSiteName) {
+  configureForTest("stop@train.checkpoint:1");
+  try {
+    killPoint("train.checkpoint");
+    FAIL() << "stop rule did not fire";
+  } catch (const Stop& e) {
+    EXPECT_NE(std::string(e.what()).find("train.checkpoint"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace cati::fault

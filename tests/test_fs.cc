@@ -1,0 +1,174 @@
+// Tests for the durable atomic-write layer (common/fs.h): round-trips,
+// overwrite atomicity under every injected fault, temp hygiene, and the
+// stale-temp sweeper. The core durability claim — no fault configuration
+// can leave a torn or corrupt file at the target path — is exercised
+// directly by failing every seam of the protocol.
+#include "common/fs.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/errors.h"
+#include "common/fault.h"
+
+namespace cati::fs {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+std::string slurp(const stdfs::path& p) {
+  std::ifstream is(p, std::ios::binary);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return buf.str();
+}
+
+/// Files (non-directories) under dir, as filenames.
+std::vector<std::string> filesIn(const stdfs::path& dir) {
+  std::vector<std::string> out;
+  for (const auto& e : stdfs::directory_iterator(dir)) {
+    if (e.is_regular_file()) out.push_back(e.path().filename().string());
+  }
+  return out;
+}
+
+class FsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = stdfs::temp_directory_path() /
+           ("cati_fs_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    stdfs::remove_all(dir_);
+    stdfs::create_directories(dir_);
+  }
+  void TearDown() override {
+    fault::configureForTest("");
+    stdfs::remove_all(dir_);
+  }
+  stdfs::path dir_;
+};
+
+TEST_F(FsTest, RoundTrip) {
+  const stdfs::path target = dir_ / "out.bin";
+  const std::string payload(100000, 'A');
+  atomicWrite(target, [&](std::ostream& os) { os << payload; });
+  EXPECT_EQ(slurp(target), payload);
+  // No debris: exactly the target.
+  EXPECT_EQ(filesIn(dir_), std::vector<std::string>{"out.bin"});
+}
+
+TEST_F(FsTest, OverwriteReplacesAtomically) {
+  const stdfs::path target = dir_ / "out.bin";
+  atomicWrite(target, [](std::ostream& os) { os << "old-contents"; });
+  atomicWrite(target, [](std::ostream& os) { os << "new"; });
+  EXPECT_EQ(slurp(target), "new");
+}
+
+TEST_F(FsTest, BodyThrowTouchesNothing) {
+  const stdfs::path target = dir_ / "out.bin";
+  atomicWrite(target, [](std::ostream& os) { os << "precious"; });
+  EXPECT_THROW(atomicWrite(target,
+                           [](std::ostream&) {
+                             throw CorruptError("serializer blew up");
+                           }),
+               CorruptError);
+  EXPECT_EQ(slurp(target), "precious");
+  EXPECT_EQ(filesIn(dir_), std::vector<std::string>{"out.bin"});
+}
+
+TEST_F(FsTest, EveryInjectedFaultLeavesOldFileIntactAndNoDebris) {
+  // The acceptance bar from DESIGN.md §9: no fault configuration may leave
+  // a torn/corrupt container at the target. Fail each protocol seam in
+  // turn, both as a clean error and as a short write.
+  const stdfs::path target = dir_ / "model.bin";
+  const std::string oldBytes = "the-previous-generation-model";
+  const std::string newBytes(1 << 16, 'N');
+  for (const char* site :
+       {"fs.open", "fs.write", "fs.fsync", "fs.rename"}) {
+    for (const char* action : {"fail", "truncate", "stop"}) {
+      stdfs::remove(target);
+      atomicWrite(target, [&](std::ostream& os) { os << oldBytes; });
+      fault::configureForTest(std::string(action) + "@" + site + ":1");
+      EXPECT_THROW(
+          atomicWrite(target, [&](std::ostream& os) { os << newBytes; }),
+          std::runtime_error)
+          << action << "@" << site;
+      fault::configureForTest("");
+      EXPECT_EQ(slurp(target), oldBytes) << action << "@" << site;
+      EXPECT_EQ(filesIn(dir_), std::vector<std::string>{"model.bin"})
+          << action << "@" << site << ": temp debris left behind";
+    }
+  }
+}
+
+TEST_F(FsTest, FaultAfterRenameStillPublishesNewFile) {
+  // fs.dirsync sits after the rename: an injected failure there reports an
+  // error, but the new file is already visible (old-or-new, never torn).
+  const stdfs::path target = dir_ / "out.bin";
+  atomicWrite(target, [](std::ostream& os) { os << "old"; });
+  fault::configureForTest("fail@fs.dirsync:1");
+  EXPECT_THROW(
+      atomicWrite(target, [](std::ostream& os) { os << "new"; }),
+      IoError);
+  fault::configureForTest("");
+  EXPECT_EQ(slurp(target), "new");
+}
+
+TEST_F(FsTest, InjectedWriteFailureIsIoError) {
+  fault::configureForTest("fail@fs.write:1");
+  EXPECT_THROW(
+      atomicWrite(dir_ / "x", [](std::ostream& os) { os << "data"; }),
+      IoError);
+}
+
+TEST_F(FsTest, UnwritableDirectoryIsIoError) {
+  EXPECT_THROW(atomicWrite(dir_ / "no-such-subdir" / "x",
+                           [](std::ostream& os) { os << "data"; }),
+               IoError);
+}
+
+TEST_F(FsTest, IsTempName) {
+  EXPECT_TRUE(isTempName("model.bin.cati-tmp.1234"));
+  EXPECT_TRUE(isTempName(dir_ / "a" / "train.ckpt.cati-tmp.7"));
+  EXPECT_FALSE(isTempName("model.bin"));
+  EXPECT_FALSE(isTempName("model.bin.cati-tmp."));
+  EXPECT_FALSE(isTempName("model.bin.cati-tmp.12x4"));
+  EXPECT_FALSE(isTempName("cati-tmp.1234"));  // no '.' before the infix
+}
+
+TEST_F(FsTest, CleanupStaleTempsSweepsOnlyTemps) {
+  std::ofstream(dir_ / "keep.bin") << "k";
+  std::ofstream(dir_ / "keep.bin.cati-tmp.999") << "stale";
+  std::ofstream(dir_ / "other.cati-tmp.1") << "stale";
+  std::ofstream(dir_ / "not-a-temp.cati-tmp.x") << "keep";
+  EXPECT_EQ(cleanupStaleTemps(dir_), 2);
+  auto files = filesIn(dir_);
+  std::sort(files.begin(), files.end());
+  EXPECT_EQ(files,
+            (std::vector<std::string>{"keep.bin", "not-a-temp.cati-tmp.x"}));
+  // Idempotent.
+  EXPECT_EQ(cleanupStaleTemps(dir_), 0);
+  // Missing directory: a no-op, not an error.
+  EXPECT_EQ(cleanupStaleTemps(dir_ / "nope"), 0);
+}
+
+TEST_F(FsTest, AtomicWriteSweepsItsOwnTargetsStaleTemp) {
+  // A crashed previous writer (different pid) left a temp for this target;
+  // the next successful write removes it.
+  const stdfs::path target = dir_ / "out.bin";
+  std::ofstream(dir_ / "out.bin.cati-tmp.99999999") << "debris";
+  atomicWrite(target, [](std::ostream& os) { os << "fresh"; });
+  EXPECT_EQ(slurp(target), "fresh");
+  EXPECT_EQ(filesIn(dir_), std::vector<std::string>{"out.bin"});
+}
+
+}  // namespace
+}  // namespace cati::fs

@@ -171,6 +171,81 @@ TEST(Serialize, ChecksummedZeroByteInputThrows) {
   EXPECT_THROW(readBack(""), std::runtime_error);
 }
 
+TEST(Serialize, ChecksummedTruncatedAtChunkBoundaryThrows) {
+  // Regression: a file cut exactly at the 1 MiB chunk-read boundary used to
+  // slip past the payload loop and surface as a confusing checksum error (or
+  // worse, an EOF with no container name). It must be a CorruptError that
+  // names the container and says "truncated".
+  const size_t chunk = 1 << 20;
+  std::stringstream ss;
+  writeChecksummed(ss, 0xCAFE0001, 1, [&](std::ostream& body) {
+    const std::string filler(chunk + chunk / 2, 'x');
+    body.write(filler.data(),
+               static_cast<std::streamsize>(filler.size()));
+  });
+  const std::string good = ss.str();
+  // Headers are 16 bytes; cut so exactly one full chunk of payload remains.
+  const std::string cut = good.substr(0, 16 + chunk);
+  std::stringstream in(cut);
+  try {
+    readChecksummed(in, 0xCAFE0001, 1, "boundary-test",
+                    [](std::istream& body) {
+                      std::string sink(1 << 21, '\0');
+                      body.read(sink.data(),
+                                static_cast<std::streamsize>(sink.size()));
+                      return 0;
+                    });
+    FAIL() << "truncated container was accepted";
+  } catch (const CorruptError& e) {
+    EXPECT_NE(std::string(e.what()).find("boundary-test"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Serialize, ChecksummedMissingTrailerNamesContainer) {
+  // Regression: truncation exactly at the end of the payload (checksum
+  // trailer missing) must name the container, not report a generic EOF.
+  const std::string good = checksummedBytes();
+  const std::string cut = good.substr(0, good.size() - sizeof(uint32_t));
+  try {
+    readBack(cut);
+    FAIL() << "container without checksum trailer was accepted";
+  } catch (const CorruptError& e) {
+    EXPECT_NE(std::string(e.what()).find("test"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("checksum trailer"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Serialize, ChecksummedEmptyPayloadRoundTrip) {
+  // n == 0 payload: legal, and truncating its trailer still errors cleanly.
+  std::stringstream ss;
+  writeChecksummed(ss, 0xCAFE0001, 1, [](std::ostream&) {});
+  const std::string bytes = ss.str();
+  std::stringstream in(bytes);
+  EXPECT_EQ(readChecksummed(in, 0xCAFE0001, 1, "empty",
+                            [](std::istream&) { return 7; }),
+            7);
+  std::stringstream cut(bytes.substr(0, bytes.size() - 1));
+  EXPECT_THROW(readChecksummed(cut, 0xCAFE0001, 1, "empty",
+                               [](std::istream&) { return 0; }),
+               CorruptError);
+}
+
+TEST(Serialize, ErrorTaxonomy) {
+  // Reader-side failures are CorruptError (bad bytes, exit 4), which still
+  // derives std::runtime_error so older catch sites keep working.
+  const std::string good = checksummedBytes();
+  EXPECT_THROW(readBack(good.substr(0, good.size() / 2)), CorruptError);
+  std::string flipped = good;
+  flipped[20] = static_cast<char>(flipped[20] ^ 0x40);
+  EXPECT_THROW(readBack(flipped), CorruptError);
+}
+
 TEST(Serialize, ChecksummedHostileLengthFieldThrows) {
   // Claimed payload length far beyond the actual bytes: must fail with a
   // clean error (and, by the chunked read, without allocating the claim).

@@ -4,15 +4,22 @@
 // next to each prediction and an accuracy summary.
 //
 // Hostile input is handled: a missing/corrupt model or image produces a
-// one-line diagnostic on stderr and a nonzero exit, never a crash; images
-// with garbage bytes degrade via recovering disassembly.
+// one-line diagnostic on stderr and a typed nonzero exit, never a crash;
+// images with garbage bytes degrade via recovering disassembly. One
+// poisoned function degrades to a warning + the engine.analyze.degraded
+// metric; the rest of the binary is still typed. --timeout-ms bounds the
+// whole analysis: on expiry the report ends cleanly with the functions
+// analyzed so far and a note naming how many were cut.
 //
 // Usage: cati-infer MODEL.bin IMAGE.img [--confidence-min X] [--jobs N]
+//                   [--timeout-ms T]
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <iostream>
+#include <string>
 #include <unordered_map>
 
 #include "cati/engine.h"
@@ -22,31 +29,50 @@
 
 namespace {
 
+constexpr const char* kUsagePrefix =
+    "usage: cati-infer MODEL.bin IMAGE.img [--confidence-min X] [--jobs N] "
+    "[--timeout-ms T]";
+
+std::string usageLine() {
+  return std::string(kUsagePrefix) + cati::cli::kCommonUsage + "\n";
+}
+
 int run(int argc, char** argv, const cati::cli::Common& common) {
   using namespace cati;
   if (argc < 3) {
-    std::fprintf(stderr,
-                 "usage: cati-infer MODEL.bin IMAGE.img "
-                 "[--confidence-min X] [--jobs N]%s\n",
-                 cli::kCommonUsage);
+    std::fputs(usageLine().c_str(), stderr);
     return 2;
   }
   float confMin = 0.0F;
   int jobs = 0;  // 0: CATI_JOBS env or hardware concurrency
+  long timeoutMs = 0;
+  cli::SeenFlags seen;
   for (int i = 3; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--confidence-min") == 0 && i + 1 < argc) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) throw cli::UsageError(arg + ": missing value");
+      return argv[++i];
+    };
+    if (arg == "--confidence-min") {
+      seen.note(arg);
+      const char* v = next();
       char* end = nullptr;
-      confMin = std::strtof(argv[++i], &end);
-      if (end == argv[i] || *end != '\0') {
-        std::fprintf(stderr, "cati-infer: --confidence-min: not a number: %s\n",
-                     argv[i]);
-        return 2;
+      confMin = std::strtof(v, &end);
+      if (end == v || *end != '\0') {
+        throw cli::UsageError("--confidence-min: not a number: " +
+                              std::string(v));
       }
-    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      jobs = std::atoi(argv[++i]);
+    } else if (arg == "--jobs") {
+      seen.note(arg);
+      jobs = static_cast<int>(cli::parseInt(arg, next()));
+    } else if (arg == "--timeout-ms") {
+      seen.note(arg);
+      timeoutMs = cli::parseInt(arg, next());
+      if (timeoutMs <= 0) {
+        throw cli::UsageError("--timeout-ms: must be positive");
+      }
     } else {
-      std::fprintf(stderr, "cati-infer: unknown argument: %s\n", argv[i]);
-      return 2;
+      cli::unknownArg(arg);
     }
   }
 
@@ -57,16 +83,37 @@ int run(int argc, char** argv, const cati::cli::Common& common) {
     cli::printDiags(diags, common);
     return 1;
   }
+  if (timeoutMs > 0) {
+    engine.setDeadline(std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(timeoutMs));
+  }
 
   par::ThreadPool pool(par::resolveJobs(jobs));
   size_t total = 0;
   size_t withTruth = 0;
   size_t correct = 0;
-  for (const loader::LoadedFunction& fn :
-       loader::disassemble(*img, diags, pool)) {
+  const auto fns = loader::disassemble(*img, diags, pool);
+  size_t fnsDone = 0;
+  bool timedOut = false;
+  for (const loader::LoadedFunction& fn : fns) {
     // common.batch (or CATI_BATCH) sets the inference batch; results are
     // identical at any batch size, only throughput changes.
-    const auto vars = engine.analyzeFunction(fn.insns, &pool, common.batch);
+    std::vector<AnalyzedVariable> vars;
+    try {
+      vars = engine.analyzeFunction(fn.insns, &pool, common.batch, &diags);
+    } catch (const TimeoutError&) {
+      // Clean partial output: everything analyzed so far stays valid.
+      timedOut = true;
+      break;
+    } catch (const std::exception& e) {
+      // Per-function isolation: one poisoned function must not abort the
+      // binary. Record it and move on.
+      obs::counter("engine.analyze.degraded").add();
+      addDiag(&diags, Severity::Warning, DiagStage::Engine, fn.addr,
+              "function " + fn.name + " skipped (degraded): " + e.what());
+      continue;
+    }
+    ++fnsDone;
     if (vars.empty()) continue;
     std::printf("%s:\n", fn.name.c_str());
 
@@ -108,6 +155,14 @@ int run(int argc, char** argv, const cati::cli::Common& common) {
                     static_cast<double>(withTruth),
                 correct, withTruth);
   }
+  if (timedOut) {
+    std::printf("; TIMEOUT after %ldms: %zu/%zu functions analyzed", timeoutMs,
+                fnsDone, fns.size());
+    addDiag(&diags, Severity::Warning, DiagStage::Engine, 0,
+            "analysis deadline exceeded: partial results (" +
+                std::to_string(fnsDone) + "/" + std::to_string(fns.size()) +
+                " functions)");
+  }
   std::printf("\n");
   cli::printDiags(diags, common);
   return 0;
@@ -116,5 +171,6 @@ int run(int argc, char** argv, const cati::cli::Common& common) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  return cati::cli::toolMain("cati-infer", argc, argv, run);
+  return cati::cli::toolMain("cati-infer", argc, argv, run,
+                             usageLine().c_str());
 }

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <exception>
 #include <iostream>
+#include <string>
 
 #include "cli.h"
 #include "corpus/corpus.h"
@@ -14,20 +15,31 @@
 
 namespace {
 
+std::string usageLine() {
+  return std::string("usage: cati-objdump [--generalize] IMAGE") +
+         cati::cli::kCommonUsage + "\n";
+}
+
 int run(int argc, char** argv, const cati::cli::Common& common) {
   using namespace cati;
   bool generalize = false;
   const char* path = nullptr;
+  cli::SeenFlags seen;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--generalize") == 0) {
+    const std::string arg = argv[i];
+    if (arg == "--generalize") {
+      seen.note(arg);
       generalize = true;
-    } else {
+    } else if (arg.starts_with("--")) {
+      cli::unknownArg(arg);
+    } else if (path == nullptr) {
       path = argv[i];
+    } else {
+      throw cli::UsageError("unexpected extra argument: " + arg);
     }
   }
   if (path == nullptr) {
-    std::fprintf(stderr, "usage: cati-objdump [--generalize] IMAGE%s\n",
-                 cli::kCommonUsage);
+    std::fputs(usageLine().c_str(), stderr);
     return 2;
   }
   DiagList diags;
@@ -59,5 +71,6 @@ int run(int argc, char** argv, const cati::cli::Common& common) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  return cati::cli::toolMain("cati-objdump", argc, argv, run);
+  return cati::cli::toolMain("cati-objdump", argc, argv, run,
+                             usageLine().c_str());
 }

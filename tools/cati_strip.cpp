@@ -1,25 +1,44 @@
 // cati-strip — remove symbol table and debug info from an image, like
 // strip(1). Usage: cati-strip IN.img [OUT.img]  (in place by default).
 // Corrupt or unreadable inputs exit nonzero with a one-line diagnostic.
+// The output is written atomically (DESIGN.md §9), which matters most for
+// the in-place default: a crash mid-write leaves the original image intact.
 #include <cstdio>
 #include <exception>
-#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "cli.h"
+#include "common/fs.h"
 #include "loader/image.h"
 
 namespace {
 
+std::string usageLine() {
+  return std::string("usage: cati-strip IN.img [OUT.img]") +
+         cati::cli::kCommonUsage + "\n";
+}
+
 int run(int argc, char** argv, const cati::cli::Common& common) {
   using namespace cati;
-  if (argc < 2 || argc > 3) {
-    std::fprintf(stderr, "usage: cati-strip IN.img [OUT.img]%s\n",
-                 cli::kCommonUsage);
+  if (argc < 2) {
+    std::fputs(usageLine().c_str(), stderr);
     return 2;
   }
-  const char* in = argv[1];
-  const char* out = argc == 3 ? argv[2] : argv[1];
+  const char* in = nullptr;
+  const char* out = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.starts_with("--")) cli::unknownArg(arg);
+    if (in == nullptr) {
+      in = argv[i];
+    } else if (out == nullptr) {
+      out = argv[i];
+    } else {
+      throw cli::UsageError("unexpected extra argument: " + arg);
+    }
+  }
+  if (out == nullptr) out = in;
   DiagList diags;
   auto img = loader::readFile(in, diags);
   if (!img) {
@@ -28,12 +47,7 @@ int run(int argc, char** argv, const cati::cli::Common& common) {
   }
   const size_t before = img->symbols.size();
   loader::strip(*img);
-  std::ofstream os(out, std::ios::binary);
-  if (!os) {
-    std::fprintf(stderr, "cati-strip: cannot open %s\n", out);
-    return 1;
-  }
-  loader::write(*img, os);
+  fs::atomicWrite(out, [&img](std::ostream& os) { loader::write(*img, os); });
   std::printf("%s: removed %zu symbols and debug info -> %s\n", in, before,
               out);
   cli::printDiags(diags, common);
@@ -43,5 +57,6 @@ int run(int argc, char** argv, const cati::cli::Common& common) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  return cati::cli::toolMain("cati-strip", argc, argv, run);
+  return cati::cli::toolMain("cati-strip", argc, argv, run,
+                             usageLine().c_str());
 }

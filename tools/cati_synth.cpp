@@ -1,5 +1,6 @@
 // cati-synth — generate a synthetic binary image (machine code + symbols +
-// debug info), the corpus substrate in file form.
+// debug info), the corpus substrate in file form. The image is written
+// atomically (DESIGN.md §9): a crash mid-write never leaves a torn OUT.img.
 //
 // Usage: cati-synth OUT.img [--name N] [--funcs K] [--dialect gcc|clang]
 //                   [--opt 0..3] [--seed S] [--strip] [--jobs N]
@@ -7,28 +8,28 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
-#include <fstream>
 #include <string>
 
 #include "cli.h"
+#include "common/fs.h"
 #include "common/parallel.h"
 #include "loader/image.h"
 #include "synth/synth.h"
 
 namespace {
 
-void usage() {
-  std::fprintf(stderr,
-               "usage: cati-synth OUT.img [--name N] [--funcs K] "
-               "[--dialect gcc|clang] [--opt 0..3] [--seed S] [--strip] "
-               "[--jobs N]%s\n",
-               cati::cli::kCommonUsage);
+constexpr const char* kUsagePrefix =
+    "usage: cati-synth OUT.img [--name N] [--funcs K] "
+    "[--dialect gcc|clang] [--opt 0..3] [--seed S] [--strip] [--jobs N]";
+
+std::string usageLine() {
+  return std::string(kUsagePrefix) + cati::cli::kCommonUsage + "\n";
 }
 
 int run(int argc, char** argv, const cati::cli::Common& /*common*/) {
   using namespace cati;
   if (argc < 2) {
-    usage();
+    std::fputs(usageLine().c_str(), stderr);
     return 2;
   }
   const std::string out = argv[1];
@@ -39,33 +40,37 @@ int run(int argc, char** argv, const cati::cli::Common& /*common*/) {
   uint64_t seed = 1;
   bool doStrip = false;
   int jobs = 0;  // 0: CATI_JOBS env or hardware concurrency
+  cli::SeenFlags seen;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        usage();
-        std::exit(2);
-      }
+      if (i + 1 >= argc) throw cli::UsageError(arg + ": missing value");
       return argv[++i];
     };
     if (arg == "--name") {
+      seen.note(arg);
       name = next();
     } else if (arg == "--funcs") {
-      funcs = std::atoi(next());
+      seen.note(arg);
+      funcs = static_cast<int>(cli::parseInt(arg, next()));
     } else if (arg == "--dialect") {
-      const std::string d = next();
-      dialect = d == "clang" ? synth::Dialect::Clang : synth::Dialect::Gcc;
+      seen.note(arg);
+      dialect = std::string(next()) == "clang" ? synth::Dialect::Clang
+                                               : synth::Dialect::Gcc;
     } else if (arg == "--opt") {
-      opt = std::atoi(next());
+      seen.note(arg);
+      opt = static_cast<int>(cli::parseInt(arg, next()));
     } else if (arg == "--seed") {
+      seen.note(arg);
       seed = std::strtoull(next(), nullptr, 0);
     } else if (arg == "--strip") {
+      seen.note(arg);
       doStrip = true;
     } else if (arg == "--jobs") {
-      jobs = std::atoi(next());
+      seen.note(arg);
+      jobs = static_cast<int>(cli::parseInt(arg, next()));
     } else {
-      usage();
-      return 2;
+      cli::unknownArg(arg);
     }
   }
 
@@ -76,12 +81,7 @@ int run(int argc, char** argv, const cati::cli::Common& /*common*/) {
   loader::Image img = loader::buildImage(bin);
   if (doStrip) loader::strip(img);
 
-  std::ofstream os(out, std::ios::binary);
-  if (!os) {
-    std::fprintf(stderr, "cati-synth: cannot open %s\n", out.c_str());
-    return 1;
-  }
-  loader::write(img, os);
+  fs::atomicWrite(out, [&img](std::ostream& os) { loader::write(img, os); });
   std::printf("%s: %zu functions, %zu bytes of .text, %zu symbols%s\n",
               out.c_str(), img.boundaries.size(), img.text.size(),
               img.symbols.size(), doStrip ? " (stripped)" : "");
@@ -91,5 +91,6 @@ int run(int argc, char** argv, const cati::cli::Common& /*common*/) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  return cati::cli::toolMain("cati-synth", argc, argv, run);
+  return cati::cli::toolMain("cati-synth", argc, argv, run,
+                             usageLine().c_str());
 }

@@ -1,8 +1,16 @@
 // cati-train — train a CATI engine on a generated corpus and save the model.
 //
+// Crash safety (DESIGN.md §9): with --checkpoint DIR, training persists a
+// resumable checkpoint after word2vec and at every --checkpoint-every epoch
+// boundary; --resume continues from it and produces a model bit-identical
+// to an uninterrupted run (same flags, any --jobs/--batch). The model and
+// checkpoints are written atomically — a kill mid-write never leaves a torn
+// file.
+//
 // Usage: cati-train MODEL.bin [--apps N] [--funcs K] [--dialect gcc|clang]
 //                   [--epochs E] [--cap C] [--hidden H] [--window W]
-//                   [--seed S] [--quiet] [--jobs N]
+//                   [--dim D] [--seed S] [--quiet] [--jobs N]
+//                   [--checkpoint DIR] [--checkpoint-every N] [--resume]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -11,20 +19,27 @@
 
 #include "cati/engine.h"
 #include "cli.h"
+#include "common/fs.h"
 #include "common/parallel.h"
 #include "corpus/corpus.h"
 #include "synth/synth.h"
 
 namespace {
 
+constexpr const char* kUsagePrefix =
+    "usage: cati-train MODEL.bin [--apps N] [--funcs K] "
+    "[--dialect gcc|clang] [--epochs E] [--cap C] [--hidden H] "
+    "[--window W] [--dim D] [--seed S] [--quiet] [--jobs N] "
+    "[--checkpoint DIR] [--checkpoint-every N] [--resume]";
+
+std::string usageLine() {
+  return std::string(kUsagePrefix) + cati::cli::kCommonUsage + "\n";
+}
+
 int run(int argc, char** argv, const cati::cli::Common& common) {
   using namespace cati;
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: cati-train MODEL.bin [--apps N] [--funcs K] "
-                 "[--dialect gcc|clang] [--epochs E] [--cap C] [--hidden H] "
-                 "[--window W] [--seed S] [--quiet] [--jobs N]%s\n",
-                 cli::kCommonUsage);
+    std::fputs(usageLine().c_str(), stderr);
     return 2;
   }
   const std::string out = argv[1];
@@ -38,42 +53,77 @@ int run(int argc, char** argv, const cati::cli::Common& common) {
   cfg.fcHidden = 96;
   uint64_t seed = 2026;
   int jobs = 0;  // 0: CATI_JOBS env or hardware concurrency
+  TrainCheckpointing ckpt;
+  cli::SeenFlags seen;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
-      if (i + 1 >= argc) std::exit(2);
+      if (i + 1 >= argc) throw cli::UsageError(arg + ": missing value");
       return argv[++i];
     };
     if (arg == "--apps") {
-      apps = std::atoi(next());
+      seen.note(arg);
+      apps = static_cast<int>(cli::parseInt(arg, next()));
     } else if (arg == "--funcs") {
-      funcs = std::atoi(next());
+      seen.note(arg);
+      funcs = static_cast<int>(cli::parseInt(arg, next()));
     } else if (arg == "--dialect") {
+      seen.note(arg);
       dialect = std::string(next()) == "clang" ? synth::Dialect::Clang
                                                : synth::Dialect::Gcc;
     } else if (arg == "--epochs") {
-      cfg.epochs = std::atoi(next());
+      seen.note(arg);
+      cfg.epochs = static_cast<int>(cli::parseInt(arg, next()));
     } else if (arg == "--cap") {
-      cfg.maxTrainPerStage = static_cast<size_t>(std::atoll(next()));
+      seen.note(arg);
+      cfg.maxTrainPerStage = static_cast<size_t>(cli::parseInt(arg, next()));
     } else if (arg == "--hidden") {
-      cfg.fcHidden = std::atoi(next());
+      seen.note(arg);
+      cfg.fcHidden = static_cast<int>(cli::parseInt(arg, next()));
     } else if (arg == "--window") {
-      cfg.window = std::atoi(next());
+      seen.note(arg);
+      cfg.window = static_cast<int>(cli::parseInt(arg, next()));
+    } else if (arg == "--dim") {
+      seen.note(arg);
+      cfg.w2v.dim = static_cast<int>(cli::parseInt(arg, next()));
     } else if (arg == "--seed") {
+      seen.note(arg);
       seed = std::strtoull(next(), nullptr, 0);
     } else if (arg == "--quiet") {
+      seen.note(arg);
       cfg.verbose = false;
     } else if (arg == "--jobs") {
-      jobs = std::atoi(next());
+      seen.note(arg);
+      jobs = static_cast<int>(cli::parseInt(arg, next()));
+    } else if (arg == "--checkpoint") {
+      seen.note(arg);
+      ckpt.dir = next();
+    } else if (arg == "--checkpoint-every") {
+      seen.note(arg);
+      ckpt.everyEpochs = static_cast<int>(cli::parseInt(arg, next()));
+      if (ckpt.everyEpochs < 1) {
+        throw cli::UsageError("--checkpoint-every: must be >= 1");
+      }
+    } else if (arg == "--resume") {
+      seen.note(arg);
+      ckpt.resume = true;
     } else {
-      std::fprintf(stderr, "cati-train: unknown option %s\n", arg.c_str());
-      return 2;
+      cli::unknownArg(arg);
     }
+  }
+  if (ckpt.resume && ckpt.dir.empty()) {
+    throw cli::UsageError("--resume requires --checkpoint DIR");
   }
 
   // --batch / CATI_BATCH override the training minibatch size (a documented
   // hyperparameter: it changes the trained model, unlike inference batching).
   cfg.batchSize = par::resolveBatch(common.batch, cfg.batchSize);
+
+  if (!ckpt.dir.empty() && std::filesystem::exists(ckpt.dir)) {
+    // Sweep temps a crashed previous writer may have left next to the
+    // checkpoint before this run starts writing its own.
+    fs::cleanupStaleTemps(ckpt.dir);
+  }
 
   par::ThreadPool pool(par::resolveJobs(jobs));
   std::printf("generating corpus: %d apps x O0-O3 x %d functions (%s, %d "
@@ -87,7 +137,7 @@ int run(int argc, char** argv, const cati::cli::Common& common) {
               train.vucs.size());
 
   Engine engine(cfg);
-  engine.train(train, &pool);
+  engine.train(train, &pool, ckpt.dir.empty() ? nullptr : &ckpt);
   engine.saveFile(out);
   std::printf("model written to %s\n", out.c_str());
   return 0;
@@ -96,5 +146,6 @@ int run(int argc, char** argv, const cati::cli::Common& common) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  return cati::cli::toolMain("cati-train", argc, argv, run);
+  return cati::cli::toolMain("cati-train", argc, argv, run,
+                             usageLine().c_str());
 }

@@ -1,24 +1,79 @@
 // Shared command-line plumbing for the five cati tools: the flags every
-// tool accepts (--verbose, --metrics[=FILE]), severity-filtered diagnostic
-// printing, metrics emission, and the one-line stderr error wrapper that
-// backs the robustness contract (README "Error handling").
+// tool accepts (--verbose, --metrics[=FILE], --batch), severity-filtered
+// diagnostic printing, metrics emission, duplicate/unknown-flag rejection,
+// and the one-line stderr error wrapper that backs the robustness contract
+// (README "Error handling").
 //
 // Tools call cli::toolMain from main(); their run() receives argv with the
 // common flags already stripped, so per-tool option loops stay untouched.
+//
+// Exit codes (README "Error handling"):
+//   0  success
+//   1  generic failure (diagnostics already printed)
+//   2  usage error: unknown/duplicate/malformed flag, with a usage hint
+//   3  I/O failure (cati::IoError): disk full, fsync/rename failed — the
+//      environment broke; retrying can help
+//   4  corrupt input (cati::CorruptError): bad magic, truncation, checksum
+//      mismatch — the bytes are wrong; retrying cannot help
+// 137  an injected kill fired (cati::fault, mirrors 128+SIGKILL)
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
-#include <fstream>
 #include <iostream>
+#include <set>
 #include <string>
 #include <string_view>
 
 #include "common/diag.h"
+#include "common/errors.h"
+#include "common/fs.h"
 #include "common/obs.h"
 
 namespace cati::cli {
+
+inline constexpr int kExitUsage = 2;
+inline constexpr int kExitIo = 3;
+inline constexpr int kExitCorrupt = 4;
+
+/// A bad command line: unknown flag, duplicate flag, malformed value.
+/// toolMain prints the message plus the tool's usage line and exits 2.
+class UsageError : public std::runtime_error {
+ public:
+  explicit UsageError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Duplicate-flag guard: tools note() each flag as they parse it; a repeat
+/// is a hard usage error instead of the silent last-wins it used to be
+/// (`--seed 1 --seed 2` almost always means a mangled invocation).
+class SeenFlags {
+ public:
+  void note(std::string_view flag) {
+    if (!seen_.emplace(flag).second) {
+      throw UsageError("duplicate flag: " + std::string(flag));
+    }
+  }
+
+ private:
+  std::set<std::string, std::less<>> seen_;
+};
+
+/// Rejects `arg` as an unknown flag/argument for `tool`.
+[[noreturn]] inline void unknownArg(std::string_view arg) {
+  throw UsageError("unknown argument: " + std::string(arg));
+}
+
+/// Strict integer flag value: the whole token must parse (atoi's silent
+/// "0 for garbage" turned typos into surprising defaults).
+inline long parseInt(std::string_view flag, const char* value) {
+  char* end = nullptr;
+  const long v = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0') {
+    throw UsageError(std::string(flag) + ": not a number: " + value);
+  }
+  return v;
+}
 
 struct Common {
   bool verbose = false;       ///< --verbose: include Note-severity diagnostics
@@ -33,25 +88,34 @@ struct Common {
 
 /// Strips the common flags out of (argc, argv) in place and returns their
 /// parsed values. Enabling --metrics flips the process-global obs switch
-/// before the tool's pipeline runs.
+/// before the tool's pipeline runs. Duplicates and malformed values are
+/// usage errors.
 inline Common extractCommon(int& argc, char** argv) {
   Common c;
+  SeenFlags seen;
   int w = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--verbose") {
+      seen.note(arg);
       c.verbose = true;
-    } else if (arg == "--metrics") {
+    } else if (arg == "--metrics" || arg.starts_with("--metrics=")) {
+      seen.note("--metrics");
       c.metrics = true;
-    } else if (arg.starts_with("--metrics=")) {
-      c.metrics = true;
-      c.metricsPath = std::string(arg.substr(std::string_view("--metrics=").size()));
-    } else if (arg == "--batch" && i + 1 < argc) {
-      c.batch = std::atoi(argv[++i]);
+      if (arg.starts_with("--metrics=")) {
+        c.metricsPath =
+            std::string(arg.substr(std::string_view("--metrics=").size()));
+      }
+    } else if (arg == "--batch") {
+      seen.note(arg);
+      if (i + 1 >= argc) throw UsageError("--batch: missing value");
+      c.batch = static_cast<int>(parseInt("--batch", argv[++i]));
     } else if (arg.starts_with("--batch=")) {
-      c.batch =
-          std::atoi(std::string(arg.substr(std::string_view("--batch=").size()))
-                        .c_str());
+      seen.note("--batch");
+      c.batch = static_cast<int>(parseInt(
+          "--batch",
+          std::string(arg.substr(std::string_view("--batch=").size()))
+              .c_str()));
     } else {
       argv[w++] = argv[i];
     }
@@ -88,24 +152,35 @@ inline void emitMetrics(const Common& c, const char* tool) {
     std::cerr << json;
     return;
   }
-  std::ofstream os(c.metricsPath, std::ios::binary);
-  if (!os) {
-    std::fprintf(stderr, "%s: cannot open metrics file: %s\n", tool,
-                 c.metricsPath.c_str());
-    return;
+  try {
+    fs::atomicWrite(c.metricsPath, [&](std::ostream& os) { os << json; });
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: cannot write metrics file: %s\n", tool,
+                 e.what());
   }
-  os << json;
 }
 
 /// The shared main(): parse common flags, run the tool, emit metrics, and
-/// turn any escaped exception into a one-line diagnostic + exit 1.
+/// turn any escaped exception into a one-line diagnostic + a typed exit
+/// code. `usage` (when given) is printed under usage errors.
 template <typename Fn>
-int toolMain(const char* tool, int argc, char** argv, Fn&& run) {
+int toolMain(const char* tool, int argc, char** argv, Fn&& run,
+             const char* usage = nullptr) {
   try {
     const Common c = extractCommon(argc, argv);
     const int rc = run(argc, argv, c);
     emitMetrics(c, tool);
     return rc;
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "%s: error: %s\n", tool, e.what());
+    if (usage != nullptr) std::fprintf(stderr, "%s", usage);
+    return kExitUsage;
+  } catch (const CorruptError& e) {
+    std::fprintf(stderr, "%s: error: %s\n", tool, e.what());
+    return kExitCorrupt;
+  } catch (const IoError& e) {
+    std::fprintf(stderr, "%s: error: %s\n", tool, e.what());
+    return kExitIo;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s: error: %s\n", tool, e.what());
     return 1;
