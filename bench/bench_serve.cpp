@@ -1,0 +1,155 @@
+// bench_serve — sustained cati-serve throughput and tail latency under
+// seeded multi-client load (DESIGN.md §10).
+//
+// An in-process Server (the exact daemon core, unix-domain socket) is driven
+// by N client threads, each firing a seeded mix of analyze requests drawn
+// from a small image set. Rows sweep clients x cache mode:
+//
+//   * cache=off  every request runs the full pipeline (recovery, VUC
+//                extraction, coalesced predict, voting, render);
+//   * cache=on   the steady state of a long-lived daemon: mostly hits, each
+//                reply byte-identical to its original miss.
+//
+// Output: requests/s plus p50/p99 per-request round-trip latency. The
+// differential suite (tests/test_serve*.cc) proves every reply byte-equal to
+// offline cati-infer, so these numbers price the serving layer, not a
+// different answer.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/obs.h"
+#include "harness/harness.h"
+#include "loader/image.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace cati;
+using Clock = std::chrono::steady_clock;
+
+std::vector<std::string> makeImages() {
+  std::vector<std::string> out;
+  for (int i = 0; i < 3; ++i) {
+    const synth::Binary bin = synth::generateBinary(
+        synth::defaultProfile("serve" + std::to_string(i),
+                              static_cast<uint64_t>(0xBE5E + i), 12),
+        synth::Dialect::Gcc, 2, static_cast<uint64_t>(0x5EED0 + i));
+    loader::Image img = loader::buildImage(bin);
+    loader::strip(img);
+    std::ostringstream os;
+    loader::write(img, os);
+    out.push_back(std::move(os).str());
+  }
+  return out;
+}
+
+struct LoadResult {
+  double wallSeconds = 0;
+  std::vector<double> latenciesMs;  ///< one per completed request
+};
+
+LoadResult runLoad(const sock::Address& addr,
+                   const std::vector<std::string>& images, int clients,
+                   int perClient) {
+  LoadResult res;
+  std::mutex mu;
+  std::vector<std::thread> threads;
+  const auto t0 = Clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      serve::Client client(addr);
+      std::mt19937 rng(static_cast<uint32_t>(0xC11E27 + c));
+      std::vector<double> local;
+      local.reserve(static_cast<size_t>(perClient));
+      for (int r = 0; r < perClient; ++r) {
+        serve::AnalyzeRequest req;
+        req.image = images[rng() % images.size()];
+        const auto s = Clock::now();
+        const serve::Frame f = client.analyze(req);
+        const auto e = Clock::now();
+        if (f.type != serve::MsgType::kReport) {
+          std::fprintf(stderr, "bench_serve: unexpected reply type %u\n",
+                       static_cast<unsigned>(f.type));
+          std::exit(1);
+        }
+        local.push_back(
+            std::chrono::duration<double, std::milli>(e - s).count());
+      }
+      const std::lock_guard<std::mutex> lock(mu);
+      res.latenciesMs.insert(res.latenciesMs.end(), local.begin(),
+                             local.end());
+    });
+  }
+  for (auto& t : threads) t.join();
+  res.wallSeconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  return res;
+}
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const size_t idx = std::min(
+      v.size() - 1, static_cast<size_t>(p * static_cast<double>(v.size())));
+  return v[idx];
+}
+
+}  // namespace
+
+int main() {
+  obs::setEnabled(true);
+  bench::Bundle& bundle = bench::sharedBundle();
+  Engine& engine = bundle.engine();
+  const std::vector<std::string> images = makeImages();
+
+  std::printf("bench_serve: daemon throughput under seeded multi-client "
+              "load (%zu images)\n\n", images.size());
+  std::printf("%-9s %8s %9s %12s %10s %10s\n", "cache", "clients", "requests",
+              "req/s", "p50_ms", "p99_ms");
+
+  const std::filesystem::path sockPath =
+      std::filesystem::temp_directory_path() / "cati_bench_serve.sock";
+  for (const bool cached : {false, true}) {
+    serve::ServerConfig cfg;
+    cfg.listen = sock::Address::parse("unix:" + sockPath.string());
+    cfg.maxQueue = 1024;
+    cfg.cacheBytes = cached ? (64ULL << 20) : 0;
+    serve::Server server(engine, cfg);
+    server.start();
+    if (cached) {
+      // Prime: one miss per image, so the measured rows are the daemon's
+      // steady state.
+      (void)runLoad(server.bound(), images, 1, static_cast<int>(images.size() * 2));
+    }
+    for (const int clients : {1, 4, 16}) {
+      const int perClient = cached ? 64 : 8;
+      LoadResult r = runLoad(server.bound(), images, clients, perClient);
+      const double n = static_cast<double>(r.latenciesMs.size());
+      std::printf("%-9s %8d %9.0f %12.1f %10.3f %10.3f\n",
+                  cached ? "on" : "off", clients, n, n / r.wallSeconds,
+                  percentile(r.latenciesMs, 0.50),
+                  percentile(r.latenciesMs, 0.99));
+    }
+    server.stop();
+  }
+
+  std::printf("\nserve counters: hits=%llu misses=%llu groups=%llu "
+              "grouped_requests=%llu\n",
+              static_cast<unsigned long long>(
+                  obs::counter("serve.cache.hits").value()),
+              static_cast<unsigned long long>(
+                  obs::counter("serve.cache.misses").value()),
+              static_cast<unsigned long long>(
+                  obs::counter("serve.groups").value()),
+              static_cast<unsigned long long>(
+                  obs::counter("serve.grouped_requests").value()));
+  return 0;
+}

@@ -18,9 +18,13 @@
 #include <filesystem>
 #include <system_error>
 
+#include <sstream>
+
 #include "common/parallel.h"
 #include "harness/harness.h"
 #include "loader/image.h"
+#include "serve/client.h"
+#include "serve/server.h"
 
 namespace {
 
@@ -289,6 +293,42 @@ BENCHMARK(BM_TrainCheckpointOverhead)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond)
     ->MinTime(1.0);
+
+void BM_ServeRoundTrip(benchmark::State& state) {
+  // One analyze round-trip through the in-process daemon core (unix socket,
+  // framing, batch loop, render) — arg 0: cache disabled (full pipeline per
+  // request), arg 1: result cache on (the long-lived daemon's steady state,
+  // replies byte-identical to the miss path). The delta vs
+  // BM_AnalyzeBinaryEndToEnd is the serving layer's overhead.
+  Engine& e = bundle().engine();
+  loader::Image img = loader::buildImage(testBinary());
+  loader::strip(img);
+  std::ostringstream os;
+  loader::write(img, os);
+  serve::AnalyzeRequest req;
+  req.image = std::move(os).str();
+
+  serve::ServerConfig cfg;
+  cfg.listen = sock::Address::parse(
+      "unix:" + (std::filesystem::temp_directory_path() /
+                 "cati_bench_speed_serve.sock")
+                    .string());
+  cfg.cacheBytes = state.range(0) != 0 ? (64ULL << 20) : 0;
+  serve::Server server(e, cfg);
+  server.start();
+  {
+    serve::Client client(server.bound());
+    for (auto _ : state) {
+      const serve::Frame f = client.analyze(req);
+      benchmark::DoNotOptimize(f);
+    }
+  }
+  server.stop();
+}
+BENCHMARK(BM_ServeRoundTrip)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

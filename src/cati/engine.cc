@@ -572,50 +572,52 @@ double Engine::occlusionEpsilon(const corpus::Vuc& vuc, int k, Stage u) {
   return occluded / std::max(base, 1e-9);
 }
 
-std::vector<AnalyzedVariable> Engine::analyzeFunction(
-    std::span<const asmx::Instruction> insns, par::ThreadPool* pool,
-    int batch, DiagList* diags) {
-  if (!trained()) throw std::logic_error("analyzeFunction: not trained");
-  static obs::Histogram& analyzeNs = obs::timer("engine.analyze_ns");
+Engine::FunctionWork Engine::prepareFunction(
+    std::span<const asmx::Instruction> insns) const {
+  if (!trained()) throw std::logic_error("prepareFunction: not trained");
   static obs::Counter& fnCount = obs::counter("engine.analyze.functions");
-  static obs::Counter& varCount = obs::counter("engine.analyze.variables");
   static obs::Counter& vucCount = obs::counter("engine.analyze.vucs");
-  static obs::Counter& degraded = obs::counter("engine.analyze.degraded");
-  const obs::ScopedTimer timing(analyzeNs);
   fnCount.add();
   checkDeadline();
-  const dataflow::RecoveryResult rec = dataflow::recoverVariables(insns);
+  FunctionWork work;
+  work.rec = dataflow::recoverVariables(insns);
 
   std::vector<int32_t> varOfInsn(insns.size(), -1);
-  for (size_t v = 0; v < rec.vars.size(); ++v) {
-    for (const uint32_t idx : rec.vars[v].targetInsns) {
+  for (size_t v = 0; v < work.rec.vars.size(); ++v) {
+    for (const uint32_t idx : work.rec.vars[v].targetInsns) {
       varOfInsn[idx] = static_cast<int32_t>(v);
     }
   }
-  const std::vector<TypeLabel> labels(rec.vars.size(), TypeLabel::kCount);
-  const corpus::Dataset ds =
-      corpus::extractFromFunction(insns, varOfInsn, labels, cfg_.window);
+  const std::vector<TypeLabel> labels(work.rec.vars.size(), TypeLabel::kCount);
+  work.ds = corpus::extractFromFunction(insns, varOfInsn, labels, cfg_.window);
+  vucCount.add(work.ds.vucs.size());
+  return work;
+}
 
-  // Every VUC of the function is predicted in one batched fan-out, then
-  // votes gather per variable — same per-VUC results as the serial loop.
-  const std::vector<StageProbs> allProbs = predictVucs(ds.vucs, pool, batch);
-
-  const auto byVar = ds.vucsByVar();
+std::vector<AnalyzedVariable> Engine::finishFunction(
+    const FunctionWork& work, std::span<const StageProbs> probs,
+    DiagList* diags) const {
+  static obs::Counter& varCount = obs::counter("engine.analyze.variables");
+  static obs::Counter& degraded = obs::counter("engine.analyze.degraded");
+  if (probs.size() != work.ds.vucs.size()) {
+    throw std::logic_error("finishFunction: probs/vucs size mismatch");
+  }
+  const auto byVar = work.ds.vucsByVar();
   std::vector<AnalyzedVariable> out;
-  for (size_t v = 0; v < rec.vars.size(); ++v) {
+  for (size_t v = 0; v < work.rec.vars.size(); ++v) {
     if (byVar[v].empty()) continue;
     // Per-variable isolation: a poisoned variable (broken stage routing,
     // malformed probabilities) degrades to a diagnostic and a counter; the
     // rest of the function still gets typed. Deadline expiry is not a
     // degradation — it must stop the whole analysis, so it passes through.
     try {
-      std::vector<StageProbs> probs;
-      probs.reserve(byVar[v].size());
-      for (const uint32_t i : byVar[v]) probs.push_back(allProbs[i]);
-      const VariableDecision d = voteVariable(probs);
+      std::vector<StageProbs> varProbs;
+      varProbs.reserve(byVar[v].size());
+      for (const uint32_t i : byVar[v]) varProbs.push_back(probs[i]);
+      const VariableDecision d = voteVariable(varProbs);
 
       AnalyzedVariable av;
-      av.location = rec.vars[v];
+      av.location = work.rec.vars[v];
       av.type = d.finalType;
       av.numVucs = byVar[v].size();
       // Confidence: mean probability of the winning class at the leaf stage.
@@ -624,24 +626,36 @@ std::vector<AnalyzedVariable> Engine::analyzeFunction(
           path.stages[static_cast<size_t>(path.length - 1)];
       const int leafCls = stageClassOf(leafStage, d.finalType);
       float sum = 0.0F;
-      for (const StageProbs& p : probs) {
+      for (const StageProbs& p : varProbs) {
         sum += p.probs[static_cast<size_t>(leafStage)]
                       [static_cast<size_t>(leafCls)];
       }
-      av.confidence = sum / static_cast<float>(probs.size());
+      av.confidence = sum / static_cast<float>(varProbs.size());
       out.push_back(std::move(av));
     } catch (const TimeoutError&) {
       throw;
     } catch (const std::exception& e) {
       degraded.add();
       addDiag(diags, Severity::Warning, DiagStage::Engine,
-              static_cast<uint64_t>(rec.vars[v].offset),
+              static_cast<uint64_t>(work.rec.vars[v].offset),
               std::string("variable skipped (degraded): ") + e.what());
     }
   }
   varCount.add(out.size());
-  vucCount.add(ds.vucs.size());
   return out;
+}
+
+std::vector<AnalyzedVariable> Engine::analyzeFunction(
+    std::span<const asmx::Instruction> insns, par::ThreadPool* pool,
+    int batch, DiagList* diags) {
+  static obs::Histogram& analyzeNs = obs::timer("engine.analyze_ns");
+  const obs::ScopedTimer timing(analyzeNs);
+  const FunctionWork work = prepareFunction(insns);
+  // Every VUC of the function is predicted in one batched fan-out, then
+  // votes gather per variable — same per-VUC results as the serial loop.
+  const std::vector<StageProbs> allProbs =
+      predictVucs(work.ds.vucs, pool, batch);
+  return finishFunction(work, allProbs, diags);
 }
 
 // --- training checkpoints (DESIGN.md §9) ------------------------------------

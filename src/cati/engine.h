@@ -157,6 +157,34 @@ class Engine {
       par::ThreadPool* pool = nullptr, int batch = 0,
       DiagList* diags = nullptr);
 
+  // --- request-scoped analysis (the cati-serve split, DESIGN.md §10) ---
+  // analyzeFunction is prepareFunction -> predictVucs -> finishFunction.
+  // cati-serve runs the same three phases but shares ONE predictVucs call
+  // across the prepared functions of many requests, so queued work from
+  // different clients fills common batch lanes. Kernels preserve per-sample
+  // accumulation order, so the coalesced probabilities — and therefore the
+  // votes and the rendered report — are bit-identical to the per-function
+  // path.
+
+  /// The deterministic, model-independent share of analyzeFunction:
+  /// recovered variables plus this function's extracted (unlabeled) VUCs.
+  struct FunctionWork {
+    dataflow::RecoveryResult rec;
+    corpus::Dataset ds;  ///< function-local var ids; vucs in extraction order
+  };
+
+  /// Phase 1: recovery + VUC extraction. Counts the function toward the
+  /// engine.analyze.* metrics and honours the analysis deadline.
+  FunctionWork prepareFunction(std::span<const asmx::Instruction> insns) const;
+
+  /// Phase 3: voting + confidence over `probs`, which must hold one
+  /// StageProbs per work.ds.vucs entry, in order (typically a slice of a
+  /// coalesced predictVucs result). Per-variable degradation behaves exactly
+  /// as in analyzeFunction.
+  std::vector<AnalyzedVariable> finishFunction(
+      const FunctionWork& work, std::span<const StageProbs> probs,
+      DiagList* diags = nullptr) const;
+
   // --- persistence ---
   void save(std::ostream& os) const;
   static Engine load(std::istream& is);

@@ -1,0 +1,226 @@
+#include "common/sock.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+
+namespace cati::sock {
+
+namespace {
+
+[[noreturn]] void throwErrno(const std::string& what) {
+  throw IoError(what + ": " + std::strerror(errno));
+}
+
+uint16_t parsePort(std::string_view s) {
+  if (s.empty()) throw std::invalid_argument("missing port");
+  unsigned long v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') {
+      throw std::invalid_argument("bad port: " + std::string(s));
+    }
+    v = v * 10 + static_cast<unsigned long>(c - '0');
+    if (v > 65535) throw std::invalid_argument("port out of range");
+  }
+  return static_cast<uint16_t>(v);
+}
+
+}  // namespace
+
+Address Address::parse(std::string_view spec) {
+  if (spec.starts_with("unix:")) {
+    Address a;
+    a.kind = Kind::kUnix;
+    a.path = std::string(spec.substr(5));
+    if (a.path.empty()) {
+      throw std::invalid_argument("unix address needs a path");
+    }
+    // sun_path is a fixed 108-byte array; reject early with a clear message
+    // instead of a truncated bind.
+    if (a.path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      throw std::invalid_argument("unix socket path too long: " + a.path);
+    }
+    return a;
+  }
+  if (spec.starts_with("tcp:")) {
+    Address a;
+    a.kind = Kind::kTcp;
+    const std::string_view rest = spec.substr(4);
+    const size_t colon = rest.rfind(':');
+    if (colon == std::string_view::npos) {
+      a.port = parsePort(rest);
+    } else {
+      a.host = std::string(rest.substr(0, colon));
+      a.port = parsePort(rest.substr(colon + 1));
+      in_addr tmp{};
+      if (a.host.empty() || inet_pton(AF_INET, a.host.c_str(), &tmp) != 1) {
+        throw std::invalid_argument("bad tcp host (dotted quad required): " +
+                                    a.host);
+      }
+    }
+    return a;
+  }
+  throw std::invalid_argument("address must be unix:PATH or tcp:[HOST:]PORT, "
+                              "got: " +
+                              std::string(spec));
+}
+
+std::string Address::str() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+Fd& Fd::operator=(Fd&& o) noexcept {
+  if (this != &o) {
+    reset();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Fd::shutdownNow() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+namespace {
+
+sockaddr_un unixSockaddr(const Address& a) {
+  sockaddr_un sa{};
+  sa.sun_family = AF_UNIX;
+  std::memcpy(sa.sun_path, a.path.c_str(), a.path.size() + 1);
+  return sa;
+}
+
+sockaddr_in tcpSockaddr(const Address& a) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(a.port);
+  if (inet_pton(AF_INET, a.host.c_str(), &sa.sin_addr) != 1) {
+    throw IoError("bad tcp host: " + a.host);
+  }
+  return sa;
+}
+
+}  // namespace
+
+Listener Listener::open(const Address& addr) {
+  Listener l;
+  l.bound_ = addr;
+  if (addr.kind == Address::Kind::kUnix) {
+    // Sweep a stale socket file from a previous daemon; bind would fail on
+    // it. A *live* daemon on the same path loses its socket — same contract
+    // as every pid-file-less unix daemon.
+    ::unlink(addr.path.c_str());
+    l.fd_ = Fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!l.fd_.valid()) throwErrno("socket(" + addr.str() + ")");
+    const sockaddr_un sa = unixSockaddr(addr);
+    if (::bind(l.fd_.get(), reinterpret_cast<const sockaddr*>(&sa),
+               sizeof(sa)) != 0) {
+      throwErrno("bind(" + addr.str() + ")");
+    }
+  } else {
+    l.fd_ = Fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!l.fd_.valid()) throwErrno("socket(" + addr.str() + ")");
+    const int one = 1;
+    ::setsockopt(l.fd_.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in sa = tcpSockaddr(addr);
+    if (::bind(l.fd_.get(), reinterpret_cast<const sockaddr*>(&sa),
+               sizeof(sa)) != 0) {
+      throwErrno("bind(" + addr.str() + ")");
+    }
+    socklen_t len = sizeof(sa);
+    if (::getsockname(l.fd_.get(), reinterpret_cast<sockaddr*>(&sa), &len) ==
+        0) {
+      l.bound_.port = ntohs(sa.sin_port);
+    }
+  }
+  if (::listen(l.fd_.get(), SOMAXCONN) != 0) {
+    throwErrno("listen(" + addr.str() + ")");
+  }
+  return l;
+}
+
+Listener::~Listener() {
+  if (fd_.valid() && bound_.kind == Address::Kind::kUnix) {
+    ::unlink(bound_.path.c_str());
+  }
+}
+
+Fd Listener::accept() {
+  for (;;) {
+    const int fd = ::accept(fd_.get(), nullptr, nullptr);
+    if (fd >= 0) return Fd(fd);
+    if (errno == EINTR) continue;
+    return Fd();  // shutdownNow() or a fatal error: stop accepting
+  }
+}
+
+void Listener::shutdownNow() { fd_.shutdownNow(); }
+
+Fd connect(const Address& addr) {
+  if (addr.kind == Address::Kind::kUnix) {
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) throwErrno("socket(" + addr.str() + ")");
+    const sockaddr_un sa = unixSockaddr(addr);
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&sa),
+                  sizeof(sa)) != 0) {
+      throwErrno("connect(" + addr.str() + ")");
+    }
+    return fd;
+  }
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throwErrno("socket(" + addr.str() + ")");
+  const sockaddr_in sa = tcpSockaddr(addr);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&sa),
+                sizeof(sa)) != 0) {
+    throwErrno("connect(" + addr.str() + ")");
+  }
+  return fd;
+}
+
+bool sendAll(int fd, const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  while (n > 0) {
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (w == 0) return false;
+    p += w;
+    n -= static_cast<size_t>(w);
+  }
+  return true;
+}
+
+RecvStatus recvExact(int fd, void* data, size_t n) {
+  auto* p = static_cast<uint8_t*>(data);
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, p + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return got == 0 ? RecvStatus::kEof : RecvStatus::kShort;
+    }
+    if (r == 0) return got == 0 ? RecvStatus::kEof : RecvStatus::kShort;
+    got += static_cast<size_t>(r);
+  }
+  return RecvStatus::kOk;
+}
+
+}  // namespace cati::sock

@@ -1,0 +1,212 @@
+#include "serve/analysis.h"
+
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <unordered_map>
+#include <utility>
+
+#include "common/errors.h"
+#include "common/obs.h"
+
+namespace cati::serve {
+
+namespace {
+
+/// printf-into-a-string; the report renderer keeps the exact format strings
+/// the offline tool always used, so the bytes cannot drift.
+__attribute__((format(printf, 2, 3))) void appendf(std::string& out,
+                                                   const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n < 0) return;
+  if (static_cast<size_t>(n) < sizeof(buf)) {
+    out.append(buf, static_cast<size_t>(n));
+    return;
+  }
+  std::string big(static_cast<size_t>(n), '\0');
+  va_start(args, fmt);
+  std::vsnprintf(big.data(), big.size() + 1, fmt, args);
+  va_end(args);
+  out.append(big);
+}
+
+struct ReportStats {
+  size_t total = 0;
+  size_t withTruth = 0;
+  size_t correct = 0;
+};
+
+/// One function's section of the report: header, then one row per variable
+/// above the confidence floor, with ground truth when debug info survives.
+/// Must be called only when `vars` is non-empty (the header prints even if
+/// every variable is filtered out — the historical cati-infer behaviour).
+void appendFunctionReport(std::string& out, const loader::Image& img,
+                          const loader::LoadedFunction& fn,
+                          std::span<const AnalyzedVariable> vars,
+                          float confMin, ReportStats& stats) {
+  appendf(out, "%s:\n", fn.name.c_str());
+
+  // Ground truth by frame offset, when debug info survives.
+  std::unordered_map<int64_t, TypeLabel> truth;
+  if (img.debug) {
+    for (const debuginfo::FunctionDie& die : img.debug->functions) {
+      // Match by address range (lowPc is an instruction index in the
+      // original binary; match by name instead).
+      if (die.name != fn.name) continue;
+      for (const debuginfo::VariableDie& v : die.variables) {
+        const auto cls = debuginfo::classify(*img.debug, v.typeIndex);
+        if (cls) truth[v.frameOffset] = *cls;
+      }
+    }
+  }
+
+  for (const AnalyzedVariable& av : vars) {
+    if (av.confidence < confMin) continue;
+    ++stats.total;
+    const char* truthName = "";
+    const auto it = truth.find(av.location.offset);
+    if (it != truth.end()) {
+      ++stats.withTruth;
+      if (it->second == av.type) ++stats.correct;
+      truthName = typeName(it->second).data();
+    }
+    appendf(out, "  %s%+-6lld %-22s conf %.2f  (%zu VUCs)   %s\n",
+            av.location.rbpFrame ? "rbp" : "rsp",
+            static_cast<long long>(av.location.offset),
+            std::string(typeName(av.type)).c_str(), av.confidence, av.numVucs,
+            truthName);
+  }
+}
+
+void appendSummary(std::string& out, const ReportStats& stats, long timeoutMs,
+                   bool timedOut, size_t fnsDone, size_t fnsTotal,
+                   DiagList* diags) {
+  appendf(out, "\n%zu variables typed", stats.total);
+  if (stats.withTruth > 0) {
+    appendf(out, "; accuracy vs surviving debug info: %.1f%% (%zu/%zu)",
+            100.0 * static_cast<double>(stats.correct) /
+                static_cast<double>(stats.withTruth),
+            stats.correct, stats.withTruth);
+  }
+  if (timedOut) {
+    appendf(out, "; TIMEOUT after %ldms: %zu/%zu functions analyzed",
+            timeoutMs, fnsDone, fnsTotal);
+    addDiag(diags, Severity::Warning, DiagStage::Engine, 0,
+            "analysis deadline exceeded: partial results (" +
+                std::to_string(fnsDone) + "/" + std::to_string(fnsTotal) +
+                " functions)");
+  }
+  appendf(out, "\n");
+}
+
+void addDegradedFnDiag(DiagList* diags, const loader::LoadedFunction& fn,
+                       const std::exception& e) {
+  // Per-function isolation: one poisoned function must not abort the
+  // binary. Record it and move on — same counter and text on both paths.
+  obs::counter("engine.analyze.degraded").add();
+  addDiag(diags, Severity::Warning, DiagStage::Engine, fn.addr,
+          "function " + fn.name + " skipped (degraded): " + e.what());
+}
+
+}  // namespace
+
+AnalyzeResult analyzeImage(Engine& engine, const loader::Image& img,
+                           par::ThreadPool* pool, int batch,
+                           const AnalyzeOptions& opts) {
+  AnalyzeResult res;
+  if (opts.timeoutMs > 0) {
+    engine.setDeadline(std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(opts.timeoutMs));
+  }
+  const std::vector<loader::LoadedFunction> fns =
+      pool != nullptr ? loader::disassemble(img, res.diags, *pool)
+                      : loader::disassemble(img, res.diags);
+  ReportStats stats;
+  size_t fnsDone = 0;
+  bool timedOut = false;
+  for (const loader::LoadedFunction& fn : fns) {
+    std::vector<AnalyzedVariable> vars;
+    try {
+      vars = engine.analyzeFunction(fn.insns, pool, batch, &res.diags);
+    } catch (const TimeoutError&) {
+      // Clean partial output: everything analyzed so far stays valid.
+      timedOut = true;
+      break;
+    } catch (const std::exception& e) {
+      addDegradedFnDiag(&res.diags, fn, e);
+      continue;
+    }
+    ++fnsDone;
+    if (vars.empty()) continue;
+    appendFunctionReport(res.report, img, fn, vars, opts.confMin, stats);
+  }
+  appendSummary(res.report, stats, opts.timeoutMs, timedOut, fnsDone,
+                fns.size(), &res.diags);
+  engine.setDeadline(std::nullopt);
+  return res;
+}
+
+PreparedRequest::PreparedRequest(const Engine& engine, loader::Image img,
+                                 par::ThreadPool* pool, float confMin)
+    : img_(std::move(img)), confMin_(confMin) {
+  std::vector<loader::LoadedFunction> fns =
+      pool != nullptr ? loader::disassemble(img_, preDiags_, *pool)
+                      : loader::disassemble(img_, preDiags_);
+  fns_.reserve(fns.size());
+  for (loader::LoadedFunction& fn : fns) {
+    PreparedFn pf;
+    pf.fn = std::move(fn);
+    try {
+      Engine::FunctionWork work = engine.prepareFunction(pf.fn.insns);
+      pf.vucBegin = vucs_.size();
+      vucs_.insert(vucs_.end(), work.ds.vucs.begin(), work.ds.vucs.end());
+      pf.vucEnd = vucs_.size();
+      pf.work = std::move(work);
+    } catch (const std::exception& e) {
+      addDegradedFnDiag(&pf.frag, pf.fn, e);
+    }
+    fns_.push_back(std::move(pf));
+  }
+}
+
+AnalyzeResult PreparedRequest::finish(const Engine& engine,
+                                      std::span<const StageProbs> probs) const {
+  AnalyzeResult res;
+  res.diags = preDiags_;
+  ReportStats stats;
+  size_t fnsDone = 0;
+  for (const PreparedFn& pf : fns_) {
+    // Diagnostics assemble per function so a prepare-phase degradation in a
+    // later function cannot jump ahead of an earlier function's vote-phase
+    // diagnostics — the offline loop emits strictly in function order.
+    DiagList frag = pf.frag;
+    bool ok = pf.work.has_value();
+    std::vector<AnalyzedVariable> vars;
+    if (ok) {
+      try {
+        vars = engine.finishFunction(
+            *pf.work, probs.subspan(pf.vucBegin, pf.vucEnd - pf.vucBegin),
+            &frag);
+      } catch (const std::exception& e) {
+        ok = false;
+        addDegradedFnDiag(&frag, pf.fn, e);
+      }
+    }
+    if (ok) {
+      ++fnsDone;
+      if (!vars.empty()) {
+        appendFunctionReport(res.report, img_, pf.fn, vars, confMin_, stats);
+      }
+    }
+    res.diags.insert(res.diags.end(), frag.begin(), frag.end());
+  }
+  appendSummary(res.report, stats, /*timeoutMs=*/0, /*timedOut=*/false,
+                fnsDone, fns_.size(), nullptr);
+  return res;
+}
+
+}  // namespace cati::serve

@@ -1,0 +1,95 @@
+// Request-scoped analysis shared by cati-infer and cati-serve
+// (DESIGN.md §10). One renderer produces the typed-variable report for both
+// the offline tool and the daemon, which is what makes the serving
+// equivalence guarantee structural: there is no second formatting path to
+// drift.
+//
+// Two entry points:
+//
+//   * analyzeImage — the offline path: the exact cati-infer loop (one
+//     analyzeFunction per function, per-function degradation, optional
+//     deadline with clean partial output). cati-infer prints the returned
+//     report verbatim.
+//
+//   * PreparedRequest — the serving path: phase 1 (recovery + VUC
+//     extraction) for every function of one request up front, exposing the
+//     concatenated VUCs so the daemon can run ONE batched predictVucs over
+//     many requests; phase 3 (voting + rendering) from this request's slice
+//     of the coalesced probabilities. Because the batch-major kernels
+//     preserve per-sample accumulation order (DESIGN.md §7), the slice is
+//     bit-identical to what per-function predicts would have produced, so
+//     finish() renders byte-identical output to analyzeImage.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cati/engine.h"
+#include "common/diag.h"
+#include "common/parallel.h"
+#include "loader/image.h"
+
+namespace cati::serve {
+
+struct AnalyzeOptions {
+  float confMin = 0.0F;
+  /// Offline only (--timeout-ms); the daemon never sets a deadline, so its
+  /// output matches an offline run without one.
+  long timeoutMs = 0;
+};
+
+struct AnalyzeResult {
+  std::string report;  ///< exactly what cati-infer prints on stdout
+  DiagList diags;      ///< disassembly + degradation diagnostics, tool order
+};
+
+/// The full offline analysis of one image: disassemble, analyze every
+/// function (per-function isolation: a poisoned function degrades to a
+/// Warning diag), render the report. With timeoutMs > 0 a deadline is set on
+/// the engine and expiry yields clean partial output, exactly as cati-infer
+/// documents. The engine's deadline is cleared before returning.
+AnalyzeResult analyzeImage(Engine& engine, const loader::Image& img,
+                           par::ThreadPool* pool, int batch,
+                           const AnalyzeOptions& opts = {});
+
+class PreparedRequest {
+ public:
+  /// Phase 1 for every function of `img`: disassemble (recovering, via
+  /// `pool`), then Engine::prepareFunction per function. A function whose
+  /// preparation throws degrades exactly like the offline loop (same diag
+  /// text, same engine.analyze.degraded counter) and contributes no VUCs.
+  PreparedRequest(const Engine& engine, loader::Image img,
+                  par::ThreadPool* pool, float confMin);
+
+  /// Every VUC of every surviving function, concatenated in function order —
+  /// the daemon's unit of cross-request coalescing.
+  const std::vector<corpus::Vuc>& vucs() const { return vucs_; }
+
+  /// Phase 3: votes, per-variable degradation and report rendering from this
+  /// request's probabilities (probs.size() must equal vucs().size()).
+  /// Diagnostics are assembled in offline order: disassembly first, then
+  /// each function's fragment in function order regardless of which phase
+  /// produced it.
+  AnalyzeResult finish(const Engine& engine,
+                       std::span<const StageProbs> probs) const;
+
+ private:
+  struct PreparedFn {
+    loader::LoadedFunction fn;
+    /// nullopt when preparation degraded (diag already in `frag`).
+    std::optional<Engine::FunctionWork> work;
+    size_t vucBegin = 0;
+    size_t vucEnd = 0;
+    DiagList frag;  ///< this function's prepare-phase diagnostics
+  };
+
+  loader::Image img_;
+  float confMin_;
+  DiagList preDiags_;  ///< disassembly diagnostics
+  std::vector<PreparedFn> fns_;
+  std::vector<corpus::Vuc> vucs_;
+};
+
+}  // namespace cati::serve

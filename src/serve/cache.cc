@@ -1,0 +1,236 @@
+#include "serve/cache.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "common/errors.h"
+#include "common/fault.h"
+#include "common/fs.h"
+#include "common/obs.h"
+#include "common/serialize.h"
+
+namespace cati::serve {
+
+namespace {
+
+constexpr uint32_t kCresMagic = 0x43524553;  // "CRES"
+constexpr uint32_t kCresVersion = 1;
+
+std::filesystem::path entryFileName(uint32_t hash, uint64_t seq) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "e%08x-%llu.cres", hash,
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+/// The seq suffix of an entry file name ("e<hex8>-<seq>.cres"), or nullopt
+/// for anything that is not one of ours.
+std::optional<uint64_t> parseSeq(const std::string& name) {
+  if (name.size() < 12 || name[0] != 'e' || !name.ends_with(".cres")) {
+    return std::nullopt;
+  }
+  const size_t dash = name.find('-');
+  if (dash == std::string::npos) return std::nullopt;
+  uint64_t seq = 0;
+  const size_t end = name.size() - 5;  // strip ".cres"
+  if (dash + 1 >= end) return std::nullopt;
+  for (size_t i = dash + 1; i < end; ++i) {
+    if (name[i] < '0' || name[i] > '9') return std::nullopt;
+    seq = seq * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  return seq;
+}
+
+struct DiskEntry {
+  std::string key;
+  std::string value;
+};
+
+/// Reads and fully validates one entry file. Throws cati::IoError when the
+/// environment fails, cati::CorruptError on bad bytes.
+DiskEntry readEntryFile(const std::filesystem::path& p) {
+  fault::failPoint("serve.cache.read");
+  std::ifstream is(p, std::ios::binary);
+  if (!is) throw IoError("cache entry: cannot open " + p.string());
+  return io::readChecksummed(
+      is, kCresMagic, kCresVersion, "cache entry", [](std::istream& ps) {
+        io::Reader r(ps);
+        DiskEntry e;
+        e.key = r.str();
+        e.value = r.str();
+        return e;
+      });
+}
+
+}  // namespace
+
+ResultCache::ResultCache(size_t maxBytes, std::filesystem::path dir,
+                         HashFn hash)
+    : maxBytes_(maxBytes), dir_(std::move(dir)), hash_(hash) {
+  if (!dir_.empty()) recover();
+}
+
+uint32_t ResultCache::hashKey(const std::string& key) const {
+  if (hash_ != nullptr) return hash_(key);
+  return io::crc32(key.data(), key.size());
+}
+
+std::optional<ResultCache::Lru::iterator> ResultCache::find(
+    const std::string& key) {
+  const auto bucket = buckets_.find(hashKey(key));
+  if (bucket == buckets_.end()) return std::nullopt;
+  for (const Lru::iterator it : bucket->second) {
+    if (it->key == key) return it;  // full-key compare: collision guard
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> ResultCache::lookup(const std::string& key) {
+  static obs::Counter& hits = obs::counter("serve.cache.hits");
+  static obs::Counter& misses = obs::counter("serve.cache.misses");
+  static obs::Counter& corrupt = obs::counter("serve.cache.corrupt");
+  const auto found = find(key);
+  if (!found) {
+    misses.add();
+    return std::nullopt;
+  }
+  const Lru::iterator it = *found;
+  std::string value;
+  if (dir_.empty()) {
+    value = it->value;
+  } else {
+    try {
+      DiskEntry e = readEntryFile(it->file);
+      if (e.key != key) {
+        throw CorruptError("cache entry: key mismatch in " +
+                           it->file.string());
+      }
+      value = std::move(e.value);
+    } catch (const CorruptError&) {
+      // Bad bytes on disk: drop the entry and recompute. Serving a corrupt
+      // reply is the one unacceptable outcome.
+      erase(it, /*removeFile=*/true);
+      corrupt.add();
+      misses.add();
+      return std::nullopt;
+    } catch (const IoError&) {
+      // Environment failure (or an injected one): the entry is unreadable
+      // right now, so it is useless — drop it and recompute.
+      erase(it, /*removeFile=*/true);
+      corrupt.add();
+      misses.add();
+      return std::nullopt;
+    }
+  }
+  hits.add();
+  lru_.splice(lru_.begin(), lru_, it);  // refresh: move to MRU
+  return value;
+}
+
+void ResultCache::insert(const std::string& key, const std::string& value) {
+  static obs::Counter& inserts = obs::counter("serve.cache.inserts");
+  static obs::Counter& oversize = obs::counter("serve.cache.oversize");
+  if (maxBytes_ == 0) return;
+  const size_t entryBytes = key.size() + value.size();
+  if (entryBytes > maxBytes_) {
+    // Would evict the whole cache and still not fit; not worth storing.
+    oversize.add();
+    return;
+  }
+  if (const auto existing = find(key)) {
+    erase(*existing, /*removeFile=*/true);
+  }
+  if (fault::failPoint("serve.cache.write")) {
+    throw IoError("serve.cache.write: injected short write");
+  }
+
+  Entry e;
+  e.key = key;
+  e.bytes = entryBytes;
+  e.hash = hashKey(key);
+  if (dir_.empty()) {
+    e.value = value;
+  } else {
+    e.file = dir_ / entryFileName(e.hash, seq_++);
+    fs::atomicWrite(e.file, [&](std::ostream& os) {
+      io::writeChecksummed(os, kCresMagic, kCresVersion,
+                           [&](std::ostream& body) {
+                             io::Writer w(body);
+                             w.str(key);
+                             w.str(value);
+                           });
+    });
+  }
+  lru_.push_front(std::move(e));
+  buckets_[lru_.front().hash].push_back(lru_.begin());
+  bytes_ += entryBytes;
+  inserts.add();
+  evictToFit();
+}
+
+void ResultCache::erase(Lru::iterator it, bool removeFile) {
+  auto bucket = buckets_.find(it->hash);
+  if (bucket != buckets_.end()) {
+    auto& vec = bucket->second;
+    vec.erase(std::remove(vec.begin(), vec.end(), it), vec.end());
+    if (vec.empty()) buckets_.erase(bucket);
+  }
+  bytes_ -= it->bytes;
+  if (removeFile && !it->file.empty()) {
+    std::error_code ec;
+    std::filesystem::remove(it->file, ec);  // best effort
+  }
+  lru_.erase(it);
+}
+
+void ResultCache::evictToFit() {
+  static obs::Counter& evictions = obs::counter("serve.cache.evictions");
+  while (bytes_ > maxBytes_ && !lru_.empty()) {
+    erase(std::prev(lru_.end()), /*removeFile=*/true);
+    evictions.add();
+  }
+}
+
+void ResultCache::recover() {
+  static obs::Counter& recovered = obs::counter("serve.cache.recovered");
+  static obs::Counter& corrupt = obs::counter("serve.cache.corrupt");
+  std::filesystem::create_directories(dir_);
+  fs::cleanupStaleTemps(dir_);
+
+  // Re-index surviving entries in seq order, so LRU order after a restart
+  // is insertion order (the best recency signal a restart still has).
+  std::vector<std::pair<uint64_t, std::filesystem::path>> files;
+  for (const auto& de : std::filesystem::directory_iterator(dir_)) {
+    if (!de.is_regular_file()) continue;
+    const auto seq = parseSeq(de.path().filename().string());
+    if (!seq) continue;
+    files.emplace_back(*seq, de.path());
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& [seq, path] : files) {
+    seq_ = std::max(seq_, seq + 1);
+    try {
+      DiskEntry d = readEntryFile(path);
+      Entry e;
+      e.key = std::move(d.key);
+      e.file = path;
+      e.bytes = e.key.size() + d.value.size();
+      e.hash = hashKey(e.key);
+      bytes_ += e.bytes;
+      lru_.push_front(std::move(e));
+      buckets_[lru_.front().hash].push_back(lru_.begin());
+      recovered.add();
+    } catch (const std::exception&) {
+      // Torn is impossible (atomicWrite), but deliberate corruption or a
+      // foreign file is not — delete and move on.
+      std::error_code ec;
+      std::filesystem::remove(path, ec);
+      corrupt.add();
+    }
+  }
+  evictToFit();
+}
+
+}  // namespace cati::serve

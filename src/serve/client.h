@@ -1,0 +1,49 @@
+// Blocking request/response client for the cati-serve protocol. Used by the
+// differential tests, the stress harness and bench_serve; deliberately thin —
+// one connection, caller-driven pipelining, no retries.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/sock.h"
+#include "serve/protocol.h"
+
+namespace cati::serve {
+
+class Client {
+ public:
+  /// Connects; throws cati::IoError on failure.
+  explicit Client(const sock::Address& addr) : fd_(sock::connect(addr)) {}
+
+  /// Sends one frame; throws cati::IoError when the daemon hung up.
+  void send(MsgType type, std::string_view payload);
+
+  /// Reads the next reply frame; kEof/kBad reported as status, never thrown
+  /// (disconnect tests want to observe them).
+  ReadStatus recv(Frame& out) { return readFrame(fd_.get(), out); }
+
+  /// send + recv; throws cati::IoError when the connection died in between.
+  Frame call(MsgType type, std::string_view payload);
+
+  /// One analyze round-trip. The reply frame is kReport or kError; decode
+  /// with decodeReportReply / decodeErrorReply.
+  Frame analyze(const AnalyzeRequest& req) {
+    return call(MsgType::kAnalyze, encodeAnalyzeRequest(req));
+  }
+
+  /// The /metrics endpoint: the daemon's obs Registry snapshot as JSON.
+  std::string metricsJson();
+
+  bool ping();
+
+  /// Abandons the connection mid-whatever (disconnect tests).
+  void close() { fd_.reset(); }
+
+  int fd() const { return fd_.get(); }
+
+ private:
+  sock::Fd fd_;
+};
+
+}  // namespace cati::serve

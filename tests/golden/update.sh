@@ -3,13 +3,14 @@
 #
 #   tests/golden/update.sh [BUILD_DIR]      (default: build)
 #
-# Runs test_golden and test_obs with CATI_UPDATE_GOLDEN=1, which rewrites
-# the files in this directory instead of comparing against them. Review the
-# resulting diff before committing: every changed line is an intentional
-# (or caught!) numeric drift of the seeded pipeline.
+# Runs test_golden, test_obs and test_serve (the serve-report golden) with
+# CATI_UPDATE_GOLDEN=1, which rewrites the files in this directory instead
+# of comparing against them. Review the resulting diff before committing:
+# every changed line is an intentional (or caught!) numeric drift of the
+# seeded pipeline.
 set -eu
 BUILD="${1:-build}"
-for bin in test_golden test_obs; do
+for bin in test_golden test_obs test_serve; do
   if [ ! -x "$BUILD/tests/$bin" ]; then
     echo "update.sh: $BUILD/tests/$bin not built (cmake --build $BUILD)" >&2
     exit 1
@@ -17,3 +18,4 @@ for bin in test_golden test_obs; do
 done
 CATI_UPDATE_GOLDEN=1 "$BUILD/tests/test_golden"
 CATI_UPDATE_GOLDEN=1 "$BUILD/tests/test_obs"
+CATI_UPDATE_GOLDEN=1 "$BUILD/tests/test_serve" --gtest_filter='*Golden*'

@@ -18,6 +18,8 @@
 
 #include "common/errors.h"
 #include "common/fault.h"
+#include "common/obs.h"
+#include "serve/cache.h"
 
 namespace cati::fs {
 namespace {
@@ -158,6 +160,48 @@ TEST_F(FsTest, CleanupStaleTempsSweepsOnlyTemps) {
   EXPECT_EQ(cleanupStaleTemps(dir_), 0);
   // Missing directory: a no-op, not an error.
   EXPECT_EQ(cleanupStaleTemps(dir_ / "nope"), 0);
+}
+
+TEST_F(FsTest, ResultCacheDurabilityUnderInjectedFaults) {
+  // The serve result cache inherits atomicWrite's durability bar: no fault
+  // at any cache I/O seam may leave a torn entry, debris, or lose an entry
+  // that was already published. Swept over every site the cache write path
+  // crosses, including its own serve.cache.write probe.
+  obs::setEnabled(true);
+  const stdfs::path cdir = dir_ / "cache";
+  for (const char* site : {"fs.open", "fs.write", "fs.fsync", "fs.rename",
+                           "serve.cache.write"}) {
+    for (const char* action : {"fail", "truncate", "stop"}) {
+      stdfs::remove_all(cdir);
+      serve::ResultCache cache(1 << 16, cdir);
+      cache.insert("stable-key", "stable-value");
+
+      fault::configureForTest(std::string(action) + "@" + site + ":1");
+      EXPECT_THROW(cache.insert("new-key", "new-value"), std::runtime_error)
+          << action << "@" << site;
+      fault::configureForTest("");
+
+      // The published entry is untouched and still served.
+      EXPECT_EQ(cache.lookup("stable-key").value(), "stable-value")
+          << action << "@" << site;
+      // No temp debris in the cache directory.
+      for (const std::string& f : filesIn(cdir)) {
+        EXPECT_FALSE(isTempName(f)) << action << "@" << site << ": " << f;
+      }
+      // A restart over the directory recovers exactly the published entry,
+      // with nothing flagged corrupt.
+      const uint64_t corrupt0 =
+          obs::counter("serve.cache.corrupt").value();
+      serve::ResultCache fresh(1 << 16, cdir);
+      EXPECT_EQ(fresh.entries(), 1U) << action << "@" << site;
+      EXPECT_EQ(obs::counter("serve.cache.corrupt").value(), corrupt0)
+          << action << "@" << site;
+      EXPECT_EQ(fresh.lookup("stable-key").value(), "stable-value");
+      // And the failed insert can simply be retried.
+      fresh.insert("new-key", "new-value");
+      EXPECT_EQ(fresh.lookup("new-key").value(), "new-value");
+    }
+  }
 }
 
 TEST_F(FsTest, AtomicWriteSweepsItsOwnTargetsStaleTemp) {

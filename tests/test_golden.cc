@@ -12,58 +12,19 @@
 #include <array>
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
-#include <filesystem>
-#include <fstream>
 #include <sstream>
 #include <string>
 
 #include <gtest/gtest.h>
 
+#include "support/golden.h"
 #include "support/micro_model.h"
-
-#ifndef CATI_GOLDEN_DIR
-#define CATI_GOLDEN_DIR "tests/golden"
-#endif
 
 namespace cati {
 namespace {
 
-namespace fs = std::filesystem;
-
-uint64_t fnv1a(const std::string& bytes) {
-  uint64_t h = 1469598103934665603ULL;
-  for (const char c : bytes) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
-/// Compares `actual` against the golden file, or rewrites the file when
-/// CATI_UPDATE_GOLDEN is set (the update.sh path).
-void compareOrUpdate(const std::string& name, const std::string& actual) {
-  const fs::path p = fs::path(CATI_GOLDEN_DIR) / name;
-  const char* update = std::getenv("CATI_UPDATE_GOLDEN");
-  if (update != nullptr && std::string(update) != "0") {
-    fs::create_directories(p.parent_path());
-    std::ofstream os(p, std::ios::binary);
-    os << actual;
-    ASSERT_TRUE(os.good()) << "failed to write " << p;
-    std::fprintf(stderr, "[golden] updated %s\n", p.string().c_str());
-    return;
-  }
-  std::ifstream is(p, std::ios::binary);
-  ASSERT_TRUE(is.good())
-      << "missing golden file " << p
-      << " — generate it with tests/golden/update.sh BUILD_DIR";
-  std::ostringstream ss;
-  ss << is.rdbuf();
-  EXPECT_EQ(ss.str(), actual)
-      << "golden mismatch for " << name
-      << ". If the change is intentional, regenerate with "
-         "tests/golden/update.sh and review the diff.";
-}
+using testsupport::compareOrUpdate;
+using testsupport::fnv1a;
 
 TEST(Golden, CorpusStats) {
   const auto bins = testsupport::microBinaries();

@@ -1,0 +1,851 @@
+// The cati-serve test layer (DESIGN.md §10): protocol framing/codec
+// round-trips and corruption handling, result-cache correctness (hit/miss/
+// eviction accounting, corrupt-entry rejection, collision guard, restart
+// recovery), the coalesced-predict invariance that underwrites cross-request
+// batching, a golden serve report, and the in-process differential suite
+// proving every daemon reply is byte-identical to offline inference —
+// including under backpressure, slow clients, mid-request disconnects and
+// graceful shutdown. Subprocess cases pin the cati-serve CLI contract and
+// the binary-level serve-vs-infer equivalence.
+//
+// Shares the ./cati_test_cache/ micro model (RESOURCE_LOCK micro_model_cache).
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+#include "common/fault.h"
+#include "common/obs.h"
+#include "loader/image.h"
+#include "serve/analysis.h"
+#include "serve/cache.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "support/golden.h"
+#include "support/micro_model.h"
+
+#ifndef CATI_TOOL_DIR
+#define CATI_TOOL_DIR "tools"
+#endif
+
+namespace cati::serve {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+std::string toolPath(const std::string& tool) {
+  return (stdfs::path(CATI_TOOL_DIR) / tool).string();
+}
+
+/// Serialized image container bytes for micro binary `idx`.
+std::string microImageBytes(size_t idx, bool stripped) {
+  const auto bins = testsupport::microBinaries();
+  loader::Image img = loader::buildImage(bins.at(idx));
+  if (stripped) loader::strip(img);
+  std::ostringstream os;
+  loader::write(img, os);
+  return std::move(os).str();
+}
+
+/// What the offline tool would print for these image bytes: stdout report
+/// plus the rendered stderr diagnostics — the differential reference.
+struct Expected {
+  std::string report;
+  std::string diagsText;
+};
+
+Expected offlineExpected(Engine& engine, const std::string& imageBytes,
+                         float confMin = 0.0F, int batch = 0) {
+  DiagList imgDiags;
+  std::istringstream is(imageBytes);
+  const auto img = loader::tryRead(is, imgDiags);
+  EXPECT_TRUE(img.has_value());
+  par::ThreadPool pool(1);
+  AnalyzeOptions opts;
+  opts.confMin = confMin;
+  const AnalyzeResult r = analyzeImage(engine, *img, &pool, batch, opts);
+  Expected e;
+  e.report = r.report;
+  std::ostringstream ds;
+  print(imgDiags, ds);
+  print(r.diags, ds);
+  e.diagsText = ds.str();
+  return e;
+}
+
+bool waitFor(const std::function<bool()>& pred, int ms = 10000) {
+  for (int i = 0; i < ms; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+uint64_t counterValue(const char* name) { return obs::counter(name).value(); }
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::setEnabled(true);
+    dir_ = stdfs::temp_directory_path() /
+           ("cati_serve_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    stdfs::remove_all(dir_);
+    stdfs::create_directories(dir_);
+  }
+  void TearDown() override {
+    fault::configureForTest("");
+    stdfs::remove_all(dir_);
+  }
+
+  sock::Address unixAddr(const std::string& name = "s.sock") {
+    return sock::Address::parse("unix:" + (dir_ / name).string());
+  }
+
+  stdfs::path dir_;
+};
+
+// --- sockets & framing ------------------------------------------------------
+
+TEST_F(ServeTest, AddressParse) {
+  const auto u = sock::Address::parse("unix:/tmp/x.sock");
+  EXPECT_EQ(u.kind, sock::Address::Kind::kUnix);
+  EXPECT_EQ(u.path, "/tmp/x.sock");
+  EXPECT_EQ(u.str(), "unix:/tmp/x.sock");
+
+  const auto t = sock::Address::parse("tcp:8321");
+  EXPECT_EQ(t.kind, sock::Address::Kind::kTcp);
+  EXPECT_EQ(t.host, "127.0.0.1");
+  EXPECT_EQ(t.port, 8321);
+
+  const auto h = sock::Address::parse("tcp:10.0.0.1:80");
+  EXPECT_EQ(h.host, "10.0.0.1");
+  EXPECT_EQ(h.port, 80);
+
+  EXPECT_THROW(sock::Address::parse("unix:"), std::invalid_argument);
+  EXPECT_THROW(sock::Address::parse("tcp:"), std::invalid_argument);
+  EXPECT_THROW(sock::Address::parse("tcp:notaport"), std::invalid_argument);
+  EXPECT_THROW(sock::Address::parse("tcp:70000"), std::invalid_argument);
+  EXPECT_THROW(sock::Address::parse("tcp:name.example:80"),
+               std::invalid_argument);
+  EXPECT_THROW(sock::Address::parse("http:80"), std::invalid_argument);
+  EXPECT_THROW(sock::Address::parse("unix:" + std::string(200, 'x')),
+               std::invalid_argument);
+}
+
+/// A connected AF_UNIX stream pair for driving readFrame directly.
+struct Pair {
+  sock::Fd a;
+  sock::Fd b;
+  Pair() {
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = sock::Fd(fds[0]);
+    b = sock::Fd(fds[1]);
+  }
+};
+
+TEST_F(ServeTest, FrameRoundTrip) {
+  Pair p;
+  const std::string body = std::string("hello\0world", 11);
+  const std::string wire = encodeFrame(MsgType::kAnalyze, body);
+  ASSERT_TRUE(sock::sendAll(p.a.get(), wire.data(), wire.size()));
+  Frame f;
+  ASSERT_EQ(readFrame(p.b.get(), f), ReadStatus::kOk);
+  EXPECT_EQ(f.type, MsgType::kAnalyze);
+  EXPECT_EQ(f.payload, body);
+
+  // Clean close between frames is kEof.
+  p.a.reset();
+  EXPECT_EQ(readFrame(p.b.get(), f), ReadStatus::kEof);
+}
+
+TEST_F(ServeTest, FrameCorruptionIsBad) {
+  // Flip one payload byte: the CRC trailer catches it.
+  {
+    Pair p;
+    std::string wire = encodeFrame(MsgType::kPing, "payload-bytes");
+    wire[wire.size() - 8] ^= 0x40;  // inside the payload
+    ASSERT_TRUE(sock::sendAll(p.a.get(), wire.data(), wire.size()));
+    Frame f;
+    EXPECT_EQ(readFrame(p.b.get(), f), ReadStatus::kBad);
+  }
+  // Bad magic.
+  {
+    Pair p;
+    std::string wire = encodeFrame(MsgType::kPing, "x");
+    wire[0] = 'Z';
+    ASSERT_TRUE(sock::sendAll(p.a.get(), wire.data(), wire.size()));
+    Frame f;
+    EXPECT_EQ(readFrame(p.b.get(), f), ReadStatus::kBad);
+  }
+  // Hostile length field: rejected before any allocation.
+  {
+    Pair p;
+    std::string wire = encodeFrame(MsgType::kPing, "x");
+    const uint64_t huge = kMaxFramePayload + 1;
+    std::memcpy(wire.data() + 8, &huge, sizeof(huge));
+    ASSERT_TRUE(sock::sendAll(p.a.get(), wire.data(), wire.size()));
+    Frame f;
+    EXPECT_EQ(readFrame(p.b.get(), f), ReadStatus::kBad);
+  }
+  // Mid-frame close: kBad, not kEof.
+  {
+    Pair p;
+    const std::string wire = encodeFrame(MsgType::kPing, "truncated");
+    ASSERT_TRUE(sock::sendAll(p.a.get(), wire.data(), wire.size() / 2));
+    p.a.reset();
+    Frame f;
+    EXPECT_EQ(readFrame(p.b.get(), f), ReadStatus::kBad);
+  }
+}
+
+TEST_F(ServeTest, PayloadCodecsRoundTrip) {
+  AnalyzeRequest req;
+  req.confMin = 0.25F;
+  req.image = std::string("\x00\x01IMG", 5);
+  const AnalyzeRequest back = decodeAnalyzeRequest(encodeAnalyzeRequest(req));
+  EXPECT_EQ(back.confMin, req.confMin);
+  EXPECT_EQ(back.image, req.image);
+
+  ReportReply rep{"report text\n", "warning[engine]: x\n"};
+  const ReportReply rback = decodeReportReply(encodeReportReply(rep));
+  EXPECT_EQ(rback.report, rep.report);
+  EXPECT_EQ(rback.diagsText, rep.diagsText);
+
+  ErrorReply err{ErrorCode::kOverload, "queue full"};
+  const ErrorReply eback = decodeErrorReply(encodeErrorReply(err));
+  EXPECT_EQ(eback.code, ErrorCode::kOverload);
+  EXPECT_EQ(eback.message, "queue full");
+  EXPECT_EQ(errorCodeName(eback.code), "overload");
+}
+
+TEST_F(ServeTest, PayloadCodecsRejectGarbage) {
+  EXPECT_THROW(decodeAnalyzeRequest(""), CorruptError);
+  EXPECT_THROW(decodeAnalyzeRequest("garbage-bytes"), CorruptError);
+  // Wrong version.
+  {
+    AnalyzeRequest req;
+    req.image = "i";
+    std::string p = encodeAnalyzeRequest(req);
+    p[0] = 9;
+    EXPECT_THROW(decodeAnalyzeRequest(p), CorruptError);
+  }
+  // Trailing bytes after a well-formed payload.
+  {
+    AnalyzeRequest req;
+    req.image = "i";
+    const std::string p = encodeAnalyzeRequest(req) + "x";
+    EXPECT_THROW(decodeAnalyzeRequest(p), CorruptError);
+  }
+  // Truncation inside the image string.
+  {
+    AnalyzeRequest req;
+    req.image = "a-long-enough-image-string";
+    std::string p = encodeAnalyzeRequest(req);
+    p.resize(p.size() - 4);
+    EXPECT_THROW(decodeAnalyzeRequest(p), CorruptError);
+  }
+  EXPECT_THROW(decodeReportReply("zz"), CorruptError);
+}
+
+// --- result cache -----------------------------------------------------------
+
+TEST_F(ServeTest, CacheHitMissEvictionAccounting) {
+  const uint64_t hits0 = counterValue("serve.cache.hits");
+  const uint64_t misses0 = counterValue("serve.cache.misses");
+  const uint64_t evict0 = counterValue("serve.cache.evictions");
+
+  ResultCache cache(64);  // tiny: key+value sizes below are ~20 bytes each
+  EXPECT_FALSE(cache.lookup("k1").has_value());
+  cache.insert("k1", "value-one");
+  EXPECT_EQ(cache.lookup("k1").value(), "value-one");
+  EXPECT_EQ(cache.entries(), 1U);
+  EXPECT_EQ(cache.bytes(), 2 + 9U);
+
+  cache.insert("k2", "value-two");
+  cache.insert("k3", "value-three");
+  // 3 entries = 35 bytes; fits. Touch k1 so k2 becomes LRU.
+  EXPECT_TRUE(cache.lookup("k1").has_value());
+  // Push it over 64 bytes: k2 (least recently used) must go.
+  cache.insert("k4", std::string(30, 'x'));
+  EXPECT_FALSE(cache.lookup("k2").has_value());
+  EXPECT_TRUE(cache.lookup("k1").has_value());
+  EXPECT_TRUE(cache.lookup("k4").has_value());
+
+  EXPECT_EQ(counterValue("serve.cache.hits") - hits0, 4U);
+  EXPECT_EQ(counterValue("serve.cache.misses") - misses0, 2U);
+  EXPECT_EQ(counterValue("serve.cache.evictions") - evict0, 1U);
+
+  // Re-inserting an existing key replaces, never duplicates.
+  cache.insert("k1", "new");
+  EXPECT_EQ(cache.lookup("k1").value(), "new");
+
+  // Oversized values are refused outright.
+  cache.insert("huge", std::string(1000, 'h'));
+  EXPECT_FALSE(cache.lookup("huge").has_value());
+}
+
+TEST_F(ServeTest, CacheDisabledWhenZeroBytes) {
+  ResultCache cache(0);
+  cache.insert("k", "v");
+  EXPECT_FALSE(cache.lookup("k").has_value());
+  EXPECT_EQ(cache.entries(), 0U);
+}
+
+uint32_t collidingHash(const std::string&) { return 0x1234; }
+
+TEST_F(ServeTest, CacheCollisionGuardComparesFullKeys) {
+  // Every key lands in one bucket; full-key compare must still resolve them.
+  ResultCache cache(1 << 16, {}, &collidingHash);
+  cache.insert("alpha", "A");
+  cache.insert("beta", "B");
+  cache.insert("gamma", "C");
+  EXPECT_EQ(cache.lookup("alpha").value(), "A");
+  EXPECT_EQ(cache.lookup("beta").value(), "B");
+  EXPECT_EQ(cache.lookup("gamma").value(), "C");
+  EXPECT_FALSE(cache.lookup("delta").has_value());
+  // Eviction in a colliding bucket keeps the survivors reachable.
+  ResultCache tiny(20, {}, &collidingHash);
+  tiny.insert("k1", "aaaaaa");
+  tiny.insert("k2", "bbbbbb");
+  tiny.insert("k3", "cccccc");
+  EXPECT_FALSE(tiny.lookup("k1").has_value());
+  EXPECT_EQ(tiny.lookup("k3").value(), "cccccc");
+}
+
+TEST_F(ServeTest, DiskCacheRoundTripAndRecovery) {
+  const stdfs::path cdir = dir_ / "cache";
+  {
+    ResultCache cache(1 << 16, cdir);
+    cache.insert("k1", "persistent-one");
+    cache.insert("k2", "persistent-two");
+    EXPECT_EQ(cache.lookup("k1").value(), "persistent-one");
+  }
+  // A fresh instance over the same directory re-indexes the entries.
+  const uint64_t rec0 = counterValue("serve.cache.recovered");
+  ResultCache cache(1 << 16, cdir);
+  EXPECT_EQ(counterValue("serve.cache.recovered") - rec0, 2U);
+  EXPECT_EQ(cache.entries(), 2U);
+  EXPECT_EQ(cache.lookup("k1").value(), "persistent-one");
+  EXPECT_EQ(cache.lookup("k2").value(), "persistent-two");
+}
+
+TEST_F(ServeTest, DiskCacheCorruptEntryRejectedAndRecomputed) {
+  const stdfs::path cdir = dir_ / "cache";
+  ResultCache cache(1 << 16, cdir);
+  cache.insert("key", "the-correct-value");
+
+  // Flip one byte inside the entry file: the CRC container must reject it.
+  stdfs::path entry;
+  for (const auto& de : stdfs::directory_iterator(cdir)) entry = de.path();
+  ASSERT_FALSE(entry.empty());
+  {
+    std::fstream f(entry, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-6, std::ios::end);
+    char c = 0;
+    f.read(&c, 1);
+    f.seekp(-6, std::ios::end);
+    c = static_cast<char>(c ^ 0x20);
+    f.write(&c, 1);
+  }
+  const uint64_t corrupt0 = counterValue("serve.cache.corrupt");
+  EXPECT_FALSE(cache.lookup("key").has_value());  // rejected, not served
+  EXPECT_EQ(counterValue("serve.cache.corrupt") - corrupt0, 1U);
+  EXPECT_FALSE(stdfs::exists(entry));  // bad entry deleted
+
+  // Recompute path: a fresh insert works and is served again.
+  cache.insert("key", "the-correct-value");
+  EXPECT_EQ(cache.lookup("key").value(), "the-correct-value");
+}
+
+TEST_F(ServeTest, DiskCacheRecoverySkipsCorruptAndStaleTemp) {
+  const stdfs::path cdir = dir_ / "cache";
+  {
+    ResultCache cache(1 << 16, cdir);
+    cache.insert("good", "good-value");
+  }
+  std::ofstream(cdir / "e00000000-99.cres") << "not a container";
+  std::ofstream(cdir / "e00000000-7.cres.cati-tmp.12345") << "stale temp";
+  ResultCache cache(1 << 16, cdir);
+  EXPECT_EQ(cache.entries(), 1U);
+  EXPECT_EQ(cache.lookup("good").value(), "good-value");
+  EXPECT_FALSE(stdfs::exists(cdir / "e00000000-99.cres"));
+  EXPECT_FALSE(stdfs::exists(cdir / "e00000000-7.cres.cati-tmp.12345"));
+}
+
+// --- the coalescing invariance ----------------------------------------------
+
+TEST_F(ServeTest, CoalescedPredictMatchesIsolated) {
+  // The theorem the daemon's cross-request batching rests on: predicting a
+  // concatenation of many requests' VUCs yields bit-identical per-VUC
+  // probabilities to predicting each request alone, at any batch size.
+  Engine engine = testsupport::cachedMicroEngine();
+  const corpus::Dataset ds = testsupport::microDataset();
+  ASSERT_GE(ds.vucs.size(), 8U);
+  const std::span<const corpus::Vuc> all(ds.vucs);
+  const size_t cut = ds.vucs.size() / 3;
+
+  par::ThreadPool pool(2);
+  for (const int batch : {1, 8}) {
+    const auto coalesced = engine.predictVucs(all, &pool, batch);
+    const auto partA = engine.predictVucs(all.subspan(0, cut), &pool, batch);
+    const auto partB = engine.predictVucs(all.subspan(cut), &pool, batch);
+    ASSERT_EQ(coalesced.size(), partA.size() + partB.size());
+    for (size_t i = 0; i < coalesced.size(); ++i) {
+      const StageProbs& split = i < cut ? partA[i] : partB[i - cut];
+      for (int s = 0; s < kNumStages; ++s) {
+        const auto& a = coalesced[i].probs[static_cast<size_t>(s)];
+        const auto& b = split.probs[static_cast<size_t>(s)];
+        ASSERT_EQ(a, b) << "vuc " << i << " stage " << s << " batch "
+                        << batch;
+      }
+    }
+  }
+}
+
+// --- golden serve report ----------------------------------------------------
+
+TEST_F(ServeTest, GoldenServeReport) {
+  Engine engine = testsupport::cachedMicroEngine();
+  std::ostringstream os;
+  for (const bool stripped : {true, false}) {
+    const std::string bytes = microImageBytes(0, stripped);
+    const Expected exp = offlineExpected(engine, bytes);
+    os << "=== image0 " << (stripped ? "stripped" : "unstripped") << " ===\n";
+    os << exp.report;
+    os << "--- diags ---\n" << exp.diagsText;
+  }
+  testsupport::compareOrUpdate("serve_report.txt", os.str());
+}
+
+// --- in-process server: differential + robustness ---------------------------
+
+/// Decoded analyze response, for comparing against offlineExpected.
+Expected decodeReport(const Frame& f) {
+  EXPECT_EQ(f.type, MsgType::kReport)
+      << (f.type == MsgType::kError
+              ? "error: " + decodeErrorReply(f.payload).message
+              : "unexpected type");
+  const ReportReply rep = decodeReportReply(f.payload);
+  return Expected{rep.report, rep.diagsText};
+}
+
+TEST_F(ServeTest, ServerMatchesOfflineAndCachesByteIdentically) {
+  Engine engine = testsupport::cachedMicroEngine();
+  Engine offline = testsupport::cachedMicroEngine();
+
+  ServerConfig cfg;
+  cfg.listen = unixAddr();
+  cfg.jobs = 2;
+  cfg.batch = 8;
+  cfg.cacheBytes = 1 << 20;
+  Server server(engine, cfg);
+  server.start();
+
+  const std::string img0 = microImageBytes(0, /*stripped=*/true);
+  const std::string img1 = microImageBytes(0, /*stripped=*/false);
+  const Expected exp0 = offlineExpected(offline, img0);
+  const Expected exp1 = offlineExpected(offline, img1);
+  const Expected exp0conf = offlineExpected(offline, img0, /*confMin=*/0.5F);
+
+  Client client(server.bound());
+  EXPECT_TRUE(client.ping());
+
+  AnalyzeRequest req;
+  req.image = img0;
+  const Frame first = client.analyze(req);
+  const Expected got0 = decodeReport(first);
+  EXPECT_EQ(got0.report, exp0.report);
+  EXPECT_EQ(got0.diagsText, exp0.diagsText);
+
+  req.image = img1;
+  const Expected got1 = decodeReport(client.analyze(req));
+  EXPECT_EQ(got1.report, exp1.report);
+  EXPECT_EQ(got1.diagsText, exp1.diagsText);
+
+  // Different options -> different cache key -> different (correct) answer.
+  req.image = img0;
+  req.confMin = 0.5F;
+  const Expected gotConf = decodeReport(client.analyze(req));
+  EXPECT_EQ(gotConf.report, exp0conf.report);
+
+  // Cache hit: the reply frame payload is byte-identical to the miss.
+  req.confMin = 0.0F;
+  const uint64_t hits0 = counterValue("serve.cache.hits");
+  const Frame second = client.analyze(req);
+  EXPECT_EQ(counterValue("serve.cache.hits") - hits0, 1U);
+  EXPECT_EQ(second.payload, first.payload);
+
+  // The /metrics endpoint returns the obs registry as JSON.
+  const std::string json = client.metricsJson();
+  EXPECT_NE(json.find("serve.replies"), std::string::npos);
+  EXPECT_NE(json.find("serve.cache.hits"), std::string::npos);
+
+  server.stop();
+}
+
+TEST_F(ServeTest, TcpEphemeralPortWorks) {
+  Engine engine = testsupport::cachedMicroEngine();
+  ServerConfig cfg;
+  cfg.listen = sock::Address::parse("tcp:0");
+  Server server(engine, cfg);
+  EXPECT_NE(server.bound().port, 0);
+  server.start();
+  Client client(server.bound());
+  EXPECT_TRUE(client.ping());
+  server.stop();
+}
+
+TEST_F(ServeTest, PipelinedRequestsCoalesceIntoOneGroup) {
+  Engine engine = testsupport::cachedMicroEngine();
+  Engine offline = testsupport::cachedMicroEngine();
+  ServerConfig cfg;
+  cfg.listen = unixAddr();
+  cfg.maxGroup = 16;
+  Server server(engine, cfg);
+  server.start();
+  server.pauseBatchForTest(true);
+
+  const std::string img0 = microImageBytes(0, true);
+  const std::string img1 = microImageBytes(0, false);
+  const Expected exp0 = offlineExpected(offline, img0);
+  const Expected exp1 = offlineExpected(offline, img1);
+
+  const uint64_t queued0 = counterValue("serve.requests.queued");
+  const uint64_t groups0 = counterValue("serve.groups");
+  const uint64_t coalesced0 = counterValue("serve.coalesced_vucs");
+
+  // Four clients, one request each, all parked in the admission queue.
+  std::vector<std::unique_ptr<Client>> clients;
+  for (int i = 0; i < 4; ++i) {
+    clients.push_back(std::make_unique<Client>(server.bound()));
+    AnalyzeRequest req;
+    req.image = (i % 2 == 0) ? img0 : img1;
+    clients.back()->send(MsgType::kAnalyze, encodeAnalyzeRequest(req));
+  }
+  ASSERT_TRUE(waitFor(
+      [&] { return counterValue("serve.requests.queued") - queued0 == 4; }));
+
+  // Release the batch loop: all four must be served in ONE coalesced pass.
+  server.pauseBatchForTest(false);
+  for (int i = 0; i < 4; ++i) {
+    Frame f;
+    ASSERT_EQ(clients[static_cast<size_t>(i)]->recv(f), ReadStatus::kOk);
+    const Expected got = decodeReport(f);
+    const Expected& exp = (i % 2 == 0) ? exp0 : exp1;
+    EXPECT_EQ(got.report, exp.report) << "client " << i;
+    EXPECT_EQ(got.diagsText, exp.diagsText) << "client " << i;
+  }
+  EXPECT_EQ(counterValue("serve.groups") - groups0, 1U);
+  // Cross-request coalescing really happened: the one predict pass covered
+  // both distinct images' VUCs (img1 deduplicates in-group via the cache
+  // only on hits from *previous* groups, so all 4 contribute).
+  EXPECT_GT(counterValue("serve.coalesced_vucs") - coalesced0, 0U);
+  server.stop();
+}
+
+TEST_F(ServeTest, OverloadGetsTypedErrorReply) {
+  Engine engine = testsupport::cachedMicroEngine();
+  ServerConfig cfg;
+  cfg.listen = unixAddr();
+  cfg.maxQueue = 1;
+  Server server(engine, cfg);
+  server.start();
+  server.pauseBatchForTest(true);
+
+  const std::string img = microImageBytes(0, true);
+  AnalyzeRequest req;
+  req.image = img;
+
+  const uint64_t queued0 = counterValue("serve.requests.queued");
+  Client first(server.bound());
+  first.send(MsgType::kAnalyze, encodeAnalyzeRequest(req));
+  ASSERT_TRUE(waitFor([&] {
+    return counterValue("serve.requests.queued") - queued0 >= 1;
+  }));
+
+  // Queue is full (size 1): the second client gets a typed overload reply
+  // immediately, not a hang and not a dropped connection.
+  Client second(server.bound());
+  const Frame f = second.analyze(req);
+  ASSERT_EQ(f.type, MsgType::kError);
+  const ErrorReply err = decodeErrorReply(f.payload);
+  EXPECT_EQ(err.code, ErrorCode::kOverload);
+
+  // The parked request still completes once the loop resumes.
+  server.pauseBatchForTest(false);
+  Frame ok;
+  ASSERT_EQ(first.recv(ok), ReadStatus::kOk);
+  EXPECT_EQ(ok.type, MsgType::kReport);
+  server.stop();
+}
+
+TEST_F(ServeTest, BadRequestsGetTypedErrors) {
+  Engine engine = testsupport::cachedMicroEngine();
+  ServerConfig cfg;
+  cfg.listen = unixAddr();
+  Server server(engine, cfg);
+  server.start();
+
+  // Well-framed analyze with a garbage payload.
+  {
+    Client c(server.bound());
+    const Frame f = c.call(MsgType::kAnalyze, "not-a-valid-payload");
+    ASSERT_EQ(f.type, MsgType::kError);
+    EXPECT_EQ(decodeErrorReply(f.payload).code, ErrorCode::kBadRequest);
+  }
+  // Well-framed analyze whose image bytes are rejected by the loader.
+  {
+    Client c(server.bound());
+    AnalyzeRequest req;
+    req.image = "these are not CELF container bytes";
+    const Frame f = c.analyze(req);
+    ASSERT_EQ(f.type, MsgType::kError);
+    const ErrorReply err = decodeErrorReply(f.payload);
+    EXPECT_EQ(err.code, ErrorCode::kBadRequest);
+    EXPECT_NE(err.message.find("image rejected"), std::string::npos);
+  }
+  // Unknown message type: typed error, connection survives.
+  {
+    Client c(server.bound());
+    const Frame f = c.call(static_cast<MsgType>(999), "");
+    ASSERT_EQ(f.type, MsgType::kError);
+    EXPECT_TRUE(c.ping());
+  }
+  // Malformed frame: typed error, then the daemon hangs up.
+  {
+    Client c(server.bound());
+    std::string wire = encodeFrame(MsgType::kPing, "zap");
+    wire[0] = 'X';
+    ASSERT_TRUE(sock::sendAll(c.fd(), wire.data(), wire.size()));
+    Frame f;
+    ASSERT_EQ(c.recv(f), ReadStatus::kOk);
+    ASSERT_EQ(f.type, MsgType::kError);
+    EXPECT_EQ(decodeErrorReply(f.payload).code, ErrorCode::kBadRequest);
+    EXPECT_EQ(c.recv(f), ReadStatus::kEof);
+  }
+  server.stop();
+}
+
+TEST_F(ServeTest, DisconnectMidRequestDoesNotStallTheLoop) {
+  Engine engine = testsupport::cachedMicroEngine();
+  Engine offline = testsupport::cachedMicroEngine();
+  ServerConfig cfg;
+  cfg.listen = unixAddr();
+  Server server(engine, cfg);
+  server.start();
+  server.pauseBatchForTest(true);
+
+  const std::string img = microImageBytes(0, true);
+  AnalyzeRequest req;
+  req.image = img;
+
+  const uint64_t queued0 = counterValue("serve.requests.queued");
+  {
+    Client doomed(server.bound());
+    doomed.send(MsgType::kAnalyze, encodeAnalyzeRequest(req));
+    ASSERT_TRUE(waitFor([&] {
+      return counterValue("serve.requests.queued") - queued0 >= 1;
+    }));
+    doomed.close();  // vanish mid-request
+  }
+  const uint64_t dropped0 = counterValue("serve.conn.dropped_replies");
+  server.pauseBatchForTest(false);
+  // The loop processes the orphaned job, drops the reply, and keeps serving.
+  ASSERT_TRUE(waitFor([&] {
+    return counterValue("serve.conn.dropped_replies") - dropped0 >= 1;
+  }));
+
+  Client alive(server.bound());
+  const Expected got = decodeReport(alive.analyze(req));
+  EXPECT_EQ(got.report, offlineExpected(offline, img).report);
+  server.stop();
+}
+
+TEST_F(ServeTest, SlowClientIsDroppedNotWaitedFor) {
+  Engine engine = testsupport::cachedMicroEngine();
+  ServerConfig cfg;
+  cfg.listen = unixAddr();
+  cfg.maxOutbound = 1;
+  Server server(engine, cfg);
+  server.start();
+  server.pauseWritersForTest(true);
+
+  Client slow(server.bound());
+  // The first pong parks in the outbound queue (writers paused); the second
+  // overflows the bound and must drop the connection — without any thread
+  // ever blocking on the client's socket. The reader handles frames
+  // sequentially, so two pipelined pings are enough and deterministic.
+  const uint64_t dropped0 = counterValue("serve.conn.slow_dropped");
+  slow.send(MsgType::kPing, "");
+  slow.send(MsgType::kPing, "");
+  ASSERT_TRUE(waitFor([&] {
+    return counterValue("serve.conn.slow_dropped") - dropped0 >= 1;
+  }));
+  server.pauseWritersForTest(false);
+
+  // A well-behaved client is unaffected.
+  Client good(server.bound());
+  EXPECT_TRUE(good.ping());
+  server.stop();
+}
+
+TEST_F(ServeTest, CleanShutdownDrainsAdmittedWork) {
+  Engine engine = testsupport::cachedMicroEngine();
+  Engine offline = testsupport::cachedMicroEngine();
+  ServerConfig cfg;
+  cfg.listen = unixAddr();
+  Server server(engine, cfg);
+  server.start();
+  server.pauseBatchForTest(true);
+
+  const std::string img = microImageBytes(0, true);
+  const Expected exp = offlineExpected(offline, img);
+  AnalyzeRequest req;
+  req.image = img;
+
+  Client client(server.bound());
+  const uint64_t queued0 = counterValue("serve.requests.queued");
+  for (int i = 0; i < 3; ++i) {
+    client.send(MsgType::kAnalyze, encodeAnalyzeRequest(req));
+  }
+  ASSERT_TRUE(waitFor(
+      [&] { return counterValue("serve.requests.queued") - queued0 == 3; }));
+
+  // stop() must drain all three admitted requests before tearing down.
+  std::thread stopper([&] { server.stop(); });
+  for (int i = 0; i < 3; ++i) {
+    Frame f;
+    ASSERT_EQ(client.recv(f), ReadStatus::kOk) << "reply " << i;
+    const Expected got = decodeReport(f);
+    EXPECT_EQ(got.report, exp.report);
+  }
+  Frame eof;
+  EXPECT_EQ(client.recv(eof), ReadStatus::kEof);
+  stopper.join();
+}
+
+TEST_F(ServeTest, MaxRequestsTriggersGracefulStop) {
+  Engine engine = testsupport::cachedMicroEngine();
+  ServerConfig cfg;
+  cfg.listen = unixAddr();
+  cfg.maxRequests = 1;
+  Server server(engine, cfg);
+  server.start();
+
+  const std::string img = microImageBytes(0, true);
+  AnalyzeRequest req;
+  req.image = img;
+  Client client(server.bound());
+  const Frame f = client.analyze(req);
+  EXPECT_EQ(f.type, MsgType::kReport);
+  // --max-requests fired: the server has requested its own stop.
+  EXPECT_TRUE(server.waitUntilStopRequested(std::chrono::milliseconds(5000)));
+  server.stop();
+}
+
+// --- CLI contract (subprocess) ----------------------------------------------
+
+int runTool(const std::string& cmd) {
+  const int rc = std::system((cmd + " >/dev/null 2>&1").c_str());
+  return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+}
+
+TEST_F(ServeTest, CliUsageErrors) {
+  const std::string serve = toolPath("cati-serve");
+  const std::string model = (dir_ / "model.bin").string();
+  const std::string sockArg = " --listen unix:" + (dir_ / "u.sock").string();
+  // No args at all.
+  EXPECT_EQ(runTool(serve), 2);
+  // Missing --listen.
+  EXPECT_EQ(runTool(serve + " " + model), 2);
+  // Bad address.
+  EXPECT_EQ(runTool(serve + " " + model + " --listen ftp:99"), 2);
+  // Duplicate flag.
+  EXPECT_EQ(runTool(serve + " " + model + sockArg + sockArg), 2);
+  // Malformed numbers and sizes.
+  EXPECT_EQ(runTool(serve + " " + model + sockArg + " --max-queue nope"), 2);
+  EXPECT_EQ(runTool(serve + " " + model + sockArg + " --max-queue 0"), 2);
+  EXPECT_EQ(runTool(serve + " " + model + sockArg + " --cache-bytes 64X"), 2);
+  EXPECT_EQ(runTool(serve + " " + model + sockArg + " --max-requests -3"), 2);
+  // Unknown flag.
+  EXPECT_EQ(runTool(serve + " " + model + sockArg + " --frobnicate"), 2);
+  // Corrupt model: typed exit 4 (CorruptError), not a crash.
+  std::ofstream(model, std::ios::binary) << "garbage model bytes";
+  EXPECT_EQ(runTool(serve + " " + model + sockArg), 4);
+  // Missing model: generic failure (exit 1), matching the other tools.
+  EXPECT_EQ(runTool(serve + " " + (dir_ / "nope.bin").string() + sockArg), 1);
+}
+
+TEST_F(ServeTest, ServeBinaryMatchesInferBinary) {
+  // Full binary-level differential: the real cati-serve daemon vs the real
+  // cati-infer tool on the same model and image.
+  Engine engine = testsupport::cachedMicroEngine();
+  const std::string model = (dir_ / "model.bin").string();
+  engine.saveFile(model);
+  const std::string imgBytes = microImageBytes(0, /*stripped=*/true);
+  const std::string imgFile = (dir_ / "img.img").string();
+  std::ofstream(imgFile, std::ios::binary) << imgBytes;
+
+  // Offline stdout via the real tool.
+  std::string offlineReport;
+  {
+    FILE* p = ::popen(
+        (toolPath("cati-infer") + " " + model + " " + imgFile).c_str(), "r");
+    ASSERT_NE(p, nullptr);
+    char buf[4096];
+    size_t n = 0;
+    while ((n = ::fread(buf, 1, sizeof(buf), p)) > 0) {
+      offlineReport.append(buf, n);
+    }
+    ASSERT_EQ(::pclose(p), 0);
+  }
+
+  // Daemon: serve exactly one request, then exit 0 on its own.
+  const std::string sockPath = (dir_ / "d.sock").string();
+  FILE* daemon = ::popen((toolPath("cati-serve") + " " + model +
+                          " --listen unix:" + sockPath +
+                          " --max-requests 1 2>/dev/null")
+                             .c_str(),
+                         "r");
+  ASSERT_NE(daemon, nullptr);
+
+  std::string served;
+  {
+    // The daemon needs a moment to bind; retry the connect.
+    std::unique_ptr<Client> client;
+    ASSERT_TRUE(waitFor([&] {
+      try {
+        client = std::make_unique<Client>(
+            sock::Address::parse("unix:" + sockPath));
+        return true;
+      } catch (const IoError&) {
+        return false;
+      }
+    }));
+    AnalyzeRequest req;
+    req.image = imgBytes;
+    const Frame f = client->analyze(req);
+    EXPECT_EQ(f.type, MsgType::kReport);
+    served = decodeReportReply(f.payload).report;
+  }
+  EXPECT_EQ(::pclose(daemon), 0);  // graceful drain, exit 0
+  EXPECT_EQ(served, offlineReport);
+}
+
+}  // namespace
+}  // namespace cati::serve

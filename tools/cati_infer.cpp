@@ -11,21 +11,21 @@
 // whole analysis: on expiry the report ends cleanly with the functions
 // analyzed so far and a note naming how many were cut.
 //
+// The analysis loop and report renderer live in serve::analyzeImage, shared
+// with the cati-serve daemon — the serving equivalence guarantee
+// (DESIGN.md §10) is that the daemon replies with these exact bytes.
+//
 // Usage: cati-infer MODEL.bin IMAGE.img [--confidence-min X] [--jobs N]
 //                   [--timeout-ms T]
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <exception>
-#include <iostream>
 #include <string>
-#include <unordered_map>
 
 #include "cati/engine.h"
 #include "cli.h"
 #include "common/parallel.h"
 #include "loader/image.h"
+#include "serve/analysis.h"
 
 namespace {
 
@@ -43,9 +43,8 @@ int run(int argc, char** argv, const cati::cli::Common& common) {
     std::fputs(usageLine().c_str(), stderr);
     return 2;
   }
-  float confMin = 0.0F;
+  serve::AnalyzeOptions opts;
   int jobs = 0;  // 0: CATI_JOBS env or hardware concurrency
-  long timeoutMs = 0;
   cli::SeenFlags seen;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -57,7 +56,7 @@ int run(int argc, char** argv, const cati::cli::Common& common) {
       seen.note(arg);
       const char* v = next();
       char* end = nullptr;
-      confMin = std::strtof(v, &end);
+      opts.confMin = std::strtof(v, &end);
       if (end == v || *end != '\0') {
         throw cli::UsageError("--confidence-min: not a number: " +
                               std::string(v));
@@ -67,8 +66,8 @@ int run(int argc, char** argv, const cati::cli::Common& common) {
       jobs = static_cast<int>(cli::parseInt(arg, next()));
     } else if (arg == "--timeout-ms") {
       seen.note(arg);
-      timeoutMs = cli::parseInt(arg, next());
-      if (timeoutMs <= 0) {
+      opts.timeoutMs = cli::parseInt(arg, next());
+      if (opts.timeoutMs <= 0) {
         throw cli::UsageError("--timeout-ms: must be positive");
       }
     } else {
@@ -83,87 +82,14 @@ int run(int argc, char** argv, const cati::cli::Common& common) {
     cli::printDiags(diags, common);
     return 1;
   }
-  if (timeoutMs > 0) {
-    engine.setDeadline(std::chrono::steady_clock::now() +
-                       std::chrono::milliseconds(timeoutMs));
-  }
 
+  // common.batch (or CATI_BATCH) sets the inference batch; results are
+  // identical at any batch size, only throughput changes.
   par::ThreadPool pool(par::resolveJobs(jobs));
-  size_t total = 0;
-  size_t withTruth = 0;
-  size_t correct = 0;
-  const auto fns = loader::disassemble(*img, diags, pool);
-  size_t fnsDone = 0;
-  bool timedOut = false;
-  for (const loader::LoadedFunction& fn : fns) {
-    // common.batch (or CATI_BATCH) sets the inference batch; results are
-    // identical at any batch size, only throughput changes.
-    std::vector<AnalyzedVariable> vars;
-    try {
-      vars = engine.analyzeFunction(fn.insns, &pool, common.batch, &diags);
-    } catch (const TimeoutError&) {
-      // Clean partial output: everything analyzed so far stays valid.
-      timedOut = true;
-      break;
-    } catch (const std::exception& e) {
-      // Per-function isolation: one poisoned function must not abort the
-      // binary. Record it and move on.
-      obs::counter("engine.analyze.degraded").add();
-      addDiag(&diags, Severity::Warning, DiagStage::Engine, fn.addr,
-              "function " + fn.name + " skipped (degraded): " + e.what());
-      continue;
-    }
-    ++fnsDone;
-    if (vars.empty()) continue;
-    std::printf("%s:\n", fn.name.c_str());
-
-    // Ground truth by frame offset, when debug info survives.
-    std::unordered_map<int64_t, TypeLabel> truth;
-    if (img->debug) {
-      for (const debuginfo::FunctionDie& die : img->debug->functions) {
-        // Match by address range (lowPc is an instruction index in the
-        // original binary; match by name instead).
-        if (die.name != fn.name) continue;
-        for (const debuginfo::VariableDie& v : die.variables) {
-          const auto cls = debuginfo::classify(*img->debug, v.typeIndex);
-          if (cls) truth[v.frameOffset] = *cls;
-        }
-      }
-    }
-
-    for (const AnalyzedVariable& av : vars) {
-      if (av.confidence < confMin) continue;
-      ++total;
-      const char* truthName = "";
-      const auto it = truth.find(av.location.offset);
-      if (it != truth.end()) {
-        ++withTruth;
-        if (it->second == av.type) ++correct;
-        truthName = typeName(it->second).data();
-      }
-      std::printf("  %s%+-6lld %-22s conf %.2f  (%zu VUCs)   %s\n",
-                  av.location.rbpFrame ? "rbp" : "rsp",
-                  static_cast<long long>(av.location.offset),
-                  std::string(typeName(av.type)).c_str(), av.confidence,
-                  av.numVucs, truthName);
-    }
-  }
-  std::printf("\n%zu variables typed", total);
-  if (withTruth > 0) {
-    std::printf("; accuracy vs surviving debug info: %.1f%% (%zu/%zu)",
-                100.0 * static_cast<double>(correct) /
-                    static_cast<double>(withTruth),
-                correct, withTruth);
-  }
-  if (timedOut) {
-    std::printf("; TIMEOUT after %ldms: %zu/%zu functions analyzed", timeoutMs,
-                fnsDone, fns.size());
-    addDiag(&diags, Severity::Warning, DiagStage::Engine, 0,
-            "analysis deadline exceeded: partial results (" +
-                std::to_string(fnsDone) + "/" + std::to_string(fns.size()) +
-                " functions)");
-  }
-  std::printf("\n");
+  const serve::AnalyzeResult result =
+      serve::analyzeImage(engine, *img, &pool, common.batch, opts);
+  std::fputs(result.report.c_str(), stdout);
+  diags.insert(diags.end(), result.diags.begin(), result.diags.end());
   cli::printDiags(diags, common);
   return 0;
 }

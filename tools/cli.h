@@ -1,8 +1,9 @@
-// Shared command-line plumbing for the five cati tools: the flags every
+// Shared command-line plumbing for the six cati tools: the flags every
 // tool accepts (--verbose, --metrics[=FILE], --batch), severity-filtered
 // diagnostic printing, metrics emission, duplicate/unknown-flag rejection,
-// and the one-line stderr error wrapper that backs the robustness contract
-// (README "Error handling").
+// strict value parsers (parseInt, parseSize for the daemon's byte-sized
+// flags), and the one-line stderr error wrapper that backs the robustness
+// contract (README "Error handling").
 //
 // Tools call cli::toolMain from main(); their run() receives argv with the
 // common flags already stripped, so per-tool option loops stay untouched.
@@ -73,6 +74,32 @@ inline long parseInt(std::string_view flag, const char* value) {
     throw UsageError(std::string(flag) + ": not a number: " + value);
   }
   return v;
+}
+
+/// Strict byte-size flag value: a non-negative integer with an optional
+/// K/M/G suffix (binary multiples), e.g. `--cache-bytes 64M`. Same
+/// whole-token discipline as parseInt.
+inline unsigned long long parseSize(std::string_view flag, const char* value) {
+  char* end = nullptr;
+  const long long v = std::strtoll(value, &end, 10);
+  if (end == value || v < 0) {
+    throw UsageError(std::string(flag) + ": not a size: " + value);
+  }
+  unsigned long long mult = 1;
+  if (*end == 'K' || *end == 'k') {
+    mult = 1ULL << 10;
+    ++end;
+  } else if (*end == 'M' || *end == 'm') {
+    mult = 1ULL << 20;
+    ++end;
+  } else if (*end == 'G' || *end == 'g') {
+    mult = 1ULL << 30;
+    ++end;
+  }
+  if (*end != '\0') {
+    throw UsageError(std::string(flag) + ": not a size: " + value);
+  }
+  return static_cast<unsigned long long>(v) * mult;
 }
 
 struct Common {
