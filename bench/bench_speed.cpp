@@ -20,6 +20,7 @@
 
 #include <sstream>
 
+#include "common/cpu.h"
 #include "common/parallel.h"
 #include "harness/harness.h"
 #include "loader/image.h"
@@ -209,6 +210,69 @@ BENCHMARK(BM_PredictBatchSize)
     ->Arg(32)
     ->Unit(benchmark::kMillisecond);
 
+Engine& quantEngine() {
+  static Engine q = bundle().engine().quantize();
+  return q;
+}
+
+void BM_PredictBatchSizeQuant(benchmark::State& state) {
+  // The int8 twin of BM_PredictBatchSize: same VUCs, same jobs=1 isolation,
+  // quantized engine. items_per_second at /32 vs the fp32 /32 row is the
+  // quantization speedup (the headline lever for the ≥2x target); accuracy
+  // cost is gated at ≤0.5pp by bench_table6_accuracy and test_quant.
+  Engine& e = quantEngine();
+  const corpus::Dataset& test = bundle().testSet();
+  par::ThreadPool pool(1);
+  const size_t n = std::min<size_t>(test.vucs.size(), 256);
+  const std::span<const corpus::Vuc> vucs(test.vucs.data(), n);
+  const int batch = static_cast<int>(state.range(0));
+  const obs::Snapshot base = bench::metricsBaseline();
+  for (auto _ : state) {
+    const auto out = e.predictVucs(vucs, &pool, batch);
+    benchmark::DoNotOptimize(out);
+  }
+  exportMetricsColumns(state, base);
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_PredictBatchSizeQuant)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ModelLoad(benchmark::State& state) {
+  // Cold-start cost of Engine::loadFile. arg0 picks the container (0: fp32
+  // CENG, 1: quantized CQNT), arg1 the mode (0: stream — every byte read
+  // and CRC-verified; 1: mmap — CQNT weights used in place, metadata-only
+  // verification, O(pages touched)). The CQNT/mmap row is cati-serve's
+  // --mmap cold start; CENG under kMap still copies (fp32 keeps full CRC).
+  const bool quantized = state.range(0) != 0;
+  const auto mode = state.range(1) != 0 ? Engine::LoadMode::kMap
+                                        : Engine::LoadMode::kStream;
+  const std::filesystem::path file =
+      std::filesystem::temp_directory_path() /
+      (quantized ? "cati_bench_load.q.bin" : "cati_bench_load.bin");
+  if (quantized) {
+    quantEngine().saveFile(file);
+  } else {
+    bundle().engine().saveFile(file);
+  }
+  for (auto _ : state) {
+    Engine e = Engine::loadFile(file, mode);
+    benchmark::DoNotOptimize(e);
+  }
+  std::error_code ec;
+  state.counters["model_bytes"] =
+      static_cast<double>(std::filesystem::file_size(file, ec));
+  std::filesystem::remove(file, ec);
+}
+BENCHMARK(BM_ModelLoad)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_DisassembleRecoverJobs(benchmark::State& state) {
   loader::Image img = loader::buildImage(testBinary());
   loader::strip(img);
@@ -336,6 +400,10 @@ int main(int argc, char** argv) {
   // Force bundle construction (and model training / cache load) outside the
   // measured regions.
   bundle();
+  // Which kernel tier every NN row ran on (CATI_KERNEL can pin it); rows
+  // from different kernels must never be compared without checking this.
+  benchmark::AddCustomContext(
+      "cati_kernel", std::string(cati::cpu::isaName(cati::cpu::active())));
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

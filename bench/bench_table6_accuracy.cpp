@@ -4,9 +4,46 @@
 // Paper reference points: total VUC accuracy 0.68, total variable accuracy
 // 0.71 (the headline 71.2%); voting adds ~+0.03; variable accuracy beats
 // VUC accuracy for (almost) every app.
+//
+// Also enforces the int8 quantization accuracy gate (DESIGN.md §11): the
+// quantized engine's totals are recomputed on the same test set and the
+// run exits nonzero when either granularity loses more than 0.5pp vs fp32
+// — the same bound test_quant pins on the micro model, here on the full
+// bench corpus.
 #include <cstdio>
 
 #include "harness/harness.h"
+
+namespace {
+
+/// (vucAcc, varAcc) of `e` over the bundle's test set.
+std::pair<double, double> totals(cati::Engine& e, cati::bench::Bundle& b) {
+  using namespace cati;
+  const corpus::Dataset& test = b.testSet();
+  const auto probs = e.predictVucs(test.vucs, &b.pool());
+  size_t vucOk = 0;
+  size_t vucN = 0;
+  for (size_t i = 0; i < test.vucs.size(); ++i) {
+    if (test.vucs[i].label == TypeLabel::kCount) continue;
+    ++vucN;
+    if (e.routeVuc(probs[i]) == test.vucs[i].label) ++vucOk;
+  }
+  size_t varOk = 0;
+  size_t varN = 0;
+  const auto byVar = test.vucsByVar();
+  for (size_t v = 0; v < byVar.size(); ++v) {
+    if (byVar[v].empty() || test.vars[v].label == TypeLabel::kCount) continue;
+    std::vector<StageProbs> vp;
+    vp.reserve(byVar[v].size());
+    for (const uint32_t i : byVar[v]) vp.push_back(probs[i]);
+    ++varN;
+    if (e.voteVariable(vp).finalType == test.vars[v].label) ++varOk;
+  }
+  return {vucN ? static_cast<double>(vucOk) / static_cast<double>(vucN) : 0.0,
+          varN ? static_cast<double>(varOk) / static_cast<double>(varN) : 0.0};
+}
+
+}  // namespace
 
 int main() {
   using namespace cati;
@@ -36,5 +73,19 @@ int main() {
   std::printf("%s", t.str().c_str());
   std::printf("\npaper: VUC total 0.68, variable total 0.71; "
               "voting gain here: %+.3f\n", varTotal - vucTotal);
+
+  // --- int8 quantization accuracy gate ---
+  const auto [fpVuc, fpVar] = totals(b.engine(), b);
+  Engine quant = b.engine().quantize();
+  const auto [qVuc, qVar] = totals(quant, b);
+  std::printf("\nint8 quantized: VUC total %.4f (fp32 %.4f, delta %+.4f), "
+              "variable total %.4f (fp32 %.4f, delta %+.4f)\n",
+              qVuc, fpVuc, qVuc - fpVuc, qVar, fpVar, qVar - fpVar);
+  constexpr double kMaxLoss = 0.005;  // 0.5pp, DESIGN.md §11
+  if (fpVuc - qVuc > kMaxLoss || fpVar - qVar > kMaxLoss) {
+    std::printf("FAIL: quantization accuracy loss exceeds 0.5pp\n");
+    return 1;
+  }
+  std::printf("quantization gate: PASS (loss <= 0.5pp)\n");
   return 0;
 }

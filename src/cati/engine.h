@@ -19,6 +19,7 @@
 
 #include "common/diag.h"
 #include "common/errors.h"
+#include "common/fs.h"
 #include "common/parallel.h"
 #include "common/types.h"
 #include "corpus/corpus.h"
@@ -185,11 +186,35 @@ class Engine {
       const FunctionWork& work, std::span<const StageProbs> probs,
       DiagList* diags = nullptr) const;
 
+  // --- int8 quantization (DESIGN.md §11) ---
+  /// Builds the int8 quantized twin of this trained fp32 engine: weights
+  /// quantized symmetric per output channel, activations per sample at run
+  /// time (see nn/qnn.h). The twin shares nothing with this engine and is
+  /// inference-only — train() on it throws; training always stays fp32.
+  /// Results are bit-identical across kernels, batch sizes and job counts;
+  /// accuracy vs fp32 is gated (≤ 0.5 pp) by tests and the bench harness.
+  Engine quantize() const;
+  bool quantized() const { return quantized_; }
+
   // --- persistence ---
+  /// fp32 engines write the CENG v2 container (unchanged bytes vs the
+  /// seed); quantized engines write CQNT v1: a CRC-framed metadata block
+  /// (config echo, encoder, per-layer scales/biases/row sums and heap
+  /// references) followed by a 64-byte-aligned raw int8 weight heap whose
+  /// CRC is recorded in the metadata.
   void save(std::ostream& os) const;
+  /// Auto-detects the container by magic (CENG -> fp32, CQNT -> quantized).
   static Engine load(std::istream& is);
   void saveFile(const std::filesystem::path& p) const;
-  static Engine loadFile(const std::filesystem::path& p);
+
+  enum class LoadMode {
+    kStream,  ///< read everything, verify every byte (heap CRC included)
+    kMap,     ///< mmap the file; CQNT weights are used in place (zero-copy)
+              ///< and only the metadata CRC + bounds are verified, so cold
+              ///< start costs O(pages touched), not O(model size)
+  };
+  static Engine loadFile(const std::filesystem::path& p,
+                         LoadMode mode = LoadMode::kStream);
 
   const EngineConfig& config() const { return cfg_; }
   const embed::VucEncoder& encoder() const { return *encoder_; }
@@ -245,10 +270,23 @@ class Engine {
   void predictRange(std::span<const corpus::Vuc> vucs, size_t b, size_t e,
                     int batch, WorkerState& ws, StageProbs* out);
 
+  void saveQuantized(std::ostream& os) const;
+  /// Parses a CQNT container positioned at `is`. With mapBase == nullptr the
+  /// heap is read from the stream and CRC-verified; otherwise the weights
+  /// are used in place inside [mapBase, mapBase+mapSize) and `hold` (the
+  /// mapping) is retained for the engine's lifetime.
+  static Engine loadQuantized(std::istream& is, const char* mapBase,
+                              size_t mapSize, std::shared_ptr<const void> hold);
+
   EngineConfig cfg_;
   std::optional<std::chrono::steady_clock::time_point> deadline_;
   std::optional<embed::VucEncoder> encoder_;
   std::vector<nn::Sequential> stages_;  // kNumStages entries once trained
+  bool quantized_ = false;
+  /// Keeps the quantized weight bytes alive: the owned heap vector
+  /// (stream load) or the mmapped container (kMap). Fresh quantize()
+  /// results own their bytes inside the layers and leave this empty.
+  std::shared_ptr<const void> heapHold_;
   /// Per-worker inference scratch (index = pool worker id; worker 0 also
   /// serves the single-sample paths). Never serialized.
   std::vector<WorkerState> workers_;

@@ -1,0 +1,60 @@
+// Runtime CPU feature detection and kernel-ISA selection (DESIGN.md §11).
+//
+// The NN hot loops (src/nn/kernels.h) ship in three variants — a scalar
+// reference, AVX2 and AVX-512 — compiled into every binary via per-function
+// target attributes. Which variant runs is decided once per process:
+//
+//   1. an explicit force() call (the tools' --kernel flag), else
+//   2. the CATI_KERNEL environment variable (scalar | avx2 | avx512), else
+//   3. CPUID auto-detection (the widest ISA this machine supports).
+//
+// Requesting an ISA the CPU lacks is a hard error, never a silent
+// downgrade: a forced kernel is how the differential tests pin
+// cross-kernel bit-identity, and a quiet fallback would void the pin.
+//
+// Selection is process-global and sticky: the first kernels() call
+// resolves it and later force() calls throw. Tools therefore apply
+// --kernel before touching the model.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace cati::cpu {
+
+/// Kernel instruction-set tiers, widest last. kScalar is the reference
+/// implementation every other tier must match bit-for-bit on fp32
+/// (DESIGN.md §11); it still auto-vectorizes under -O3, "scalar" means
+/// "no hand-written SIMD".
+enum class Isa {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+};
+
+inline constexpr int kNumIsas = 3;
+
+/// Lower-case stable name: "scalar", "avx2", "avx512".
+std::string_view isaName(Isa isa);
+
+/// Parses an isaName back; nullopt for anything else.
+std::optional<Isa> parseIsa(std::string_view name);
+
+/// True when this CPU can execute `isa` (kScalar is always true; AVX-512
+/// requires F+BW+DQ+VL+VNNI — the subsets the kernels use).
+bool supported(Isa isa);
+
+/// The widest supported tier on this machine.
+Isa detect();
+
+/// The ISA the process runs kernels on, resolved once (force() >
+/// CATI_KERNEL > detect()) and cached. Throws std::runtime_error when
+/// CATI_KERNEL names an unknown or unsupported ISA.
+Isa active();
+
+/// Overrides the selection (the --kernel flag). Must run before the first
+/// active() call; throws std::runtime_error if the selection was already
+/// resolved differently or `isa` is unsupported on this CPU.
+void force(Isa isa);
+
+}  // namespace cati::cpu

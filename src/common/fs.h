@@ -21,13 +21,42 @@
 // "fs.dirsync") are planted at each seam; see common/fault.h.
 #pragma once
 
+#include <cstddef>
 #include <filesystem>
 #include <functional>
 #include <ostream>
+#include <span>
 
 #include "common/errors.h"
 
 namespace cati::fs {
+
+/// A read-only mmap(2) of a whole file. Used for zero-copy model loading:
+/// the kernel pages bytes in on first touch, so opening a large container
+/// costs O(pages actually read), not O(file size). Move-only; the mapping
+/// lives until destruction, so spans handed out from data() must not
+/// outlive the MappedFile (the engine keeps it alive alongside the model).
+///
+/// Open failures throw cati::IoError (exit 3 — environment); an empty file
+/// maps as an empty span, which container readers then reject as truncated.
+class MappedFile {
+ public:
+  explicit MappedFile(const std::filesystem::path& p);
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  std::span<const std::byte> bytes() const { return {data_, size_}; }
+  const char* data() const { return reinterpret_cast<const char*>(data_); }
+  size_t size() const { return size_; }
+
+ private:
+  const std::byte* data_ = nullptr;
+  size_t size_ = 0;
+};
 
 /// Serializes `body(os)` and publishes it at `target` with the write-temp /
 /// fsync / rename / fsync-dir protocol above. Throws cati::IoError when the

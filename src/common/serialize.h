@@ -54,6 +54,39 @@ inline uint32_t crc32(const void* data, size_t n, uint32_t crc = 0) {
   return ~crc;
 }
 
+/// An istream over caller-owned bytes, without copying them — used to parse
+/// container framing straight out of an mmapped model file. The buffer must
+/// outlive the stream. Seekable (tellg/seekg), read-only.
+class ImemStream : private std::streambuf, public std::istream {
+ public:
+  ImemStream(const char* data, size_t n) : std::istream(this) {
+    auto* p = const_cast<char*>(data);
+    setg(p, p, p + n);
+  }
+
+ protected:
+  // tellg()/seekg() support; streambuf's defaults return -1 (fail).
+  // (pos_type/off_type must be qualified: both bases define them.)
+  std::streambuf::pos_type seekoff(std::streambuf::off_type off,
+                                   std::ios_base::seekdir dir,
+                                   std::ios_base::openmode which) override {
+    using pos_type = std::streambuf::pos_type;
+    using off_type = std::streambuf::off_type;
+    if ((which & std::ios_base::in) == 0) return pos_type(off_type(-1));
+    char* base = eback();
+    off_type target = off;
+    if (dir == std::ios_base::cur) target += gptr() - base;
+    if (dir == std::ios_base::end) target += egptr() - base;
+    if (target < 0 || target > egptr() - base) return pos_type(off_type(-1));
+    setg(base, base + target, egptr());
+    return pos_type(target);
+  }
+  std::streambuf::pos_type seekpos(std::streambuf::pos_type pos,
+                                   std::ios_base::openmode which) override {
+    return seekoff(std::streambuf::off_type(pos), std::ios_base::beg, which);
+  }
+};
+
 class Writer {
  public:
   explicit Writer(std::ostream& os) : os_(os) {}

@@ -1,0 +1,93 @@
+// Runtime-dispatched compute kernels for the NN hot loops (DESIGN.md §11).
+//
+// Every KernelSet member has a PINNED per-element floating-point contract,
+// chosen to reproduce — bit for bit — what the seed's autovectorized loops
+// computed, so the checked-in goldens stay byte-identical no matter which
+// ISA variant runs:
+//
+//   conv1dLane   y := bias, then for (c, kk) ascending one FUSED
+//                multiply-add per tap: y = fma(w, x, y). Elements of the
+//                [t][lane] plane are independent, so vector width never
+//                matters; only fusion does, and it is always fused.
+//   denseLane    per output: acc := bias, then for i ascending the first
+//                inF - inF%4 taps are a separately-rounded multiply THEN
+//                add, the last inF%4 taps are fused. (This mirrors the
+//                seed's in-order reduction codegen: 4/8-wide multiply with
+//                sequential lane adds, fused scalar tail.)
+//   absMax       max of |x[i]| — order-independent, 0 for n == 0.
+//   quantizeI8   q[i] = clamp(round-nearest-even(x[i] * invScale), ±127).
+//                Scalar lrintf and vector cvtps both follow the default
+//                MXCSR rounding mode, so results agree exactly.
+//   qgemvI8      exact int32 arithmetic — any evaluation order is the same
+//                value, so all variants agree trivially.
+//
+// kernels.cc is compiled with -ffp-contract=off: fusion happens only where
+// an explicit fma/fmaf (or _mm*_fmadd) is written, never at the compiler's
+// whim, making the contract hold across build types and compilers.
+#pragma once
+
+#include <cstdint>
+
+#include "common/cpu.h"
+
+namespace cati::nn::kern {
+
+/// Samples per batch-transposed lane group; must equal nn::kBatchLane
+/// (static_asserted in nn.cc).
+inline constexpr int kLane = 8;
+
+/// Input features per int8 weight group (the vpdpbusd reduction width).
+inline constexpr int kQGroup = 4;
+
+/// Quantized weight rows are padded to this many outputs so the AVX-512
+/// path needs no output-tail masking.
+inline constexpr int kQOutPad = 16;
+
+/// Number of kQGroup groups covering inF features (last group zero-padded).
+constexpr int qGroups(int inF) { return (inF + kQGroup - 1) / kQGroup; }
+
+/// outF rounded up to the kernel output-padding multiple.
+constexpr int qOutPad(int outF) {
+  return (outF + kQOutPad - 1) / kQOutPad * kQOutPad;
+}
+
+/// One ISA variant of every hot loop. All variants of a member compute
+/// bit-identical results (see header comment); they differ only in speed.
+struct KernelSet {
+  cpu::Isa isa;
+
+  /// Batch-transposed Conv1d over one full lane group. `x` is the
+  /// [c][t][kLane] input pack (inC * len * kLane floats), `y` the
+  /// [o][t][kLane] output pack, `w` is [o][c][kk], same-padding k/2.
+  void (*conv1dLane)(const float* w, const float* bias, const float* x,
+                     float* y, int inC, int outC, int k, int len);
+
+  /// Batch-transposed dense layer over one full lane group. `x` is the
+  /// [i][kLane] input pack, `y` the [o][kLane] output pack, `w` is [o][i].
+  void (*denseLane)(const float* w, const float* bias, const float* x,
+                    float* y, int inF, int outF);
+
+  /// max over i of |x[i]|; 0 when n == 0.
+  float (*absMax)(const float* x, int n);
+
+  /// q[i] = clamp(nearest-even(x[i] * invScale), -127, 127) for i < n.
+  void (*quantizeI8)(const float* x, int8_t* q, int n, float invScale);
+
+  /// acc[o] += sum_i w[o][i] * x[i] in exact int32, for o < outPad.
+  /// `w` is the grouped layout [g][o][j] (g = i/kQGroup, j = i%kQGroup),
+  /// zero-padded to `groups` full groups and `outPad` outputs; `x` must be
+  /// readable (zero-padded) up to groups*kQGroup bytes. `rowSum[o]` is
+  /// sum_i w[o][i] — used by the biased-unsigned VNNI path, ignored by the
+  /// signed scalar/AVX2 paths.
+  void (*qgemvI8)(const int8_t* w, const int32_t* rowSum, const int8_t* x,
+                  int32_t* acc, int groups, int outPad);
+};
+
+/// The variant for a specific ISA. The caller must ensure
+/// cpu::supported(isa) — used by the differential tests to force a tier.
+const KernelSet& kernelsFor(cpu::Isa isa);
+
+/// The variant for cpu::active() — what production code uses.
+const KernelSet& kernels();
+
+}  // namespace cati::nn::kern

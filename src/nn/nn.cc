@@ -8,6 +8,7 @@
 #include "common/numeric.h"
 #include "common/obs.h"
 #include "common/serialize.h"
+#include "nn/kernels.h"
 
 // Determinism note (DESIGN.md §7): every batched kernel below iterates
 // samples in ascending order and keeps the per-element accumulation order of
@@ -17,6 +18,9 @@
 // changes trained-model bits and fails tests/golden/.
 
 namespace cati::nn {
+
+static_assert(kern::kLane == kBatchLane,
+              "kernel lane width must match the batch-transposed pack");
 
 void Layer::saveExtra(std::ostream&) const {}
 void Layer::loadExtra(std::istream&) {}
@@ -95,29 +99,9 @@ void Conv1d::forward(std::span<const float> x, std::span<float> y, int n,
         float* dst = s.laneIn.data() + b;
         for (size_t i = 0; i < inPlane; ++i) dst[i * kBatchLane] = xs[i];
       }
-      const float* xl = s.laneIn.data();
-      float* yl = s.laneOut.data();
-      for (int o = 0; o < outC_; ++o) {
-        const float* wRow =
-            w_.value.data() + static_cast<size_t>(o) * inC_ * k_;
-        float* yRow = yl + static_cast<size_t>(o) * len * kBatchLane;
-        const float bias = b_.value[static_cast<size_t>(o)];
-        for (int i = 0; i < len * kBatchLane; ++i) yRow[i] = bias;
-        for (int c = 0; c < inC_; ++c) {
-          const float* xRow = xl + static_cast<size_t>(c) * len * kBatchLane;
-          const float* wk = wRow + static_cast<size_t>(c) * k_;
-          for (int kk = 0; kk < k_; ++kk) {
-            const float wv = wk[kk];
-            const int shift = kk - pad;
-            const int lo = std::max(0, -shift);
-            const int hi = std::min(len, len - shift);
-            float* yp = yRow + static_cast<size_t>(lo) * kBatchLane;
-            const float* xp = xRow + static_cast<size_t>(lo + shift) * kBatchLane;
-            const int cnt = (hi - lo) * kBatchLane;
-            for (int i = 0; i < cnt; ++i) yp[i] += wv * xp[i];
-          }
-        }
-      }
+      kern::kernels().conv1dLane(w_.value.data(), b_.value.data(),
+                                 s.laneIn.data(), s.laneOut.data(), inC_,
+                                 outC_, k_, len);
       for (int b = 0; b < kBatchLane; ++b) {
         float* ys = y.data() + static_cast<size_t>(b0 + b) * outPlane;
         const float* src = s.laneOut.data() + b;
@@ -374,7 +358,31 @@ void Linear::forward(std::span<const float> x, std::span<float> y, int n,
   checkSize(x, static_cast<size_t>(n) * in_, "Linear::forward x");
   checkSize(y, static_cast<size_t>(n) * out_, "Linear::forward y");
   if (phase != Phase::kInfer) s.cache.assign(x.begin(), x.end());
-  for (int b = 0; b < n; ++b) {
+
+  // Full lanes run batch-transposed through the dispatched dense kernel,
+  // which reproduces this scalar loop's per-sample accumulation exactly
+  // (kernels.h: mul-then-add head, fused n%4 tail — the seed's in-order
+  // reduction codegen). The remainder keeps the historical scalar pass.
+  int b0 = 0;
+  if (n >= kBatchLane) {
+    s.laneIn.resize(static_cast<size_t>(in_) * kBatchLane);
+    s.laneOut.resize(static_cast<size_t>(out_) * kBatchLane);
+    for (; b0 + kBatchLane <= n; b0 += kBatchLane) {
+      for (int b = 0; b < kBatchLane; ++b) {
+        const float* xs = x.data() + static_cast<size_t>(b0 + b) * in_;
+        float* dst = s.laneIn.data() + b;
+        for (int i = 0; i < in_; ++i) dst[static_cast<size_t>(i) * kBatchLane] = xs[i];
+      }
+      kern::kernels().denseLane(w_.value.data(), b_.value.data(),
+                                s.laneIn.data(), s.laneOut.data(), in_, out_);
+      for (int b = 0; b < kBatchLane; ++b) {
+        float* ys = y.data() + static_cast<size_t>(b0 + b) * out_;
+        const float* src = s.laneOut.data() + b;
+        for (int o = 0; o < out_; ++o) ys[o] = src[static_cast<size_t>(o) * kBatchLane];
+      }
+    }
+  }
+  for (int b = b0; b < n; ++b) {
     const float* xs = x.data() + static_cast<size_t>(b) * in_;
     float* ys = y.data() + static_cast<size_t>(b) * out_;
     for (int o = 0; o < out_; ++o) {

@@ -76,8 +76,11 @@ struct LayerScratch {
   std::vector<float> cache;    ///< Conv1d/Linear: input copy; Dropout: scale
   std::vector<uint8_t> mask;   ///< ReLU sign mask
   std::vector<int32_t> argmax; ///< pooling argmax indices
-  std::vector<float> laneIn;   ///< Conv1d: batch-transposed input lane
-  std::vector<float> laneOut;  ///< Conv1d: batch-transposed output lane
+  std::vector<float> laneIn;   ///< Conv1d/Linear: batch-transposed input lane
+  std::vector<float> laneOut;  ///< Conv1d/Linear: batch-transposed output lane
+  std::vector<int8_t> qx;      ///< quantized layers: per-sample int8 input
+  std::vector<int8_t> qt;      ///< quantized conv: [t][c] transposed int8
+  std::vector<int32_t> qacc;   ///< quantized layers: int32 dot accumulators
   /// One gradient accumulator per layer param, in params() order,
   /// value-sized. Sized by Sequential::makeScratch (or lazily on first use).
   std::vector<std::vector<float>> grads;
@@ -146,6 +149,10 @@ class Conv1d final : public Layer {
   void saveExtra(std::ostream& os) const override;
   void loadExtra(std::istream& is) override;
 
+  int inC() const { return inC_; }
+  int outC() const { return outC_; }
+  int kernel() const { return k_; }
+
  private:
   int inC_;
   int outC_;
@@ -180,6 +187,8 @@ class MaxPool1d final : public Layer {
   void saveExtra(std::ostream& os) const override;
   void loadExtra(std::istream& is) override;
 
+  int kernel() const { return k_; }
+
  private:
   int k_;
   Shape in_{};
@@ -213,6 +222,9 @@ class Linear final : public Layer {
   std::string kind() const override { return "linear"; }
   void saveExtra(std::ostream& os) const override;
   void loadExtra(std::istream& is) override;
+
+  int inF() const { return in_; }
+  int outF() const { return out_; }
 
  private:
   int in_;

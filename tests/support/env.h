@@ -1,0 +1,33 @@
+// Environment-driven test scaling, shared by the fuzz and stress suites.
+//
+// CATI_FUZZ_ITERS names a TOTAL iteration budget (default kIterBudget, the
+// historical sum of the fuzz suite's per-case defaults). Each scaled case
+// calls scaledIters(itsDefault) and receives its proportional share, so one
+// knob scales every suite consistently: CI's sanitizer leg can shrink runs
+// (CATI_FUZZ_ITERS=500) and a nightly soak can raise them without touching
+// any test. Unset or non-positive values mean "use the defaults".
+#pragma once
+
+#include <cstdlib>
+
+namespace cati::testsupport {
+
+/// The budget the per-case defaults add up to; the denominator of the
+/// scaling ratio.
+inline constexpr long kIterBudget = 10500;
+
+/// `dflt` scaled by CATI_FUZZ_ITERS / kIterBudget (never below 1).
+inline int scaledIters(int dflt) {
+  if (const char* env = std::getenv("CATI_FUZZ_ITERS")) {
+    const long total = std::strtol(env, nullptr, 10);
+    if (total > 0) {
+      return static_cast<int>(static_cast<double>(dflt) *
+                              (static_cast<double>(total) /
+                               static_cast<double>(kIterBudget))) +
+             1;
+    }
+  }
+  return dflt;
+}
+
+}  // namespace cati::testsupport

@@ -20,18 +20,13 @@
 #include "common/rng.h"
 #include "corpus/corpus.h"
 #include "loader/image.h"
+#include "support/env.h"
 #include "synth/synth.h"
 
 namespace cati {
 namespace {
 
-int scaledIters(int dflt) {
-  if (const char* env = std::getenv("CATI_FUZZ_ITERS")) {
-    const long total = std::strtol(env, nullptr, 10);
-    if (total > 0) return static_cast<int>(dflt * (total / 10500.0)) + 1;
-  }
-  return dflt;
-}
+using testsupport::scaledIters;
 
 std::string serializeImage(const loader::Image& img) {
   std::ostringstream os;

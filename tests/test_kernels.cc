@@ -1,0 +1,362 @@
+// Differential suite for the runtime-dispatched NN kernels (DESIGN.md §11).
+//
+// The contract under test: every ISA variant of every KernelSet member
+// computes BIT-IDENTICAL results to the scalar reference — across channel
+// and length sweeps chosen to hit every vector-width tail, on all-zero
+// input, and on denormal input (the build never enables -ffast-math, so
+// DAZ/FTZ stay off and denormals must survive every tier). Tiers the CPU
+// lacks are skipped with a note, never silently passed.
+//
+// The CLI property leg drives the real cati-infer binary under
+// CATI_KERNEL={scalar,avx2,avx512} x --jobs and byte-compares the reports:
+// fp32 reports must be identical across kernels, and quantized (--quant)
+// reports identical across kernels AND job counts (per-sample activation
+// scales + exact int32 accumulation make batching invisible).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cati/engine.h"
+#include "common/cpu.h"
+#include "common/rng.h"
+#include "loader/image.h"
+#include "nn/kernels.h"
+#include "nn/nn.h"
+#include "nn/qnn.h"
+#include "support/micro_model.h"
+
+#ifndef CATI_TOOL_DIR
+#define CATI_TOOL_DIR "tools"
+#endif
+
+namespace cati::nn {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+std::vector<float> randVec(size_t n, Rng& rng, float scale = 1.0F) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.normal(0.0F, scale);
+  return v;
+}
+
+/// Denormal-heavy fill: alternating-sign values far below FLT_MIN.
+std::vector<float> denormVec(size_t n) {
+  std::vector<float> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = (i % 2 == 0 ? 1.0F : -1.0F) * 1e-42F * static_cast<float>(i + 1);
+  }
+  return v;
+}
+
+testing::AssertionResult bitsEqual(std::span<const float> a,
+                                   std::span<const float> b) {
+  if (a.size() != b.size()) {
+    return testing::AssertionFailure() << "size " << a.size() << " vs "
+                                       << b.size();
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::memcmp(&a[i], &b[i], sizeof(float)) != 0) {
+      return testing::AssertionFailure()
+             << "first bit difference at [" << i << "]: " << a[i] << " vs "
+             << b[i];
+    }
+  }
+  return testing::AssertionSuccess();
+}
+
+/// Parametrized over the ISA under test; compared against kScalar.
+class KernelIsaTest : public testing::TestWithParam<cpu::Isa> {
+ protected:
+  void SetUp() override {
+    if (!cpu::supported(GetParam())) {
+      GTEST_SKIP() << "CPU lacks " << cpu::isaName(GetParam())
+                   << "; differential leg not run on this machine";
+    }
+  }
+  const kern::KernelSet& ref() { return kern::kernelsFor(cpu::Isa::kScalar); }
+  const kern::KernelSet& dut() { return kern::kernelsFor(GetParam()); }
+};
+
+TEST_P(KernelIsaTest, Conv1dLaneMatchesScalarAcrossShapes) {
+  Rng rng(0xC0417);
+  // (inC, outC, k, len): full production shapes plus tails that stop short
+  // of every vector width (1, 3, 5, 9) and a len-1 edge.
+  const struct { int inC, outC, k, len; } shapes[] = {
+      {1, 1, 3, 1},  {3, 5, 3, 7},   {4, 3, 5, 9},
+      {16, 8, 3, 5}, {96, 32, 3, 21}, {32, 64, 3, 10},
+  };
+  for (const auto& sh : shapes) {
+    const auto w = randVec(static_cast<size_t>(sh.outC) * sh.inC * sh.k, rng);
+    const auto bias = randVec(static_cast<size_t>(sh.outC), rng);
+    const size_t xn = static_cast<size_t>(sh.inC) * sh.len * kern::kLane;
+    const size_t yn = static_cast<size_t>(sh.outC) * sh.len * kern::kLane;
+    for (const auto& x : {randVec(xn, rng), std::vector<float>(xn, 0.0F),
+                          denormVec(xn)}) {
+      std::vector<float> ya(yn), yb(yn);
+      ref().conv1dLane(w.data(), bias.data(), x.data(), ya.data(), sh.inC,
+                       sh.outC, sh.k, sh.len);
+      dut().conv1dLane(w.data(), bias.data(), x.data(), yb.data(), sh.inC,
+                       sh.outC, sh.k, sh.len);
+      EXPECT_TRUE(bitsEqual(ya, yb))
+          << "conv inC=" << sh.inC << " outC=" << sh.outC << " k=" << sh.k
+          << " len=" << sh.len;
+    }
+  }
+}
+
+TEST_P(KernelIsaTest, DenseLaneMatchesScalarAcrossShapes) {
+  Rng rng(0xDE45E);
+  // inF values cover every mod-4 and mod-8 tail class; outF hits the
+  // unroll-by-2 remainder.
+  for (const int inF : {1, 2, 3, 4, 5, 7, 8, 9, 31, 96, 320}) {
+    for (const int outF : {1, 2, 3, 17, 128}) {
+      const auto w = randVec(static_cast<size_t>(outF) * inF, rng);
+      const auto bias = randVec(static_cast<size_t>(outF), rng);
+      const size_t xn = static_cast<size_t>(inF) * kern::kLane;
+      const size_t yn = static_cast<size_t>(outF) * kern::kLane;
+      for (const auto& x : {randVec(xn, rng), std::vector<float>(xn, 0.0F),
+                            denormVec(xn)}) {
+        std::vector<float> ya(yn), yb(yn);
+        ref().denseLane(w.data(), bias.data(), x.data(), ya.data(), inF, outF);
+        dut().denseLane(w.data(), bias.data(), x.data(), yb.data(), inF, outF);
+        EXPECT_TRUE(bitsEqual(ya, yb)) << "dense inF=" << inF
+                                       << " outF=" << outF;
+      }
+    }
+  }
+}
+
+TEST_P(KernelIsaTest, AbsMaxMatchesScalarIncludingDenormals) {
+  Rng rng(0xAB5A);
+  for (int n = 0; n <= 67; ++n) {
+    const auto x = randVec(static_cast<size_t>(n), rng, 3.0F);
+    EXPECT_EQ(ref().absMax(x.data(), n), dut().absMax(x.data(), n)) << n;
+    const auto d = denormVec(static_cast<size_t>(n));
+    EXPECT_EQ(ref().absMax(d.data(), n), dut().absMax(d.data(), n))
+        << "denormal n=" << n;
+    const std::vector<float> z(static_cast<size_t>(n), 0.0F);
+    EXPECT_EQ(dut().absMax(z.data(), n), 0.0F) << "zero n=" << n;
+  }
+}
+
+TEST_P(KernelIsaTest, QuantizeI8MatchesScalarAndRoundsToEven) {
+  Rng rng(0x0117);
+  for (int n = 1; n <= 67; n += 3) {
+    for (const float invScale : {0.0F, 0.37F, 12.5F, 127.0F}) {
+      auto x = randVec(static_cast<size_t>(n), rng, 2.0F);
+      // Exact tie points: 2.5/invScale quantizes to round-nearest-EVEN 2.
+      if (invScale > 0 && n > 2) {
+        x[0] = 2.5F / invScale;
+        x[1] = -3.5F / invScale;
+      }
+      std::vector<int8_t> qa(static_cast<size_t>(n)), qb(qa);
+      ref().quantizeI8(x.data(), qa.data(), n, invScale);
+      dut().quantizeI8(x.data(), qb.data(), n, invScale);
+      EXPECT_EQ(qa, qb) << "n=" << n << " invScale=" << invScale;
+    }
+    const auto d = denormVec(static_cast<size_t>(n));
+    std::vector<int8_t> qa(static_cast<size_t>(n)), qb(qa);
+    ref().quantizeI8(d.data(), qa.data(), n, 127.0F);
+    dut().quantizeI8(d.data(), qb.data(), n, 127.0F);
+    EXPECT_EQ(qa, qb) << "denormal n=" << n;
+  }
+}
+
+TEST_P(KernelIsaTest, QgemvI8MatchesScalarAndExactReference) {
+  Rng rng(0x9E37);
+  for (const int groups : {1, 2, 3, 8, 24, 80}) {
+    for (const int outPad : {16, 32, 48}) {
+      const size_t wn =
+          static_cast<size_t>(groups) * outPad * kern::kQGroup;
+      const size_t xn = static_cast<size_t>(groups) * kern::kQGroup;
+      std::vector<int8_t> w(wn), x(xn);
+      for (auto& v : w) v = static_cast<int8_t>(rng.uniformInt(-127, 127));
+      for (auto& v : x) v = static_cast<int8_t>(rng.uniformInt(-127, 127));
+      std::vector<int32_t> rowSum(static_cast<size_t>(outPad), 0);
+      for (int o = 0; o < outPad; ++o) {
+        for (int g = 0; g < groups; ++g) {
+          for (int j = 0; j < kern::kQGroup; ++j) {
+            rowSum[static_cast<size_t>(o)] +=
+                w[(static_cast<size_t>(g) * outPad + o) * kern::kQGroup + j];
+          }
+        }
+      }
+      // Seed acc nonzero to pin the accumulate (+=) semantics.
+      std::vector<int32_t> seed(static_cast<size_t>(outPad));
+      for (auto& v : seed) v = static_cast<int32_t>(rng.uniformInt(-1000, 1000));
+      std::vector<int32_t> accA = seed, accB = seed, accRef = seed;
+      ref().qgemvI8(w.data(), rowSum.data(), x.data(), accA.data(), groups,
+                    outPad);
+      dut().qgemvI8(w.data(), rowSum.data(), x.data(), accB.data(), groups,
+                    outPad);
+      for (int o = 0; o < outPad; ++o) {
+        int64_t dot = 0;
+        for (int g = 0; g < groups; ++g) {
+          for (int j = 0; j < kern::kQGroup; ++j) {
+            const size_t wi =
+                (static_cast<size_t>(g) * outPad + o) * kern::kQGroup + j;
+            dot += static_cast<int64_t>(w[wi]) *
+                   x[static_cast<size_t>(g) * kern::kQGroup + j];
+          }
+        }
+        accRef[static_cast<size_t>(o)] += static_cast<int32_t>(dot);
+      }
+      EXPECT_EQ(accA, accRef) << "scalar vs reference, groups=" << groups;
+      EXPECT_EQ(accB, accRef) << cpu::isaName(GetParam())
+                              << " vs reference, groups=" << groups;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIsas, KernelIsaTest,
+                         testing::Values(cpu::Isa::kScalar, cpu::Isa::kAvx2,
+                                         cpu::Isa::kAvx512),
+                         [](const auto& info) {
+                           return std::string(cpu::isaName(info.param));
+                         });
+
+// --- dispatched layer forward: batch {1, 8, 32} byte-identity ---------------
+
+std::vector<float> forwardAll(const Sequential& net, std::span<const float> x,
+                              int n, int batch) {
+  Scratch s = net.makeScratch();
+  const int outSize = net.outShape().size();
+  const int inSize = net.inShape().size();
+  std::vector<float> y(static_cast<size_t>(n) * outSize);
+  for (int b = 0; b < n; b += batch) {
+    const int take = std::min(batch, n - b);
+    const auto out = net.forward(
+        x.subspan(static_cast<size_t>(b) * inSize,
+                  static_cast<size_t>(take) * inSize),
+        take, s, Phase::kInfer);
+    std::copy(out.begin(), out.end(),
+              y.begin() + static_cast<size_t>(b) * outSize);
+  }
+  return y;
+}
+
+TEST(KernelBatch, ForwardBitIdenticalAcrossBatchSizes) {
+  Rng rng(0xBA7C);
+  // Conv+pool+dense pipelines over a channel/length sweep, fp32 and int8.
+  const struct { int c, l, mid, out; } shapes[] = {
+      {3, 7, 4, 5}, {16, 21, 8, 3}, {96, 21, 32, 17},
+  };
+  for (const auto& sh : shapes) {
+    Sequential net({sh.c, sh.l});
+    net.add(std::make_unique<Conv1d>(sh.c, sh.mid, 3, &rng));
+    net.add(std::make_unique<ReLU>());
+    net.add(std::make_unique<GlobalMaxPool>());
+    net.add(std::make_unique<Linear>(sh.mid, sh.out, &rng));
+    Sequential qnet = quantizeNet(net);
+
+    const int n = 32;
+    const auto x =
+        randVec(static_cast<size_t>(n) * sh.c * sh.l, rng);
+    for (const Sequential* m : {&net, &qnet}) {
+      const auto y1 = forwardAll(*m, x, n, 1);
+      const auto y8 = forwardAll(*m, x, n, 8);
+      const auto y32 = forwardAll(*m, x, n, 32);
+      EXPECT_TRUE(bitsEqual(y1, y8)) << "c=" << sh.c << " l=" << sh.l;
+      EXPECT_TRUE(bitsEqual(y1, y32)) << "c=" << sh.c << " l=" << sh.l;
+    }
+  }
+}
+
+// --- CLI property: CATI_KERNEL matrix through the real cati-infer -----------
+
+std::string toolPath(const std::string& tool) {
+  return (stdfs::path(CATI_TOOL_DIR) / tool).string();
+}
+
+/// stdout of `env CMD`, asserting exit 0.
+std::string capture(const std::string& cmd) {
+  FILE* p = ::popen((cmd + " 2>/dev/null").c_str(), "r");
+  EXPECT_NE(p, nullptr) << cmd;
+  if (p == nullptr) return {};
+  std::string out;
+  char buf[4096];
+  size_t got = 0;
+  while ((got = ::fread(buf, 1, sizeof(buf), p)) > 0) out.append(buf, got);
+  EXPECT_EQ(::pclose(p), 0) << cmd;
+  return out;
+}
+
+TEST(KernelMatrixCli, ReportsByteIdenticalAcrossKernelsAndJobs) {
+  const stdfs::path dir =
+      stdfs::temp_directory_path() / "cati_kernel_matrix_test";
+  stdfs::create_directories(dir);
+  const std::string model = (dir / "model.bin").string();
+  const std::string qmodel = (dir / "model.q.bin").string();
+  const std::string img = (dir / "app.img").string();
+  {
+    Engine engine = testsupport::cachedMicroEngine();
+    engine.saveFile(model);
+    engine.quantize().saveFile(qmodel);
+    const auto bins = testsupport::microBinaries();
+    loader::Image image = loader::buildImage(bins.at(0));
+    loader::strip(image);
+    std::ofstream os(img, std::ios::binary);
+    std::ostringstream buf;
+    loader::write(image, buf);
+    os << buf.str();
+  }
+
+  int legs = 0;
+  std::string fp32Ref, quantRef;
+  for (const char* isa : {"scalar", "avx2", "avx512"}) {
+    if (!cpu::supported(*cpu::parseIsa(isa))) {
+      std::fprintf(stderr, "note: CPU lacks %s, kernel-matrix leg skipped\n",
+                   isa);
+      continue;
+    }
+    const std::string env = std::string("CATI_KERNEL=") + isa + " ";
+    const std::string fp32 =
+        capture(env + toolPath("cati-infer") + " " + model + " " + img);
+    ASSERT_FALSE(fp32.empty()) << isa;
+    if (fp32Ref.empty()) fp32Ref = fp32;
+    EXPECT_EQ(fp32, fp32Ref) << "fp32 report differs under " << isa;
+    for (const int jobs : {1, 2}) {
+      const std::string q = capture(env + toolPath("cati-infer") + " " +
+                                    qmodel + " " + img + " --jobs " +
+                                    std::to_string(jobs));
+      ASSERT_FALSE(q.empty()) << isa << " jobs=" << jobs;
+      if (quantRef.empty()) quantRef = q;
+      EXPECT_EQ(q, quantRef)
+          << "quantized report differs under " << isa << " jobs=" << jobs;
+    }
+    ++legs;
+  }
+  ASSERT_GE(legs, 1);  // scalar always runs
+  stdfs::remove_all(dir);
+}
+
+TEST(KernelMatrixCli, UnknownKernelIsRejected) {
+  // Capture stderr: the exit must come from the kernel resolution (a hard
+  // process error before any analysis), not from the bogus file paths —
+  // exit code 1 alone cannot tell those apart.
+  const std::string cmd = "CATI_KERNEL=bogus " + toolPath("cati-infer") +
+                          " /nonexistent /nonexistent 2>&1 >/dev/null";
+  FILE* p = ::popen(cmd.c_str(), "r");
+  ASSERT_NE(p, nullptr);
+  std::string err;
+  char buf[4096];
+  size_t got = 0;
+  while ((got = ::fread(buf, 1, sizeof(buf), p)) > 0) err.append(buf, got);
+  const int rc = ::pclose(p);
+  ASSERT_TRUE(WIFEXITED(rc));
+  EXPECT_EQ(WEXITSTATUS(rc), 1);  // hard error, never a silent downgrade
+  EXPECT_NE(err.find("CATI_KERNEL"), std::string::npos) << err;
+  EXPECT_NE(err.find("bogus"), std::string::npos) << err;
+}
+
+}  // namespace
+}  // namespace cati::nn

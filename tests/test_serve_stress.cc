@@ -8,6 +8,8 @@
 // into a mutex-guarded list that the main thread asserts on after joining.
 //
 // Shares the ./cati_test_cache/ micro model (RESOURCE_LOCK micro_model_cache).
+// Per-client request counts scale with the CATI_FUZZ_ITERS budget
+// (tests/support/env.h), same knob as the fuzz suite.
 #include <filesystem>
 #include <memory>
 #include <mutex>
@@ -26,6 +28,7 @@
 #include "serve/client.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
+#include "support/env.h"
 #include "support/micro_model.h"
 
 namespace cati::serve {
@@ -182,7 +185,8 @@ TEST_F(ServeStressTest, SweepClientsJobsBatch) {
           const uint32_t seed = static_cast<uint32_t>(
               0x5EED0000 + cfgIdx * 100 + clients * 10 + c);
           threads.emplace_back([&, seed] {
-            runClient(server.bound(), seed, /*requests=*/3, failures);
+            runClient(server.bound(), seed,
+                      testsupport::scaledIters(3), failures);
           });
         }
         for (auto& t : threads) t.join();
@@ -216,7 +220,8 @@ TEST_F(ServeStressTest, FaultsDuringServingNeverCorruptReplies) {
         "truncate@fs.write:1", "fail@serve.cache.read:1", ""}) {
     fault::configureForTest(spec);
     Failures failures;
-    runClient(server.bound(), /*seed=*/0xFA017, /*requests=*/4, failures);
+    runClient(server.bound(), /*seed=*/0xFA017, testsupport::scaledIters(4),
+              failures);
     EXPECT_TRUE(failures.empty())
         << "under fault spec '" << spec << "'\n"
         << failures.summary();
@@ -278,7 +283,8 @@ TEST_F(ServeStressTest, DisconnectStormLeavesServerServing) {
       });
     } else {
       threads.emplace_back([&, seed] {
-        runClient(server.bound(), seed, /*requests=*/3, failures);
+        runClient(server.bound(), seed,
+                      testsupport::scaledIters(3), failures);
       });
     }
   }
@@ -287,7 +293,8 @@ TEST_F(ServeStressTest, DisconnectStormLeavesServerServing) {
 
   // And the server is still healthy afterwards.
   Failures post;
-  runClient(server.bound(), /*seed=*/0xAF7E2, /*requests=*/2, post);
+  runClient(server.bound(), /*seed=*/0xAF7E2, testsupport::scaledIters(2),
+            post);
   EXPECT_TRUE(post.empty()) << post.summary();
   server.stop();
 }

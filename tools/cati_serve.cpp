@@ -30,7 +30,7 @@ namespace {
 constexpr const char* kUsagePrefix =
     "usage: cati-serve MODEL.bin --listen ADDR [--jobs N] [--max-queue N] "
     "[--max-group N] [--cache-bytes SIZE] [--cache-dir DIR] "
-    "[--max-requests N]";
+    "[--max-requests N] [--quant] [--mmap]";
 
 std::string usageLine() {
   return std::string(kUsagePrefix) + cati::cli::kCommonUsage +
@@ -50,6 +50,8 @@ int run(int argc, char** argv, const cati::cli::Common& common) {
   serve::ServerConfig cfg;
   cfg.batch = common.batch;
   bool haveListen = false;
+  bool quant = false;
+  bool useMmap = false;
   cli::SeenFlags seen;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -89,6 +91,12 @@ int run(int argc, char** argv, const cati::cli::Common& common) {
       const long v = cli::parseInt(arg, next());
       if (v <= 0) throw cli::UsageError("--max-requests: must be positive");
       cfg.maxRequests = v;
+    } else if (arg == "--quant") {
+      seen.note(arg);
+      quant = true;
+    } else if (arg == "--mmap") {
+      seen.note(arg);
+      useMmap = true;
     } else {
       cli::unknownArg(arg);
     }
@@ -99,7 +107,11 @@ int run(int argc, char** argv, const cati::cli::Common& common) {
   // the protocol, not an opt-in debugging aid.
   obs::setEnabled(true);
 
-  Engine engine = Engine::loadFile(argv[1]);
+  // --mmap makes cold start O(pages touched) for quantized containers: the
+  // daemon starts answering before the whole model has been paged in.
+  Engine engine = Engine::loadFile(
+      argv[1], useMmap ? Engine::LoadMode::kMap : Engine::LoadMode::kStream);
+  if (quant && !engine.quantized()) engine = engine.quantize();
   serve::Server server(engine, cfg);
   std::signal(SIGINT, onSignal);
   std::signal(SIGTERM, onSignal);

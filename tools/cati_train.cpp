@@ -30,7 +30,8 @@ constexpr const char* kUsagePrefix =
     "usage: cati-train MODEL.bin [--apps N] [--funcs K] "
     "[--dialect gcc|clang] [--epochs E] [--cap C] [--hidden H] "
     "[--window W] [--dim D] [--seed S] [--quiet] [--jobs N] "
-    "[--checkpoint DIR] [--checkpoint-every N] [--resume]";
+    "[--checkpoint DIR] [--checkpoint-every N] [--resume] "
+    "[--quantize FILE]";
 
 std::string usageLine() {
   return std::string(kUsagePrefix) + cati::cli::kCommonUsage + "\n";
@@ -54,6 +55,7 @@ int run(int argc, char** argv, const cati::cli::Common& common) {
   uint64_t seed = 2026;
   int jobs = 0;  // 0: CATI_JOBS env or hardware concurrency
   TrainCheckpointing ckpt;
+  std::string quantizeOut;
   cli::SeenFlags seen;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -107,6 +109,9 @@ int run(int argc, char** argv, const cati::cli::Common& common) {
     } else if (arg == "--resume") {
       seen.note(arg);
       ckpt.resume = true;
+    } else if (arg == "--quantize") {
+      seen.note(arg);
+      quantizeOut = next();
     } else {
       cli::unknownArg(arg);
     }
@@ -140,6 +145,12 @@ int run(int argc, char** argv, const cati::cli::Common& common) {
   engine.train(train, &pool, ckpt.dir.empty() ? nullptr : &ckpt);
   engine.saveFile(out);
   std::printf("model written to %s\n", out.c_str());
+  if (!quantizeOut.empty()) {
+    // Post-training int8 quantization: the fp32 model above stays the
+    // source of truth; FILE gets the inference-only CQNT container.
+    engine.quantize().saveFile(quantizeOut);
+    std::printf("quantized model written to %s\n", quantizeOut.c_str());
+  }
   return 0;
 }
 

@@ -27,6 +27,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/cpu.h"
 #include "common/diag.h"
 #include "common/errors.h"
 #include "common/fs.h"
@@ -113,6 +114,19 @@ struct Common {
   int batch = 0;
 };
 
+/// Applies `--kernel ISA` (scalar | avx2 | avx512): forces the NN kernel
+/// tier before any inference runs. Unknown names are usage errors; an ISA
+/// this CPU lacks is a hard error from cpu::force (exit 1), never a silent
+/// downgrade. fp32 results are bit-identical across tiers (DESIGN.md §11).
+inline void applyKernelFlag(const std::string& value) {
+  const auto isa = cpu::parseIsa(value);
+  if (!isa) {
+    throw UsageError("--kernel: unknown ISA: " + value +
+                     " (want scalar, avx2 or avx512)");
+  }
+  cpu::force(*isa);
+}
+
 /// Strips the common flags out of (argc, argv) in place and returns their
 /// parsed values. Enabling --metrics flips the process-global obs switch
 /// before the tool's pipeline runs. Duplicates and malformed values are
@@ -143,18 +157,31 @@ inline Common extractCommon(int& argc, char** argv) {
           "--batch",
           std::string(arg.substr(std::string_view("--batch=").size()))
               .c_str()));
+    } else if (arg == "--kernel") {
+      seen.note(arg);
+      if (i + 1 >= argc) throw UsageError("--kernel: missing value");
+      applyKernelFlag(argv[++i]);
+    } else if (arg.starts_with("--kernel=")) {
+      seen.note("--kernel");
+      applyKernelFlag(
+          std::string(arg.substr(std::string_view("--kernel=").size())));
     } else {
       argv[w++] = argv[i];
     }
   }
   argc = w;
   if (c.metrics) obs::setEnabled(true);
+  // Resolve the kernel selection eagerly (any --kernel was applied in the
+  // loop above): a bad CATI_KERNEL must be a hard process error here, not
+  // a per-function degradation deep inside analysis.
+  const cpu::Isa isa = cpu::active();
+  if (c.verbose) std::cerr << "nn kernel: " << cpu::isaName(isa) << "\n";
   return c;
 }
 
 /// Usage-string suffix so every tool advertises the shared flags.
 inline constexpr const char* kCommonUsage =
-    " [--verbose] [--metrics[=FILE]] [--batch N]";
+    " [--verbose] [--metrics[=FILE]] [--batch N] [--kernel ISA]";
 
 /// Diagnostics to stderr: warnings and errors always, notes only with
 /// --verbose (the passthrough cati-objdump/cati-strip previously lacked).
