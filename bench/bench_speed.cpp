@@ -22,6 +22,7 @@
 
 #include "common/cpu.h"
 #include "common/parallel.h"
+#include "corpus/sharded.h"
 #include "harness/harness.h"
 #include "loader/image.h"
 #include "serve/client.h"
@@ -353,6 +354,63 @@ void BM_TrainCheckpointOverhead(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TrainCheckpointOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(1.0);
+
+void BM_TrainCorpusMode(benchmark::State& state) {
+  // The streaming tax (DESIGN.md §12): the same micro run as
+  // BM_TrainEndToEndJobs/1 trained from the in-memory dataset (arg = 0) or
+  // from a sharded CSHD directory through the prefetch-pipelined
+  // ShardedSource (arg = 1). Models are bit-identical; the delta between
+  // the rows is shard decode + gather cost net of prefetch overlap (with
+  // CATI_METRICS=1 the /1 row also carries train.prefetch_stall_ns — the
+  // part of that cost the pipeline failed to hide).
+  par::ThreadPool pool(1);
+  const auto bins = synth::generateCorpus(2, 8, synth::Dialect::Gcc, 7, &pool);
+  const corpus::Dataset ds = corpus::extractAll(bins, 10, true, &pool);
+  const bool streaming = state.range(0) != 0;
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "cati_bench_shards";
+  if (streaming) {
+    std::filesystem::remove_all(dir);
+    corpus::ShardWriter w(dir, 10, ds.vucs.size() / 8 + 1);
+    for (const auto& bin : bins) {
+      w.append(corpus::extractGroundTruth(bin, 10));
+    }
+    w.finish();
+  }
+  EngineConfig cfg;
+  cfg.epochs = 1;
+  cfg.w2v.epochs = 1;
+  cfg.maxTrainPerStage = 512;
+  cfg.fcHidden = 32;
+  const obs::Snapshot base = bench::metricsBaseline();
+  if (streaming) {
+    const corpus::ShardedCorpus sc(dir);
+    state.counters["shards"] = static_cast<double>(sc.numShards());
+    for (auto _ : state) {
+      corpus::ShardedSource src(sc);
+      Engine e(cfg);
+      e.train(src, &pool);
+      benchmark::DoNotOptimize(e);
+    }
+  } else {
+    for (auto _ : state) {
+      Engine e(cfg);
+      e.train(ds, &pool);
+      benchmark::DoNotOptimize(e);
+    }
+  }
+  exportMetricsColumns(state, base);
+  state.counters["train_vucs"] = static_cast<double>(ds.vucs.size());
+  if (streaming) {
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+}
+BENCHMARK(BM_TrainCorpusMode)
     ->Arg(0)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond)

@@ -135,7 +135,48 @@ constexpr uint64_t kChunkStreams = 1ULL << 16;
 
 }  // namespace
 
-void Engine::trainStage(Stage s, const corpus::Dataset& ds, uint64_t seed,
+std::vector<uint32_t> Engine::stageTrainSet(Stage s,
+                                            const corpus::VucSource& src,
+                                            Rng& rng) const {
+  // Collect the VUCs whose ground-truth path passes through this stage.
+  // Labels are O(1) on every source (the sharded one keeps them resident
+  // from the manifest), so grouping and subsampling touch no shard bytes.
+  std::vector<std::vector<uint32_t>> byClass(
+      static_cast<size_t>(numClasses(s)));
+  const auto total = static_cast<uint32_t>(src.numVucs());
+  for (uint32_t i = 0; i < total; ++i) {
+    const TypeLabel label = src.labelOf(i);
+    if (label == TypeLabel::kCount) continue;
+    const int cls = stageClassOf(s, label);
+    if (cls >= 0) byClass[static_cast<size_t>(cls)].push_back(i);
+  }
+  return balancedSubsample(byClass, cfg_.maxTrainPerStage,
+                           cfg_.balanceMultiplier, rng);
+}
+
+void Engine::preGatherStages(corpus::VucSource& src,
+                             const std::array<uint64_t, kNumStages>& seeds,
+                             int startStage, bool planOnly) const {
+  std::vector<uint32_t> all;
+  for (int s = startStage; s < kNumStages; ++s) {
+    // A fresh Rng per stage, exactly as trainStage seeds its own: the
+    // replayed draws are identical, and nothing here advances any RNG a
+    // later consumer observes.
+    Rng rng(seeds[static_cast<size_t>(s)]);
+    const std::vector<uint32_t> train =
+        stageTrainSet(static_cast<Stage>(s), src, rng);
+    all.insert(all.end(), train.begin(), train.end());
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  if (planOnly) {
+    src.planGather(all);
+  } else {
+    src.gather(all);
+  }
+}
+
+void Engine::trainStage(Stage s, corpus::VucSource& src, uint64_t seed,
                         par::ThreadPool& pool, int startEpoch,
                         std::istream* adamState, const TrainCheckpointing* ck,
                         const std::array<uint64_t, kNumStages>* seeds) {
@@ -146,16 +187,13 @@ void Engine::trainStage(Stage s, const corpus::Dataset& ds, uint64_t seed,
   const obs::ScopedTimer stageTiming(*stageNs[static_cast<size_t>(s)]);
   Rng rng(seed);
   const int classes = numClasses(s);
-
-  // Collect the VUCs whose ground-truth path passes through this stage.
-  std::vector<std::vector<uint32_t>> byClass(static_cast<size_t>(classes));
-  for (uint32_t i = 0; i < ds.vucs.size(); ++i) {
-    if (ds.vucs[i].label == TypeLabel::kCount) continue;
-    const int cls = stageClassOf(s, ds.vucs[i].label);
-    if (cls >= 0) byClass[static_cast<size_t>(cls)].push_back(i);
-  }
-  std::vector<uint32_t> train = balancedSubsample(
-      byClass, cfg_.maxTrainPerStage, cfg_.balanceMultiplier, rng);
+  std::vector<uint32_t> train = stageTrainSet(s, src, rng);
+  // Make this stage's subset resident. train() pre-gathered the union of
+  // every remaining stage's subset in one streaming pass, so this is a
+  // residency check, not I/O (and a no-op for the in-memory source). The
+  // index set is fixed for the whole stage — epoch shuffles only permute
+  // it — so it serves every epoch, including a mid-stage resume's replay.
+  src.gather(train);
   stageSamples[static_cast<size_t>(s)]->add(
       train.size() *
       static_cast<size_t>(std::max(0, cfg_.epochs - startEpoch)));
@@ -227,7 +265,7 @@ void Engine::trainStage(Stage s, const corpus::Dataset& ds, uint64_t seed,
         t.dLogits.resize(nb * static_cast<size_t>(classes));
         t.probs.resize(static_cast<size_t>(classes));
         for (size_t k = 0; k < nb; ++k) {
-          encodeInput(ds.vucs[train[batch + cb + k]], -1,
+          encodeInput(src.vuc(train[batch + cb + k]), -1,
                       std::span(t.input).subspan(k * inSize, inSize));
         }
         // One batched forward/backward over the chunk. Kernels keep the
@@ -238,7 +276,7 @@ void Engine::trainStage(Stage s, const corpus::Dataset& ds, uint64_t seed,
         ChunkOut out;
         for (size_t k = 0; k < nb; ++k) {
           const int target =
-              stageClassOf(s, ds.vucs[train[batch + cb + k]].label);
+              stageClassOf(s, src.labelOf(train[batch + cb + k]));
           out.loss += nn::SoftmaxCE::forward(
               logits.subspan(k * static_cast<size_t>(classes),
                              static_cast<size_t>(classes)),
@@ -289,10 +327,10 @@ void Engine::trainStage(Stage s, const corpus::Dataset& ds, uint64_t seed,
         // records the position and the moments needed to continue exactly.
         if (stageEnd) {
           writeTrainCheckpoint(*ck, static_cast<int>(s) + 1, 0, *seeds,
-                               nullptr, ds);
+                               nullptr, src.numVars(), src.numVucs());
         } else {
           writeTrainCheckpoint(*ck, static_cast<int>(s), done, *seeds, &adam,
-                               ds);
+                               src.numVars(), src.numVucs());
         }
         // The crash-sweep seam: a kill here models dying right after the
         // checkpoint landed (the write itself is covered by the fs.* seams).
@@ -304,12 +342,18 @@ void Engine::trainStage(Stage s, const corpus::Dataset& ds, uint64_t seed,
 
 void Engine::train(const corpus::Dataset& trainSet, par::ThreadPool* pool,
                    const TrainCheckpointing* ckpt) {
+  corpus::DatasetSource src(trainSet);
+  train(src, pool, ckpt);
+}
+
+void Engine::train(corpus::VucSource& src, par::ThreadPool* pool,
+                   const TrainCheckpointing* ckpt) {
   if (quantized_) {
     throw std::logic_error(
         "Engine::train: quantized engines are inference-only (train the "
         "fp32 model, then Engine::quantize)");
   }
-  if (trainSet.window != cfg_.window) {
+  if (src.window() != cfg_.window) {
     throw std::invalid_argument("Engine::train: dataset window mismatch");
   }
   static obs::Histogram& trainNs = obs::timer("engine.train_ns");
@@ -324,8 +368,9 @@ void Engine::train(const corpus::Dataset& trainSet, par::ThreadPool* pool,
   std::string adamBlob;
   bool resumed = false;
   if (ckpt != nullptr && ckpt->resume) {
-    resumed = loadTrainCheckpoint(*ckpt, trainSet, startStage, startEpoch,
-                                  stageSeeds, adamBlob);
+    resumed = loadTrainCheckpoint(*ckpt, src.numVars(), src.numVucs(),
+                                  startStage, startEpoch, stageSeeds,
+                                  adamBlob);
     if (resumed && cfg_.verbose) {
       std::cerr << "resuming from checkpoint: stage " << startStage
                 << ", epoch " << startEpoch << '\n';
@@ -333,12 +378,11 @@ void Engine::train(const corpus::Dataset& trainSet, par::ThreadPool* pool,
   }
 
   if (!resumed) {
-    if (cfg_.verbose) std::cerr << "training word2vec embedding...\n";
-    embed::TokenizedCorpus tokens = embed::tokenize(trainSet);
-    embed::Word2Vec w2v;
-    w2v.train(tokens, cfg_.w2v, &tp);
-    encoder_.emplace(std::move(tokens.vocab), std::move(w2v));
-
+    // Layer init and the per-stage seed forks touch only the engine RNG —
+    // no word2vec state — so they run first: the seeds let the stage
+    // pre-gather be PLANNED before tokenization, and the tokenize pass
+    // below fulfils it, so the streaming path pays exactly one pass for
+    // vocabulary + token stream + every stage's training subset.
     Rng rng(cfg_.seed);
     stages_.clear();
     for (int s = 0; s < kNumStages; ++s) {
@@ -354,12 +398,26 @@ void Engine::train(const corpus::Dataset& trainSet, par::ThreadPool* pool,
     for (int s = 0; s < kNumStages; ++s) {
       stageSeeds[static_cast<size_t>(s)] = rng.fork();
     }
+    preGatherStages(src, stageSeeds, 0, /*planOnly=*/true);
+
+    if (cfg_.verbose) std::cerr << "training word2vec embedding...\n";
+    // One streaming pass; the compact token stream (not the VUCs) is what
+    // word2vec keeps resident across its epochs.
+    embed::TokenizedCorpus tokens = embed::tokenize(src);
+    embed::Word2Vec w2v;
+    w2v.train(tokens, cfg_.w2v, &tp);
+    encoder_.emplace(std::move(tokens.vocab), std::move(w2v));
     if (ckpt != nullptr && !ckpt->dir.empty()) {
       // Post-embedding checkpoint: word2vec is the most expensive
       // epoch-less phase; a crash right after it resumes without repaying.
-      writeTrainCheckpoint(*ckpt, 0, 0, stageSeeds, nullptr, trainSet);
+      writeTrainCheckpoint(*ckpt, 0, 0, stageSeeds, nullptr, src.numVars(),
+                           src.numVucs());
       fault::killPoint("train.checkpoint");
     }
+  } else {
+    // A resumed run skips tokenization, so the remaining stages' union is
+    // gathered in its own (single) streaming pass.
+    preGatherStages(src, stageSeeds, startStage, /*planOnly=*/false);
   }
 
   for (int s = startStage; s < kNumStages; ++s) {
@@ -368,7 +426,7 @@ void Engine::train(const corpus::Dataset& trainSet, par::ThreadPool* pool,
     }
     const bool firstResumed = resumed && s == startStage && startEpoch > 0;
     std::istringstream adamIs(adamBlob);
-    trainStage(static_cast<Stage>(s), trainSet,
+    trainStage(static_cast<Stage>(s), src,
                stageSeeds[static_cast<size_t>(s)], tp,
                firstResumed ? startEpoch : 0,
                firstResumed && !adamBlob.empty() ? &adamIs : nullptr, ckpt,
@@ -724,8 +782,8 @@ void expectConfigEcho(io::Reader& r, const EngineConfig& cfg) {
 void Engine::writeTrainCheckpoint(const TrainCheckpointing& ck, int nextStage,
                                   int epochsDone,
                                   const std::array<uint64_t, kNumStages>& seeds,
-                                  const nn::Adam* adam,
-                                  const corpus::Dataset& ds) const {
+                                  const nn::Adam* adam, uint64_t numVars,
+                                  uint64_t numVucs) const {
   static obs::Counter& ckpts = obs::counter("engine.train.checkpoints");
   static obs::Histogram& ckptNs = obs::timer("engine.train.checkpoint_ns");
   const obs::ScopedTimer timing(ckptNs);
@@ -734,10 +792,14 @@ void Engine::writeTrainCheckpoint(const TrainCheckpointing& ck, int nextStage,
     io::writeChecksummed(os, kCkptMagic, kCkptVersion, [&](std::ostream& body) {
       io::Writer w(body);
       writeConfigEcho(w, cfg_);
-      // Dataset fingerprint: a resume must see the same (regenerated)
-      // training set or the replayed subsample/shuffle order is garbage.
-      w.pod<uint64_t>(ds.vars.size());
-      w.pod<uint64_t>(ds.vucs.size());
+      // Dataset fingerprint: a resume must see the same (regenerated or
+      // re-opened) training set or the replayed subsample/shuffle order is
+      // garbage. Total counts only — no shard cursor — because every
+      // checkpoint lands at a stage/epoch boundary, where the position is
+      // shard-plan-independent; in-memory and streaming runs over the same
+      // corpus therefore share checkpoints (DESIGN.md §12).
+      w.pod<uint64_t>(numVars);
+      w.pod<uint64_t>(numVucs);
       w.pod<int32_t>(nextStage);
       w.pod<int32_t>(epochsDone);
       for (const uint64_t s : seeds) w.pod(s);
@@ -756,8 +818,8 @@ void Engine::writeTrainCheckpoint(const TrainCheckpointing& ck, int nextStage,
 }
 
 bool Engine::loadTrainCheckpoint(const TrainCheckpointing& ck,
-                                 const corpus::Dataset& ds, int& startStage,
-                                 int& startEpoch,
+                                 uint64_t numVars, uint64_t numVucs,
+                                 int& startStage, int& startEpoch,
                                  std::array<uint64_t, kNumStages>& seeds,
                                  std::string& adamBlob) {
   const std::filesystem::path path = ck.dir / kCkptName;
@@ -769,11 +831,11 @@ bool Engine::loadTrainCheckpoint(const TrainCheckpointing& ck,
     expectConfigEcho(r, cfg_);
     const auto vars = r.pod<uint64_t>();
     const auto vucs = r.pod<uint64_t>();
-    if (vars != ds.vars.size() || vucs != ds.vucs.size()) {
+    if (vars != numVars || vucs != numVucs) {
       throw std::runtime_error(
           "checkpoint: training-set mismatch (checkpoint saw " +
           std::to_string(vucs) + " VUCs, dataset has " +
-          std::to_string(ds.vucs.size()) + ")");
+          std::to_string(numVucs) + ")");
     }
     startStage = r.pod<int32_t>();
     startEpoch = r.pod<int32_t>();

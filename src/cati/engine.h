@@ -23,6 +23,7 @@
 #include "common/parallel.h"
 #include "common/types.h"
 #include "corpus/corpus.h"
+#include "corpus/source.h"
 #include "dataflow/recovery.h"
 #include "embed/word2vec.h"
 #include "nn/nn.h"
@@ -105,6 +106,16 @@ class Engine {
   /// model bytes are identical at any job count (fixed sample chunks,
   /// ordered gradient merge, per-chunk dropout streams).
   void train(const corpus::Dataset& trainSet, par::ThreadPool* pool = nullptr,
+             const TrainCheckpointing* ckpt = nullptr);
+
+  /// Source-based training — the streaming path (DESIGN.md §12). With a
+  /// corpus::ShardedSource the corpus is never materialized: tokenization is
+  /// one prefetch-pipelined pass, per-stage subsampling runs on the resident
+  /// label array, and only each stage's selected VUCs are gathered from the
+  /// shards. For a fixed shard plan the trained bytes are identical to the
+  /// in-memory overload at any job count and batch size, and checkpoints
+  /// are interchangeable between the two paths (same dataset fingerprint).
+  void train(corpus::VucSource& src, par::ThreadPool* pool = nullptr,
              const TrainCheckpointing* ckpt = nullptr);
 
   bool trained() const { return encoder_.has_value(); }
@@ -233,30 +244,47 @@ class Engine {
   /// channel-major layout the CNNs consume.
   void encodeInput(const corpus::Vuc& vuc, int occlude,
                    std::span<float> out) const;
+  /// Stage `s`'s training subset: class grouping over the labels (O(1) on
+  /// every source) followed by the balanced subsample. A pure function of
+  /// (labels, cfg, rng state) — trainStage derives it live, and
+  /// preGatherStages replays it from the same per-stage seeds to learn the
+  /// union of all remaining subsets without perturbing any stage RNG.
+  std::vector<uint32_t> stageTrainSet(Stage s, const corpus::VucSource& src,
+                                      Rng& rng) const;
+  /// Makes the union of the training subsets of stages [startStage,
+  /// kNumStages) resident (a no-op for in-memory sources), so each
+  /// trainStage's own gather call finds its subset already decoded instead
+  /// of paying a streaming pass per stage. With `planOnly` the union is
+  /// only announced via planGather — the next full forEach pass (the
+  /// tokenize pass) fulfils it for free.
+  void preGatherStages(corpus::VucSource& src,
+                       const std::array<uint64_t, kNumStages>& seeds,
+                       int startStage, bool planOnly) const;
   /// Trains stage `s` starting at `startEpoch` (0 for a fresh stage). On a
   /// mid-stage resume, the shuffle/dropout RNG prefix is replayed from
   /// `seed` and the Adam moments are restored from `adamState`, so the
   /// continued run is bit-identical to one that never stopped. `ck`/`seeds`
   /// drive checkpoint writes at epoch boundaries when checkpointing is on.
-  void trainStage(Stage s, const corpus::Dataset& ds, uint64_t seed,
+  void trainStage(Stage s, corpus::VucSource& src, uint64_t seed,
                   par::ThreadPool& pool, int startEpoch = 0,
                   std::istream* adamState = nullptr,
                   const TrainCheckpointing* ck = nullptr,
                   const std::array<uint64_t, kNumStages>* seeds = nullptr);
-  /// Atomically writes dir/train.ckpt: config echo, dataset fingerprint,
-  /// position (nextStage, epochsDone), stage seeds, encoder, all stage
-  /// nets, and the current stage's Adam moments (when mid-stage).
+  /// Atomically writes dir/train.ckpt: config echo, dataset fingerprint
+  /// (total variable/VUC counts — shard-plan-independent, so in-memory and
+  /// streaming runs share checkpoints), position (nextStage, epochsDone),
+  /// stage seeds, encoder, all stage nets, and the current stage's Adam
+  /// moments (when mid-stage).
   void writeTrainCheckpoint(const TrainCheckpointing& ck, int nextStage,
                             int epochsDone,
                             const std::array<uint64_t, kNumStages>& seeds,
-                            const nn::Adam* adam,
-                            const corpus::Dataset& ds) const;
+                            const nn::Adam* adam, uint64_t numVars,
+                            uint64_t numVucs) const;
   /// Restores train() state from dir/train.ckpt. Returns false when no
   /// checkpoint exists (fresh start); throws CorruptError on a damaged file
   /// and std::runtime_error on a config / dataset mismatch.
-  bool loadTrainCheckpoint(const TrainCheckpointing& ck,
-                           const corpus::Dataset& ds, int& startStage,
-                           int& startEpoch,
+  bool loadTrainCheckpoint(const TrainCheckpointing& ck, uint64_t numVars,
+                           uint64_t numVucs, int& startStage, int& startEpoch,
                            std::array<uint64_t, kNumStages>& seeds,
                            std::string& adamBlob);
   /// Throws TimeoutError when the analysis deadline has passed.

@@ -62,6 +62,8 @@ void Dataset::append(Dataset other) {
   }
   const auto varBase = static_cast<uint32_t>(vars.size());
   const auto appBase = static_cast<uint32_t>(appNames.size());
+  appNames.reserve(appNames.size() + other.appNames.size());
+  vars.reserve(vars.size() + other.vars.size());
   appNames.insert(appNames.end(),
                   std::make_move_iterator(other.appNames.begin()),
                   std::make_move_iterator(other.appNames.end()));
@@ -78,6 +80,9 @@ void Dataset::append(Dataset other) {
 
 std::vector<std::vector<uint32_t>> Dataset::vucsByVar() const {
   std::vector<std::vector<uint32_t>> out(vars.size());
+  // numVucs is exact after countVucsPerVar; pre-sizing each bucket turns
+  // the fill into append-only pushes with zero reallocation churn.
+  for (size_t v = 0; v < vars.size(); ++v) out[v].reserve(vars[v].numVucs);
   for (uint32_t i = 0; i < vucs.size(); ++i) {
     out[vucs[i].varId].push_back(i);
   }

@@ -62,10 +62,10 @@ Vocab Vocab::load(std::istream& is) {
   return v;
 }
 
-TokenizedCorpus tokenize(const corpus::Dataset& ds) {
+TokenizedCorpus tokenize(corpus::VucSource& src) {
   TokenizedCorpus out;
-  out.sentences.reserve(ds.vucs.size());
-  for (const corpus::Vuc& v : ds.vucs) {
+  out.sentences.reserve(src.numVucs());
+  src.forEach([&](const corpus::Vuc& v) {
     std::vector<int32_t> sent;
     sent.reserve(v.window.size() * 3);
     for (const corpus::GenInstr& g : v.window) {
@@ -74,8 +74,13 @@ TokenizedCorpus tokenize(const corpus::Dataset& ds) {
       sent.push_back(out.vocab.add(g.op2));
     }
     out.sentences.push_back(std::move(sent));
-  }
+  });
   return out;
+}
+
+TokenizedCorpus tokenize(const corpus::Dataset& ds) {
+  corpus::DatasetSource src(ds);
+  return tokenize(src);
 }
 
 namespace {

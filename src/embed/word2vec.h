@@ -17,6 +17,7 @@
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "corpus/corpus.h"
+#include "corpus/source.h"
 
 namespace cati::embed {
 
@@ -56,6 +57,11 @@ struct TokenizedCorpus {
   std::vector<std::vector<int32_t>> sentences;
 };
 TokenizedCorpus tokenize(const corpus::Dataset& ds);
+/// Streaming tokenization: one forEach pass in dataset order, so the vocab
+/// (first-occurrence token ids) and sentences are byte-identical to the
+/// in-memory overload over the equivalent Dataset. The token stream — not
+/// the VUCs — is what stays resident for word2vec training.
+TokenizedCorpus tokenize(corpus::VucSource& src);
 
 struct W2VConfig {
   int dim = 32;         // paper: token vectors of length 32

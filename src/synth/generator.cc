@@ -417,19 +417,14 @@ Binary generateBinary(const AppProfile& profile, Dialect dialect, int optLevel,
   return bin;
 }
 
-std::vector<Binary> generateCorpus(int numApps, int funcsPerApp,
-                                   Dialect dialect, uint64_t seed,
-                                   par::ThreadPool* pool) {
+std::vector<CorpusJob> corpusPlan(int numApps, int funcsPerApp,
+                                  uint64_t seed) {
   // Draw every profile and per-binary seed serially, in the exact order the
-  // historical serial loop drew them; only the (pure) per-binary generation
-  // fans out. Binaries land at fixed indices, so corpus order — and hence
-  // every downstream id remap in Dataset::append — is jobs-invariant.
-  struct Job {
-    AppProfile profile;
-    int opt = 0;
-    uint64_t seed = 0;
-  };
-  std::vector<Job> jobs;
+  // historical serial loop drew them; per-binary generation is a pure
+  // function of one plan entry, so any consumer — the parallel fan-out
+  // below or a one-binary-at-a-time shard writer — reproduces the same
+  // corpus from the same plan.
+  std::vector<CorpusJob> jobs;
   jobs.reserve(static_cast<size_t>(numApps) * 4);
   Rng rng(seed);
   for (int a = 0; a < numApps; ++a) {
@@ -442,12 +437,21 @@ std::vector<Binary> generateCorpus(int numApps, int funcsPerApp,
       jobs.push_back({p, opt, rng.fork()});
     }
   }
+  return jobs;
+}
+
+std::vector<Binary> generateCorpus(int numApps, int funcsPerApp,
+                                   Dialect dialect, uint64_t seed,
+                                   par::ThreadPool* pool) {
+  const std::vector<CorpusJob> jobs = corpusPlan(numApps, funcsPerApp, seed);
   par::ThreadPool inlinePool(1);
   par::ThreadPool& tp = pool ? *pool : inlinePool;
+  // Binaries land at fixed indices, so corpus order — and hence every
+  // downstream id remap in Dataset::append — is jobs-invariant.
   // Parallelism is per binary here; generateBinary must not re-enter the
   // pool (ThreadPool::run is not reentrant), so it gets no pool.
   return par::parallelMap<Binary>(tp, jobs.size(), 1, [&](size_t i) {
-    const Job& j = jobs[i];
+    const CorpusJob& j = jobs[i];
     return generateBinary(j.profile, dialect, j.opt, j.seed);
   });
 }

@@ -108,6 +108,21 @@ std::vector<AppProfile> paperTestApps(int scale = 1);
 Binary generateBinary(const AppProfile& profile, Dialect dialect, int optLevel,
                       uint64_t seed, par::ThreadPool* pool = nullptr);
 
+/// One planned corpus binary: the profile, optimization level and seed that
+/// generateCorpus builds at this plan index.
+struct CorpusJob {
+  AppProfile profile;
+  int opt = 0;
+  uint64_t seed = 0;
+};
+
+/// The deterministic corpus build plan: every profile and per-binary seed,
+/// drawn serially in the exact order generateCorpus draws them. Streaming
+/// corpus writers (cati-synth --shards) iterate this plan one binary at a
+/// time, so their concatenated shard stream is byte-identical to the
+/// in-memory corpus built by generateCorpus + extractAll.
+std::vector<CorpusJob> corpusPlan(int numApps, int funcsPerApp, uint64_t seed);
+
 /// Generates a training corpus: `numApps` profiles, each built at every
 /// optimization level O0-O3 (the paper builds each project at -O0..-O3),
 /// all with one compiler dialect. The optional pool parallelizes per binary;

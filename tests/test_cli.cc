@@ -1,0 +1,83 @@
+// Direct unit tests for the strict CLI value parsers in tools/cli.h.
+//
+// parseSize backs byte-sized flags (--cache-bytes, --max-resident) whose
+// misparse turns a fat-fingered budget into a silent huge/tiny one, so the
+// hostile cases matter: overflow must be rejected both at the digit level
+// (strtoll ERANGE) and at the suffix multiply (a wrapping `* 1G`).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cli.h"
+
+namespace cati::cli {
+namespace {
+
+TEST(ParseSize, BareBytes) {
+  EXPECT_EQ(parseSize("--x", "0"), 0ULL);
+  EXPECT_EQ(parseSize("--x", "123"), 123ULL);
+  EXPECT_EQ(parseSize("--x", "9007199254740993"), 9007199254740993ULL);
+}
+
+TEST(ParseSize, BinarySuffixesBothCases) {
+  EXPECT_EQ(parseSize("--x", "1K"), 1024ULL);
+  EXPECT_EQ(parseSize("--x", "64k"), 64ULL << 10);
+  EXPECT_EQ(parseSize("--x", "2M"), 2ULL << 20);
+  EXPECT_EQ(parseSize("--x", "7m"), 7ULL << 20);
+  EXPECT_EQ(parseSize("--x", "3G"), 3ULL << 30);
+  EXPECT_EQ(parseSize("--x", "5g"), 5ULL << 30);
+  EXPECT_EQ(parseSize("--x", "0K"), 0ULL);
+}
+
+TEST(ParseSize, GarbageRejected) {
+  EXPECT_THROW(parseSize("--x", ""), UsageError);
+  EXPECT_THROW(parseSize("--x", "abc"), UsageError);
+  EXPECT_THROW(parseSize("--x", "K"), UsageError);
+  EXPECT_THROW(parseSize("--x", "12X"), UsageError);
+  EXPECT_THROW(parseSize("--x", "12KB"), UsageError);  // only one suffix char
+  EXPECT_THROW(parseSize("--x", "12 K"), UsageError);
+  EXPECT_THROW(parseSize("--x", "1.5G"), UsageError);
+}
+
+TEST(ParseSize, NegativeRejected) {
+  EXPECT_THROW(parseSize("--x", "-1"), UsageError);
+  EXPECT_THROW(parseSize("--x", "-64M"), UsageError);
+}
+
+TEST(ParseSize, DigitOverflowRejected) {
+  // > LLONG_MAX: strtoll clamps and sets ERANGE; must not be accepted as
+  // "some huge budget that happens to equal LLONG_MAX".
+  EXPECT_THROW(parseSize("--x", "99999999999999999999"), UsageError);
+  // Way past even unsigned range.
+  EXPECT_THROW(parseSize("--x", "340282366920938463463374607431768211456"),
+               UsageError);
+}
+
+TEST(ParseSize, SuffixMultiplyOverflowRejected) {
+  // Digits fit in long long but the binary multiplier wraps u64.
+  EXPECT_THROW(parseSize("--x", "99999999999999999G"), UsageError);
+  EXPECT_THROW(parseSize("--x", "18446744073709551615K"), UsageError);
+  // The largest value that does NOT wrap with G must still parse.
+  EXPECT_EQ(parseSize("--x", "17179869183G"), 17179869183ULL << 30);
+  EXPECT_THROW(parseSize("--x", "17179869184G"), UsageError);
+}
+
+TEST(ParseInt, StrictWholeToken) {
+  EXPECT_EQ(parseInt("--n", "12"), 12L);
+  EXPECT_EQ(parseInt("--n", "-3"), -3L);
+  EXPECT_EQ(parseInt("--n", "0"), 0L);
+  EXPECT_THROW(parseInt("--n", ""), UsageError);
+  EXPECT_THROW(parseInt("--n", "x"), UsageError);
+  EXPECT_THROW(parseInt("--n", "12x"), UsageError);
+  EXPECT_THROW(parseInt("--n", "1 2"), UsageError);
+}
+
+TEST(SeenFlags, DuplicateIsUsageError) {
+  SeenFlags seen;
+  seen.note("--seed");
+  seen.note("--jobs");
+  EXPECT_THROW(seen.note("--seed"), UsageError);
+}
+
+}  // namespace
+}  // namespace cati::cli

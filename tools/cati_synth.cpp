@@ -2,8 +2,20 @@
 // debug info), the corpus substrate in file form. The image is written
 // atomically (DESIGN.md §9): a crash mid-write never leaves a torn OUT.img.
 //
+// With --shards DIR the tool instead builds a whole training corpus as a
+// sharded CSHD directory (DESIGN.md §12): binaries are generated one at a
+// time from the same deterministic plan generateCorpus uses, their VUCs are
+// extracted and appended into shard files of ~--shard-vucs VUCs each, and
+// the manifest is published last. Every file lands via fs::atomicWrite, so
+// a killed run leaves only complete shards (and no manifest); rerunning
+// rebuilds the corpus from scratch. --progress reports binaries/shards/VUCs
+// on stderr at every shard boundary.
+//
 // Usage: cati-synth OUT.img [--name N] [--funcs K] [--dialect gcc|clang]
 //                   [--opt 0..3] [--seed S] [--strip] [--jobs N]
+//        cati-synth --shards DIR [--apps N] [--funcs K]
+//                   [--dialect gcc|clang] [--window W] [--shard-vucs N]
+//                   [--seed S] [--progress] [--jobs N]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -13,6 +25,8 @@
 #include "cli.h"
 #include "common/fs.h"
 #include "common/parallel.h"
+#include "corpus/corpus.h"
+#include "corpus/sharded.h"
 #include "loader/image.h"
 #include "synth/synth.h"
 
@@ -20,10 +34,48 @@ namespace {
 
 constexpr const char* kUsagePrefix =
     "usage: cati-synth OUT.img [--name N] [--funcs K] "
-    "[--dialect gcc|clang] [--opt 0..3] [--seed S] [--strip] [--jobs N]";
+    "[--dialect gcc|clang] [--opt 0..3] [--seed S] [--strip] [--jobs N]\n"
+    "       cati-synth --shards DIR [--apps N] [--funcs K] "
+    "[--dialect gcc|clang] [--window W] [--shard-vucs N] [--seed S] "
+    "[--progress] [--jobs N]";
 
 std::string usageLine() {
   return std::string(kUsagePrefix) + cati::cli::kCommonUsage + "\n";
+}
+
+int runShards(const std::string& dir, int apps, int funcs,
+              cati::synth::Dialect dialect, int window, uint64_t shardVucs,
+              uint64_t seed, bool progress, cati::par::ThreadPool& pool) {
+  using namespace cati;
+  // Same plan, same draw order as generateCorpus — the concatenated shard
+  // stream is byte-identical to the in-memory corpus — but only one binary
+  // (plus the open shard) is ever resident.
+  const std::vector<synth::CorpusJob> plan =
+      synth::corpusPlan(apps, funcs, seed);
+  corpus::ShardWriter writer(dir, window, shardVucs);
+  size_t lastShards = 0;
+  for (size_t i = 0; i < plan.size(); ++i) {
+    const synth::CorpusJob& j = plan[i];
+    const synth::Binary bin =
+        synth::generateBinary(j.profile, dialect, j.opt, j.seed, &pool);
+    writer.append(corpus::extractGroundTruth(bin, window));
+    if (progress && writer.shardsWritten() != lastShards) {
+      lastShards = writer.shardsWritten();
+      std::fprintf(stderr,
+                   "cati-synth: %zu/%zu binaries, %zu shards, %llu VUCs\n",
+                   i + 1, plan.size(), lastShards,
+                   static_cast<unsigned long long>(writer.vucsWritten()));
+    }
+  }
+  writer.finish();
+  std::printf("%s: %zu shards, %llu VUCs, %llu variables, %zu binaries "
+              "(window %d, %s)\n",
+              dir.c_str(), writer.shardsWritten(),
+              static_cast<unsigned long long>(writer.vucsWritten()),
+              static_cast<unsigned long long>(writer.varsWritten()),
+              plan.size(), window,
+              std::string(synth::dialectName(dialect)).c_str());
+  return 0;
 }
 
 int run(int argc, char** argv, const cati::cli::Common& /*common*/) {
@@ -32,24 +84,42 @@ int run(int argc, char** argv, const cati::cli::Common& /*common*/) {
     std::fputs(usageLine().c_str(), stderr);
     return 2;
   }
-  const std::string out = argv[1];
+  std::string out;        // image mode: OUT.img
+  std::string shardsDir;  // shard mode: --shards DIR
   std::string name = "app";
-  int funcs = 12;
+  int apps = 10;
+  int funcs = -1;  // defaults differ per mode (12 image, 20 corpus)
   synth::Dialect dialect = synth::Dialect::Gcc;
   int opt = 2;
+  int window = 10;
+  uint64_t shardVucs = 4096;
   uint64_t seed = 1;
   bool doStrip = false;
+  bool progress = false;
   int jobs = 0;  // 0: CATI_JOBS env or hardware concurrency
   cli::SeenFlags seen;
-  for (int i = 2; i < argc; ++i) {
+  bool sawImageOnly = false;  // --name/--opt/--strip
+  bool sawShardOnly = false;  // --apps/--window/--shard-vucs/--progress
+  for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
       if (i + 1 >= argc) throw cli::UsageError(arg + ": missing value");
       return argv[++i];
     };
-    if (arg == "--name") {
+    if (!arg.starts_with("-")) {
+      if (!out.empty()) cli::unknownArg(arg);
+      out = arg;
+    } else if (arg == "--shards") {
       seen.note(arg);
+      shardsDir = next();
+    } else if (arg == "--name") {
+      seen.note(arg);
+      sawImageOnly = true;
       name = next();
+    } else if (arg == "--apps") {
+      seen.note(arg);
+      sawShardOnly = true;
+      apps = static_cast<int>(cli::parseInt(arg, next()));
     } else if (arg == "--funcs") {
       seen.note(arg);
       funcs = static_cast<int>(cli::parseInt(arg, next()));
@@ -59,13 +129,30 @@ int run(int argc, char** argv, const cati::cli::Common& /*common*/) {
                                                : synth::Dialect::Gcc;
     } else if (arg == "--opt") {
       seen.note(arg);
+      sawImageOnly = true;
       opt = static_cast<int>(cli::parseInt(arg, next()));
+    } else if (arg == "--window") {
+      seen.note(arg);
+      sawShardOnly = true;
+      window = static_cast<int>(cli::parseInt(arg, next()));
+    } else if (arg == "--shard-vucs") {
+      seen.note(arg);
+      sawShardOnly = true;
+      shardVucs = static_cast<uint64_t>(cli::parseInt(arg, next()));
+      if (shardVucs == 0) {
+        throw cli::UsageError("--shard-vucs: must be >= 1");
+      }
     } else if (arg == "--seed") {
       seen.note(arg);
       seed = std::strtoull(next(), nullptr, 0);
     } else if (arg == "--strip") {
       seen.note(arg);
+      sawImageOnly = true;
       doStrip = true;
+    } else if (arg == "--progress") {
+      seen.note(arg);
+      sawShardOnly = true;
+      progress = true;
     } else if (arg == "--jobs") {
       seen.note(arg);
       jobs = static_cast<int>(cli::parseInt(arg, next()));
@@ -73,11 +160,36 @@ int run(int argc, char** argv, const cati::cli::Common& /*common*/) {
       cli::unknownArg(arg);
     }
   }
+  if (!shardsDir.empty()) {
+    if (!out.empty()) {
+      throw cli::UsageError("--shards builds a corpus directory; drop the "
+                            "OUT.img argument");
+    }
+    if (sawImageOnly) {
+      throw cli::UsageError(
+          "--name/--opt/--strip are single-image flags; with --shards the "
+          "corpus spans all apps and optimization levels");
+    }
+  } else {
+    if (out.empty()) {
+      std::fputs(usageLine().c_str(), stderr);
+      return 2;
+    }
+    if (sawShardOnly) {
+      throw cli::UsageError(
+          "--apps/--window/--shard-vucs/--progress require --shards DIR");
+    }
+  }
 
   par::ThreadPool pool(par::resolveJobs(jobs));
+  if (!shardsDir.empty()) {
+    return runShards(shardsDir, apps, funcs < 0 ? 20 : funcs, dialect, window,
+                     shardVucs, seed, progress, pool);
+  }
+
   const synth::Binary bin = synth::generateBinary(
-      synth::defaultProfile(name, seed ^ 0xabc, funcs), dialect, opt, seed,
-      &pool);
+      synth::defaultProfile(name, seed ^ 0xabc, funcs < 0 ? 12 : funcs),
+      dialect, opt, seed, &pool);
   loader::Image img = loader::buildImage(bin);
   if (doStrip) loader::strip(img);
 

@@ -7,7 +7,17 @@
 // checkpoints are written atomically — a kill mid-write never leaves a torn
 // file.
 //
+// Streaming training (DESIGN.md §12): with --corpus-dir DIR the training
+// set comes from a sharded CSHD corpus built by `cati-synth --shards` and
+// is never materialized — tokenization and per-stage gathers stream the
+// shards with prefetch pipelining, so resident memory is bounded by two
+// decoded shards plus the per-stage training subset. --max-resident SIZE
+// (K/M/G) makes that bound an admission check: training refuses to start
+// when the corpus's streaming working set exceeds the budget. For a fixed
+// shard plan the model bytes are identical to the in-memory path.
+//
 // Usage: cati-train MODEL.bin [--apps N] [--funcs K] [--dialect gcc|clang]
+//                   [--corpus-dir DIR] [--max-resident SIZE]
 //                   [--epochs E] [--cap C] [--hidden H] [--window W]
 //                   [--dim D] [--seed S] [--quiet] [--jobs N]
 //                   [--checkpoint DIR] [--checkpoint-every N] [--resume]
@@ -22,13 +32,15 @@
 #include "common/fs.h"
 #include "common/parallel.h"
 #include "corpus/corpus.h"
+#include "corpus/sharded.h"
 #include "synth/synth.h"
 
 namespace {
 
 constexpr const char* kUsagePrefix =
     "usage: cati-train MODEL.bin [--apps N] [--funcs K] "
-    "[--dialect gcc|clang] [--epochs E] [--cap C] [--hidden H] "
+    "[--dialect gcc|clang] [--corpus-dir DIR] [--max-resident SIZE] "
+    "[--epochs E] [--cap C] [--hidden H] "
     "[--window W] [--dim D] [--seed S] [--quiet] [--jobs N] "
     "[--checkpoint DIR] [--checkpoint-every N] [--resume] "
     "[--quantize FILE]";
@@ -56,6 +68,10 @@ int run(int argc, char** argv, const cati::cli::Common& common) {
   int jobs = 0;  // 0: CATI_JOBS env or hardware concurrency
   TrainCheckpointing ckpt;
   std::string quantizeOut;
+  std::string corpusDir;
+  unsigned long long maxResident = 0;  // 0: no admission check
+  bool sawGenFlag = false;             // --apps/--funcs/--dialect/--seed?
+  bool sawWindow = false;
   cli::SeenFlags seen;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -65,14 +81,26 @@ int run(int argc, char** argv, const cati::cli::Common& common) {
     };
     if (arg == "--apps") {
       seen.note(arg);
+      sawGenFlag = true;
       apps = static_cast<int>(cli::parseInt(arg, next()));
     } else if (arg == "--funcs") {
       seen.note(arg);
+      sawGenFlag = true;
       funcs = static_cast<int>(cli::parseInt(arg, next()));
     } else if (arg == "--dialect") {
       seen.note(arg);
+      sawGenFlag = true;
       dialect = std::string(next()) == "clang" ? synth::Dialect::Clang
                                                : synth::Dialect::Gcc;
+    } else if (arg == "--corpus-dir") {
+      seen.note(arg);
+      corpusDir = next();
+    } else if (arg == "--max-resident") {
+      seen.note(arg);
+      maxResident = cli::parseSize(arg, next());
+      if (maxResident == 0) {
+        throw cli::UsageError("--max-resident: must be > 0");
+      }
     } else if (arg == "--epochs") {
       seen.note(arg);
       cfg.epochs = static_cast<int>(cli::parseInt(arg, next()));
@@ -84,12 +112,14 @@ int run(int argc, char** argv, const cati::cli::Common& common) {
       cfg.fcHidden = static_cast<int>(cli::parseInt(arg, next()));
     } else if (arg == "--window") {
       seen.note(arg);
+      sawWindow = true;
       cfg.window = static_cast<int>(cli::parseInt(arg, next()));
     } else if (arg == "--dim") {
       seen.note(arg);
       cfg.w2v.dim = static_cast<int>(cli::parseInt(arg, next()));
     } else if (arg == "--seed") {
       seen.note(arg);
+      sawGenFlag = true;
       seed = std::strtoull(next(), nullptr, 0);
     } else if (arg == "--quiet") {
       seen.note(arg);
@@ -119,6 +149,14 @@ int run(int argc, char** argv, const cati::cli::Common& common) {
   if (ckpt.resume && ckpt.dir.empty()) {
     throw cli::UsageError("--resume requires --checkpoint DIR");
   }
+  if (!corpusDir.empty() && sawGenFlag) {
+    throw cli::UsageError(
+        "--apps/--funcs/--dialect/--seed generate an in-memory corpus and "
+        "conflict with --corpus-dir (the corpus is already on disk)");
+  }
+  if (corpusDir.empty() && maxResident > 0) {
+    throw cli::UsageError("--max-resident requires --corpus-dir DIR");
+  }
 
   // --batch / CATI_BATCH override the training minibatch size (a documented
   // hyperparameter: it changes the trained model, unlike inference batching).
@@ -131,6 +169,55 @@ int run(int argc, char** argv, const cati::cli::Common& common) {
   }
 
   par::ThreadPool pool(par::resolveJobs(jobs));
+  const TrainCheckpointing* ckptp = ckpt.dir.empty() ? nullptr : &ckpt;
+  const auto finish = [&](Engine& engine) {
+    engine.saveFile(out);
+    std::printf("model written to %s\n", out.c_str());
+    if (!quantizeOut.empty()) {
+      // Post-training int8 quantization: the fp32 model above stays the
+      // source of truth; FILE gets the inference-only CQNT container.
+      engine.quantize().saveFile(quantizeOut);
+      std::printf("quantized model written to %s\n", quantizeOut.c_str());
+    }
+  };
+
+  if (!corpusDir.empty()) {
+    corpus::ShardedCorpus sc(corpusDir);
+    if (sawWindow && cfg.window != sc.window()) {
+      throw cli::UsageError(
+          "--window " + std::to_string(cfg.window) +
+          " disagrees with the corpus (built with --window " +
+          std::to_string(sc.window()) +
+          "); drop the flag or re-run cati-synth --shards");
+    }
+    cfg.window = sc.window();
+    if (maxResident > 0) {
+      // The engine keeps the union of all six stages' training subsets
+      // resident (one gather pass instead of six), so the admission check
+      // budgets stages x per-stage cap gathered VUCs.
+      const uint64_t need = sc.streamingResidentBytes(
+          static_cast<uint64_t>(kNumStages) * cfg.maxTrainPerStage);
+      if (need > maxResident) {
+        throw cli::UsageError(
+            "--max-resident: streaming working set is ~" +
+            std::to_string(need) + " bytes (> " + std::to_string(maxResident) +
+            "); raise the budget, lower --cap, or rebuild the corpus with a "
+            "smaller cati-synth --shard-vucs");
+      }
+    }
+    std::printf("streaming corpus %s: %zu shards, %llu VUCs, %llu variables "
+                "(window %d, %d jobs)\n",
+                corpusDir.c_str(), sc.numShards(),
+                static_cast<unsigned long long>(sc.numVucs()),
+                static_cast<unsigned long long>(sc.numVars()), cfg.window,
+                pool.jobs());
+    Engine engine(cfg);
+    corpus::ShardedSource src(sc);
+    engine.train(src, &pool, ckptp);
+    finish(engine);
+    return 0;
+  }
+
   std::printf("generating corpus: %d apps x O0-O3 x %d functions (%s, %d "
               "jobs)\n",
               apps, funcs, std::string(synth::dialectName(dialect)).c_str(),
@@ -142,15 +229,8 @@ int run(int argc, char** argv, const cati::cli::Common& common) {
               train.vucs.size());
 
   Engine engine(cfg);
-  engine.train(train, &pool, ckpt.dir.empty() ? nullptr : &ckpt);
-  engine.saveFile(out);
-  std::printf("model written to %s\n", out.c_str());
-  if (!quantizeOut.empty()) {
-    // Post-training int8 quantization: the fp32 model above stays the
-    // source of truth; FILE gets the inference-only CQNT container.
-    engine.quantize().saveFile(quantizeOut);
-    std::printf("quantized model written to %s\n", quantizeOut.c_str());
-  }
+  engine.train(train, &pool, ckptp);
+  finish(engine);
   return 0;
 }
 

@@ -19,6 +19,7 @@
 // 137  an injected kill fired (cati::fault, mirrors 128+SIGKILL)
 #pragma once
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -79,12 +80,18 @@ inline long parseInt(std::string_view flag, const char* value) {
 
 /// Strict byte-size flag value: a non-negative integer with an optional
 /// K/M/G suffix (binary multiples), e.g. `--cache-bytes 64M`. Same
-/// whole-token discipline as parseInt.
+/// whole-token discipline as parseInt, plus overflow rejection: strtoll's
+/// ERANGE clamp and a wrapping suffix multiply both read as "some huge
+/// budget" and must not silently become a smaller number.
 inline unsigned long long parseSize(std::string_view flag, const char* value) {
   char* end = nullptr;
+  errno = 0;
   const long long v = std::strtoll(value, &end, 10);
   if (end == value || v < 0) {
     throw UsageError(std::string(flag) + ": not a size: " + value);
+  }
+  if (errno == ERANGE) {
+    throw UsageError(std::string(flag) + ": size overflows: " + value);
   }
   unsigned long long mult = 1;
   if (*end == 'K' || *end == 'k') {
@@ -100,7 +107,11 @@ inline unsigned long long parseSize(std::string_view flag, const char* value) {
   if (*end != '\0') {
     throw UsageError(std::string(flag) + ": not a size: " + value);
   }
-  return static_cast<unsigned long long>(v) * mult;
+  const auto uv = static_cast<unsigned long long>(v);
+  if (uv > ~0ULL / mult) {
+    throw UsageError(std::string(flag) + ": size overflows: " + value);
+  }
+  return uv * mult;
 }
 
 struct Common {
