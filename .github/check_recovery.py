@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Recovery gate: variable-recovery quality must not regress.
+
+Usage: check_recovery.py BENCH_JSON BASELINE_JSON
+
+BENCH_JSON is the output of `bench_recovery --json FILE`; BASELINE_JSON
+(.github/recovery-baseline.json) has the same shape with the minimum
+acceptable figures. Every (dialect, opt) row must keep varRecall and
+insnRecall at or above its recorded floor — the recovery pass feeds every
+downstream stage, so a silent recall drop poisons the whole pipeline.
+
+Exit status 1 on any regression. After a genuine improvement, re-record
+with `bench_recovery --json .github/recovery-baseline.json` and shave each
+figure down by a point or two so benign generator drift doesn't trip the
+gate.
+"""
+import json
+import sys
+
+GATED = ("varRecall", "insnRecall")
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1], encoding="utf-8") as f:
+        measured = json.load(f)["rows"]
+    with open(sys.argv[2], encoding="utf-8") as f:
+        baseline = json.load(f)["rows"]
+
+    by_key = {(r["dialect"], r["opt"]): r for r in measured}
+    failed = False
+    for base in baseline:
+        key = (base["dialect"], base["opt"])
+        row = by_key.get(key)
+        if row is None:
+            print(f"FAIL {key[0]}/O{key[1]}: row missing from bench output")
+            failed = True
+            continue
+        for metric in GATED:
+            got, floor = row[metric], base[metric]
+            status = "ok  " if got >= floor else "FAIL"
+            if got < floor:
+                failed = True
+            print(f"{status} {key[0]}/O{key[1]} {metric}: "
+                  f"{got:.4f} (baseline {floor:.4f})")
+
+    if failed:
+        print("\nrecovery gate failed: a row dropped below its recorded "
+              "baseline (.github/recovery-baseline.json)", file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

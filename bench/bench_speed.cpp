@@ -24,6 +24,7 @@
 #include "common/parallel.h"
 #include "corpus/sharded.h"
 #include "harness/harness.h"
+#include "ir/passes.h"
 #include "loader/image.h"
 #include "serve/client.h"
 #include "serve/server.h"
@@ -142,6 +143,64 @@ void BM_VariableRecovery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_VariableRecovery)->Unit(benchmark::kMillisecond);
+
+void BM_LowerIr(benchmark::State& state) {
+  // IR lowering throughput: instruction stream -> typed ops, basic blocks,
+  // CFG edges, block passes. This is the per-miss cost the decode cache
+  // amortizes; items_per_second counts source instructions.
+  const synth::Binary bin = testBinary();
+  size_t insns = 0;
+  for (auto _ : state) {
+    insns = 0;
+    for (const synth::FunctionCode& fn : bin.funcs) {
+      ir::FunctionGraph g = ir::lower(fn.insns);
+      ir::runBlockPasses(g);
+      insns += fn.insns.size();
+      benchmark::DoNotOptimize(g);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(insns) * state.iterations());
+}
+BENCHMARK(BM_LowerIr)->Unit(benchmark::kMillisecond);
+
+void BM_AnalyzeWarmCache(benchmark::State& state) {
+  // The decode-cache lever on the loader front half: arg 0 (cold) clears
+  // the cache before every iteration so every boundary misses and pays
+  // decode + lowering; arg 1 (warm) primes it once so every boundary hits.
+  // The cold/warm delta is what a cati-serve batch loop saves on repeat
+  // binaries. cache_hit_rate reports the cache's own counters; with
+  // CATI_METRICS=1 the rows also carry loader.cache.hits/misses columns.
+  loader::Image img = loader::buildImage(testBinary());
+  loader::strip(img);
+  par::ThreadPool pool(1);
+  loader::DecodeCache cache;
+  const bool warm = state.range(0) != 0;
+  if (warm) {
+    DiagList prime;
+    benchmark::DoNotOptimize(loader::disassemble(img, prime, pool, cache));
+  }
+  const obs::Snapshot base = bench::metricsBaseline();
+  for (auto _ : state) {
+    if (!warm) {
+      state.PauseTiming();
+      cache.clear();
+      state.ResumeTiming();
+    }
+    DiagList diags;
+    const auto out = loader::disassemble(img, diags, pool, cache);
+    benchmark::DoNotOptimize(out);
+  }
+  exportMetricsColumns(state, base);
+  const loader::DecodeCache::Stats cs = cache.stats();
+  const double lookups = static_cast<double>(cs.hits + cs.misses);
+  state.counters["cache_hit_rate"] =
+      lookups > 0 ? static_cast<double>(cs.hits) / lookups : 0.0;
+  state.counters["cache_entries"] = static_cast<double>(cs.entries);
+}
+BENCHMARK(BM_AnalyzeWarmCache)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 // --- serial vs parallel (--jobs) ------------------------------------------
 // Each benchmark takes the job count as its argument; compare the /1 row

@@ -492,7 +492,8 @@ std::optional<Decoded> decode(std::span<const uint8_t> bytes, uint64_t pc) {
 }
 
 std::vector<Instruction> decodeAll(std::span<const uint8_t> bytes,
-                                   uint64_t base) {
+                                   uint64_t base,
+                                   std::vector<uint64_t>* addrs) {
   std::vector<Instruction> out;
   size_t off = 0;
   while (off < bytes.size()) {
@@ -501,6 +502,7 @@ std::vector<Instruction> decodeAll(std::span<const uint8_t> bytes,
       throw std::runtime_error("decodeAll: undecodable bytes at offset " +
                                std::to_string(off));
     }
+    if (addrs) addrs->push_back(base + off);
     out.push_back(d->ins);
     off += d->length;
   }
@@ -508,7 +510,8 @@ std::vector<Instruction> decodeAll(std::span<const uint8_t> bytes,
 }
 
 std::vector<Instruction> decodeAllRecover(std::span<const uint8_t> bytes,
-                                          uint64_t base, DiagList* diags) {
+                                          uint64_t base, DiagList* diags,
+                                          std::vector<uint64_t>* addrs) {
   std::vector<Instruction> out;
   size_t off = 0;
   size_t runStart = SIZE_MAX;  // first offset of the current quarantined run
@@ -521,6 +524,7 @@ std::vector<Instruction> decodeAllRecover(std::span<const uint8_t> bytes,
   };
   while (off < bytes.size()) {
     const auto d = decode(bytes.subspan(off), base + off);
+    if (addrs) addrs->push_back(base + off);
     if (d) {
       flushRun(off);
       out.push_back(d->ins);

@@ -41,9 +41,12 @@ std::optional<Decoded> decode(std::span<const uint8_t> bytes, uint64_t pc);
 
 /// Decodes a whole code region; throws std::runtime_error (with the offset)
 /// on an undecodable byte sequence. Use decodeAllRecover for untrusted
-/// bytes.
+/// bytes. When `addrs` is non-null it receives the virtual address of each
+/// decoded instruction (same length as the result, strictly ascending) —
+/// the input the IR layer needs to resolve jump targets.
 std::vector<Instruction> decodeAll(std::span<const uint8_t> bytes,
-                                   uint64_t base);
+                                   uint64_t base,
+                                   std::vector<uint64_t>* addrs = nullptr);
 
 /// Recovering decode for hostile input — never throws. Undecodable bytes
 /// are quarantined one-by-one as `.byte` pseudo-instructions (objdump
@@ -52,8 +55,11 @@ std::vector<Instruction> decodeAll(std::span<const uint8_t> bytes,
 /// Each maximal quarantined run is reported as one Warning diagnostic
 /// (offset = virtual address of the run's first byte) when `diags` is
 /// non-null.
+/// `addrs`, when non-null, receives per-instruction virtual addresses
+/// (quarantined bytes each carry their own address).
 std::vector<Instruction> decodeAllRecover(std::span<const uint8_t> bytes,
                                           uint64_t base,
-                                          DiagList* diags = nullptr);
+                                          DiagList* diags = nullptr,
+                                          std::vector<uint64_t>* addrs = nullptr);
 
 }  // namespace cati::asmx

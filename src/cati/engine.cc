@@ -638,13 +638,19 @@ double Engine::occlusionEpsilon(const corpus::Vuc& vuc, int k, Stage u) {
 
 Engine::FunctionWork Engine::prepareFunction(
     std::span<const asmx::Instruction> insns) const {
+  return prepareFunction(insns, dataflow::recoverVariables(insns));
+}
+
+Engine::FunctionWork Engine::prepareFunction(
+    std::span<const asmx::Instruction> insns,
+    dataflow::RecoveryResult rec) const {
   if (!trained()) throw std::logic_error("prepareFunction: not trained");
   static obs::Counter& fnCount = obs::counter("engine.analyze.functions");
   static obs::Counter& vucCount = obs::counter("engine.analyze.vucs");
   fnCount.add();
   checkDeadline();
   FunctionWork work;
-  work.rec = dataflow::recoverVariables(insns);
+  work.rec = std::move(rec);
 
   std::vector<int32_t> varOfInsn(insns.size(), -1);
   for (size_t v = 0; v < work.rec.vars.size(); ++v) {
@@ -712,9 +718,16 @@ std::vector<AnalyzedVariable> Engine::finishFunction(
 std::vector<AnalyzedVariable> Engine::analyzeFunction(
     std::span<const asmx::Instruction> insns, par::ThreadPool* pool,
     int batch, DiagList* diags) {
+  return analyzeFunction(insns, dataflow::recoverVariables(insns), pool,
+                         batch, diags);
+}
+
+std::vector<AnalyzedVariable> Engine::analyzeFunction(
+    std::span<const asmx::Instruction> insns, dataflow::RecoveryResult rec,
+    par::ThreadPool* pool, int batch, DiagList* diags) {
   static obs::Histogram& analyzeNs = obs::timer("engine.analyze_ns");
   const obs::ScopedTimer timing(analyzeNs);
-  const FunctionWork work = prepareFunction(insns);
+  const FunctionWork work = prepareFunction(insns, std::move(rec));
   // Every VUC of the function is predicted in one batched fan-out, then
   // votes gather per variable — same per-VUC results as the serial loop.
   const std::vector<StageProbs> allProbs =

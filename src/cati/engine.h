@@ -168,6 +168,12 @@ class Engine {
       std::span<const asmx::Instruction> insns,
       par::ThreadPool* pool = nullptr, int batch = 0,
       DiagList* diags = nullptr);
+  /// Same pipeline with the recovery supplied by the caller (loader graph
+  /// and/or interprocedural facts); skips the internal recoverVariables.
+  std::vector<AnalyzedVariable> analyzeFunction(
+      std::span<const asmx::Instruction> insns, dataflow::RecoveryResult rec,
+      par::ThreadPool* pool = nullptr, int batch = 0,
+      DiagList* diags = nullptr);
 
   // --- request-scoped analysis (the cati-serve split, DESIGN.md §10) ---
   // analyzeFunction is prepareFunction -> predictVucs -> finishFunction.
@@ -188,6 +194,11 @@ class Engine {
   /// Phase 1: recovery + VUC extraction. Counts the function toward the
   /// engine.analyze.* metrics and honours the analysis deadline.
   FunctionWork prepareFunction(std::span<const asmx::Instruction> insns) const;
+  /// Phase 1 with the recovery supplied by the caller — e.g. computed from
+  /// a loader FunctionGraph (decode-cache hits skip relowering), possibly
+  /// decorated with interprocedural facts. Extraction still runs here.
+  FunctionWork prepareFunction(std::span<const asmx::Instruction> insns,
+                               dataflow::RecoveryResult rec) const;
 
   /// Phase 3: voting + confidence over `probs`, which must hold one
   /// StageProbs per work.ds.vucs entry, in order (typically a slice of a

@@ -1,0 +1,184 @@
+#include "dataflow/interproc.h"
+
+#include <array>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/obs.h"
+
+namespace cati::dataflow {
+
+using asmx::Instruction;
+using asmx::Operand;
+using asmx::Reg;
+using ir::Op;
+
+namespace {
+
+/// Lattice of what one argument register holds across call sites.
+struct ArgFact {
+  enum class Kind : uint8_t { kUnseen, kPointer, kWidth, kBottom };
+  Kind kind = Kind::kUnseen;
+  uint8_t width = 0;  // kWidth: bytes
+
+  static ArgFact pointer() { return {Kind::kPointer, 8}; }
+  static ArgFact ofWidth(uint8_t w) { return {Kind::kWidth, w}; }
+  static ArgFact bottom() { return {Kind::kBottom, 0}; }
+
+  void merge(const ArgFact& o) {
+    if (kind == Kind::kUnseen) {
+      *this = o;
+      return;
+    }
+    if (kind == o.kind && width == o.width) return;
+    *this = bottom();
+  }
+};
+
+/// What the caller placed in `arg` just before the call at op index
+/// `callIdx`: scan backwards inside the call's block for the last def.
+ArgFact callerFact(const FunctionView& fn, uint32_t callIdx, Reg arg) {
+  const ir::FunctionGraph& g = *fn.graph;
+  const ir::Block& b = g.blocks[g.blockOf(callIdx)];
+  for (uint32_t i = callIdx; i-- > b.begin;) {
+    const Op& op = g.ops[i];
+    if (!ir::maskHas(op.defs, arg)) continue;
+    if (op.tracksSlot && op.dst == arg) return ArgFact::pointer();
+    if (op.dst == arg && op.mem.kind == ir::MemEffect::Kind::kFrameSlot &&
+        !op.mem.isLea && !op.mem.write) {
+      // Loaded straight from a frame slot: the access width is the
+      // argument's width.
+      if (const auto w = asmx::accessWidth(fn.insns[i])) {
+        return ArgFact::ofWidth(static_cast<uint8_t>(*w));
+      }
+    }
+    return ArgFact::bottom();  // defined some other way
+  }
+  return ArgFact::bottom();  // nothing in this block defined it
+}
+
+/// Resolves the callee of the call instruction to an index into `fns`, or
+/// -1. Symbol name wins; otherwise the target address is matched against
+/// function entry addresses.
+int resolveCallee(
+    const Instruction& ins,
+    const std::unordered_map<std::string_view, int>& byName,
+    const std::unordered_map<uint64_t, int>& byAddr) {
+  for (const Operand& o : ins.ops) {
+    if (o.kind == Operand::Kind::Func) {
+      const auto it = byName.find(o.sym);
+      if (it != byName.end()) return it->second;
+    }
+  }
+  for (const Operand& o : ins.ops) {
+    if (o.kind == Operand::Kind::Addr) {
+      const auto it = byAddr.find(static_cast<uint64_t>(o.imm));
+      if (it != byAddr.end()) return it->second;
+    }
+  }
+  return -1;
+}
+
+/// Canonical prologue spill slots of the callee: for each argument register
+/// still holding its incoming value, the first frame-slot store of it in the
+/// entry block. Returns offset per argument index (nullopt = not spilled).
+std::array<std::optional<int64_t>, 6> prologueSpills(const FunctionView& fn) {
+  std::array<std::optional<int64_t>, 6> out{};
+  const ir::FunctionGraph& g = *fn.graph;
+  if (g.blocks.empty()) return out;
+  ir::RegMask incoming = 0;
+  for (const Reg r : ir::argRegs()) incoming |= ir::regBit(r);
+  const ir::Block& entry = g.blocks[0];
+  if (entry.barrier) return out;
+  for (uint32_t i = entry.begin; i < entry.end; ++i) {
+    const Op& op = g.ops[i];
+    const Instruction& ins = fn.insns[i];
+    if (op.mem.kind == ir::MemEffect::Kind::kFrameSlot && op.mem.write &&
+        ins.mnem.starts_with("mov") && ins.ops[0].kind == Operand::Kind::Reg) {
+      const Reg src = ins.ops[0].reg.reg;
+      if (ir::maskHas(incoming, src)) {
+        const auto args = ir::argRegs();
+        for (size_t k = 0; k < args.size(); ++k) {
+          if (args[k] == src && !out[k]) out[k] = op.mem.slot;
+        }
+      }
+    }
+    incoming &= ~op.defs;
+    if (!incoming) break;
+  }
+  return out;
+}
+
+}  // namespace
+
+InterprocStats propagateCallFacts(std::span<FunctionView> fns) {
+  InterprocStats stats;
+
+  std::unordered_map<std::string_view, int> byName;
+  std::unordered_map<uint64_t, int> byAddr;
+  for (size_t i = 0; i < fns.size(); ++i) {
+    if (!fns[i].name.empty()) byName.emplace(fns[i].name, static_cast<int>(i));
+    if (fns[i].addr != 0) byAddr.emplace(fns[i].addr, static_cast<int>(i));
+  }
+
+  // Per-callee, per-argument merged facts across all resolved call sites.
+  std::vector<std::array<ArgFact, 6>> facts(fns.size());
+  const auto args = ir::argRegs();
+
+  for (const FunctionView& caller : fns) {
+    if (!caller.graph || caller.insns.empty()) continue;
+    const ir::FunctionGraph& g = *caller.graph;
+    for (uint32_t i = 0; i < g.ops.size(); ++i) {
+      if (g.ops[i].kind != ir::OpKind::kCall) continue;
+      ++stats.callSites;
+      const int callee = resolveCallee(caller.insns[i], byName, byAddr);
+      if (callee < 0) continue;
+      ++stats.resolvedSites;
+      for (size_t k = 0; k < args.size(); ++k) {
+        facts[static_cast<size_t>(callee)][k].merge(
+            callerFact(caller, i, args[k]));
+      }
+    }
+  }
+
+  for (size_t f = 0; f < fns.size(); ++f) {
+    FunctionView& fn = fns[f];
+    if (!fn.graph || !fn.rec) continue;
+    bool any = false;
+    for (const ArgFact& af : facts[f]) {
+      if (af.kind == ArgFact::Kind::kPointer ||
+          af.kind == ArgFact::Kind::kWidth) {
+        any = true;
+      }
+    }
+    if (!any) continue;
+    const auto spills = prologueSpills(fn);
+    for (size_t k = 0; k < args.size(); ++k) {
+      const ArgFact& af = facts[f][k];
+      if (!spills[k]) continue;
+      if (af.kind != ArgFact::Kind::kPointer &&
+          af.kind != ArgFact::Kind::kWidth) {
+        continue;
+      }
+      for (RecoveredVariable& rv : fn.rec->vars) {
+        if (rv.offset != *spills[k]) continue;
+        if (af.kind == ArgFact::Kind::kPointer) rv.paramPointer = true;
+        rv.paramWidth = af.width;
+        ++stats.paramFacts;
+        break;
+      }
+    }
+  }
+
+  if (obs::enabled()) {
+    obs::counter("dataflow.interproc.call_sites").add(stats.callSites);
+    obs::counter("dataflow.interproc.resolved_sites").add(stats.resolvedSites);
+    obs::counter("dataflow.interproc.param_facts").add(stats.paramFacts);
+  }
+  return stats;
+}
+
+}  // namespace cati::dataflow

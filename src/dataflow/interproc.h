@@ -1,0 +1,58 @@
+// Binary-level interprocedural propagation of pointer/width facts through
+// direct call sites ("Beyond the Edge of Function", PAPERS.md: type evidence
+// crosses function boundaries).
+//
+// For every resolved direct call  caller --call--> callee  the pass looks at
+// what the caller placed in the System V integer argument registers
+// (rdi, rsi, rdx, rcx, r8, r9) immediately before the call:
+//   - a register holding the address of a caller frame slot (a reaching lea)
+//     yields a *pointer* fact;
+//   - a register loaded straight from a caller frame slot yields a *width*
+//     fact (the load's access width).
+// On the callee side it finds the canonical prologue spills
+// (`mov %rdi,-0x18(%rbp)` before rdi is redefined) and — when every resolved
+// call site agrees — decorates the recovered variable for that spill slot
+// with paramPointer / paramWidth. Facts never override the NN's prediction;
+// they ride along as hints on RecoveredVariable.
+//
+// Determinism: functions are processed in input order, call sites in
+// instruction order, and facts merge by agreement (any disagreement or any
+// unresolved site drops the fact), so the result is independent of thread
+// count and identical across runs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "asmx/instruction.h"
+#include "dataflow/recovery.h"
+#include "ir/ir.h"
+
+namespace cati::dataflow {
+
+/// One function of a binary as the interprocedural pass sees it. `rec` is
+/// updated in place; `graph` must be the lowered form of `insns` (block
+/// passes run). `insnAddrs` may be empty (then only symbol-name resolution
+/// applies); `addr` is the entry virtual address (0 = unknown).
+struct FunctionView {
+  std::string_view name;
+  uint64_t addr = 0;
+  std::span<const asmx::Instruction> insns;
+  std::span<const uint64_t> insnAddrs;
+  const ir::FunctionGraph* graph = nullptr;
+  RecoveryResult* rec = nullptr;
+};
+
+/// Statistics returned for observability (also tallied as obs counters
+/// `dataflow.interproc.*` when metrics are enabled).
+struct InterprocStats {
+  uint64_t callSites = 0;      ///< direct calls seen
+  uint64_t resolvedSites = 0;  ///< calls bound to a function in the set
+  uint64_t paramFacts = 0;     ///< hints written onto recovered variables
+};
+
+/// Runs the pass over all functions of one binary.
+InterprocStats propagateCallFacts(std::span<FunctionView> fns);
+
+}  // namespace cati::dataflow

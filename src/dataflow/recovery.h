@@ -3,17 +3,22 @@
 // accurately enough by existing work"; §VII-B reports ~90% recovery).
 //
 // Given one function's instructions and no debug info, the pass:
-//   1. detects the frame discipline (rbp-based vs rsp-based);
-//   2. collects every frame-slot access (memory operands based on the frame
-//      register) and every address-taken slot (lea of a frame slot);
-//   3. coalesces aggregate member accesses into their address-taken base
-//      slot when the gap is small and no other base intervenes;
-//   4. tracks lea-loaded addresses through registers (local reaching
-//      definitions, killed at calls/jumps/redefinition) so dereference
-//      instructions are attributed to the pointed-to local.
+//   1. lowers the stream into the typed IR (src/ir) — basic blocks, explicit
+//      defs/uses, frame-slot/memory effects — and runs the block passes;
+//   2. collects every frame-slot access (including index-register array
+//      accesses, attributed to the base slot) and every address-taken slot;
+//   3. runs a worklist reaching-definitions analysis of frame-slot addresses
+//      across block edges (must-facts, intersection at joins; calls kill
+//      only caller-saved registers; barrier blocks kill everything) so
+//      dereferences are attributed to the pointed-to local even across
+//      branches and loops;
+//   4. coalesces aggregate member accesses into their address-taken base
+//      slot when the gap is small and no other base intervenes.
 //
 // The result is a set of recovered variables, each with the instruction
 // indices that operate it — exactly the grouping the VUC voting stage needs.
+// A separate binary-level pass (interproc.h) can then decorate recovered
+// parameters with pointer/width facts observed at direct call sites.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +26,7 @@
 #include <vector>
 
 #include "asmx/instruction.h"
+#include "ir/ir.h"
 #include "synth/synth.h"
 
 namespace cati::dataflow {
@@ -29,6 +35,9 @@ struct RecoveredVariable {
   bool rbpFrame = false;
   int64_t offset = 0;          ///< frame-relative slot offset (base slot)
   bool addressTaken = false;   ///< a lea of this slot exists
+  bool indexed = false;        ///< accessed with an index register (array)
+  bool paramPointer = false;   ///< interproc: every caller passes a frame address
+  uint8_t paramWidth = 0;      ///< interproc: agreed argument width in bytes
   std::vector<uint32_t> targetInsns;  ///< instruction indices operating it
 };
 
@@ -37,8 +46,12 @@ struct RecoveryResult {
   std::vector<RecoveredVariable> vars;
 };
 
-/// Recovers variables from one function body.
+/// Recovers variables from one function body (lowers to IR internally).
 RecoveryResult recoverVariables(std::span<const asmx::Instruction> insns);
+
+/// Recovers variables from an already-lowered graph (block passes assumed
+/// run) — the path the loader's decode cache feeds.
+RecoveryResult recoverVariables(const ir::FunctionGraph& g);
 
 /// Accuracy of a recovery against the generator's ground truth.
 struct RecoveryScore {

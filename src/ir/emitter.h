@@ -1,0 +1,85 @@
+// Emitter: cursor-style construction of a FunctionGraph.
+//
+// The lowering pipeline appends ops left to right, opening a new block at
+// each leader; tests build synthetic graphs the same way. The emitter owns
+// all invariant bookkeeping — contiguous blocks, sorted/deduplicated edge
+// lists, symmetric succ/pred sets — so a finished graph is valid by
+// construction.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace cati::ir {
+
+class Emitter {
+ public:
+  explicit Emitter(bool rbpFrame) { graph_.rbpFrame = rbpFrame; }
+
+  /// Appends one already-lowered op. `leader` opens a new block at this op;
+  /// the first op is always a leader. Barrier status of the block is derived
+  /// from the ops it receives (mixing barrier and normal ops is an error in
+  /// lowering, asserted in finish()).
+  void emit(Op op, bool leader) {
+    if (leader || graph_.blocks.empty()) beginBlock();
+    graph_.ops.push_back(std::move(op));
+    graph_.blocks.back().end = cursor();
+  }
+
+  /// Lowers `ins` and appends it (the main construction path). Call ops get
+  /// their symbolic callee interned into the graph's name table.
+  void lowerAndEmit(const asmx::Instruction& ins, bool leader) {
+    Op op = lowerOp(ins, graph_.rbpFrame);
+    if (op.kind == OpKind::kCall) op.callee = internCallee(ins);
+    emit(std::move(op), leader);
+  }
+
+  /// Interns the call instruction's `<func>` symbol (if any) into the
+  /// graph's callee name table; returns its index or -1.
+  int32_t internCallee(const asmx::Instruction& ins) {
+    for (const asmx::Operand& o : ins.ops) {
+      if (o.kind != asmx::Operand::Kind::Func) continue;
+      for (size_t i = 0; i < graph_.calleeNames.size(); ++i) {
+        if (graph_.calleeNames[i] == o.sym) return static_cast<int32_t>(i);
+      }
+      graph_.calleeNames.push_back(o.sym);
+      return static_cast<int32_t>(graph_.calleeNames.size() - 1);
+    }
+    return -1;
+  }
+
+  /// Number of ops emitted so far == index the next op will get.
+  uint32_t cursor() const { return static_cast<uint32_t>(graph_.ops.size()); }
+
+  /// Number of blocks opened so far.
+  uint32_t blockCount() const {
+    return static_cast<uint32_t>(graph_.blocks.size());
+  }
+
+  /// Records a CFG edge between blocks by index. Edges may be added in any
+  /// order and repeatedly; finish() sorts and deduplicates.
+  void edge(uint32_t from, uint32_t to) { edges_.emplace_back(from, to); }
+
+  void addUnresolvedTarget() { ++graph_.unresolvedTargets; }
+
+  /// Seals the graph: derives per-block barrier flags, materialises sorted
+  /// unique succ/pred lists, and returns the finished FunctionGraph. The
+  /// emitter is left empty.
+  FunctionGraph finish();
+
+ private:
+  void beginBlock() {
+    Block b;
+    b.begin = cursor();
+    b.end = cursor();
+    graph_.blocks.push_back(b);
+  }
+
+  FunctionGraph graph_;
+  std::vector<std::pair<uint32_t, uint32_t>> edges_;
+};
+
+}  // namespace cati::ir

@@ -1,0 +1,96 @@
+#include "ir/passes.h"
+
+#include <array>
+
+#include "common/obs.h"
+
+namespace cati::ir {
+
+using asmx::Reg;
+
+namespace {
+
+/// Block-local register → frame-slot-address facts.
+struct LocalFacts {
+  RegMask valid = 0;
+  std::array<int64_t, 64> slot{};
+
+  void set(Reg r, int64_t s) {
+    valid |= regBit(r);
+    slot[static_cast<unsigned>(r)] = s;
+  }
+  bool has(Reg r) const { return maskHas(valid, r); }
+  int64_t get(Reg r) const { return slot[static_cast<unsigned>(r)]; }
+};
+
+}  // namespace
+
+size_t propagateCopies(FunctionGraph& g) {
+  size_t rewrites = 0;
+  for (const Block& b : g.blocks) {
+    if (b.barrier) continue;
+    LocalFacts facts;
+    for (uint32_t i = b.begin; i < b.end; ++i) {
+      Op& op = g.ops[i];
+      // Resolve a pointer dereference whose base provably holds a frame-slot
+      // address established earlier in this block.
+      if (op.mem.kind == MemEffect::Kind::kIndirect && facts.has(op.mem.base)) {
+        op.mem.kind = MemEffect::Kind::kFrameSlot;
+        op.mem.slot = facts.get(op.mem.base);
+        op.mem.base = Reg::None;
+        ++rewrites;
+      }
+      // Copy source fact must be read before the op's own kills (the copy
+      // may overwrite its source, e.g. mov %rax,%rax).
+      bool copyGen = false;
+      int64_t copySlot = 0;
+      if (op.kind == OpKind::kCopy && !op.tracksSlot &&
+          facts.has(op.copySrc)) {
+        copyGen = true;
+        copySlot = facts.get(op.copySrc);
+      }
+      facts.valid &= ~op.defs;
+      if (op.tracksSlot && op.dst != Reg::None) {
+        facts.set(op.dst, op.trackedSlot);
+      } else if (copyGen) {
+        op.tracksSlot = true;
+        op.trackedSlot = copySlot;
+        facts.set(op.dst, copySlot);
+        ++rewrites;
+      }
+    }
+  }
+  return rewrites;
+}
+
+size_t eliminateDeadTracks(FunctionGraph& g) {
+  size_t removed = 0;
+  for (const Block& b : g.blocks) {
+    if (b.barrier) continue;
+    // Backward liveness with everything live at the block exit (facts may
+    // flow to successors); only an in-block redefinition can prove a track
+    // dead.
+    RegMask live = ~RegMask{0};
+    for (uint32_t i = b.end; i-- > b.begin;) {
+      Op& op = g.ops[i];
+      if (op.tracksSlot && op.dst != Reg::None && !maskHas(live, op.dst)) {
+        op.tracksSlot = false;
+        ++removed;
+      }
+      live &= ~op.defs;
+      live |= op.uses;
+    }
+  }
+  return removed;
+}
+
+void runBlockPasses(FunctionGraph& g) {
+  const size_t copies = propagateCopies(g);
+  const size_t dead = eliminateDeadTracks(g);
+  if (obs::enabled()) {
+    obs::counter("ir.pass.copies_propagated").add(copies);
+    obs::counter("ir.pass.dead_tracks_eliminated").add(dead);
+  }
+}
+
+}  // namespace cati::ir

@@ -1,0 +1,32 @@
+// Small per-block optimizer passes over the lowered IR. Both are purely
+// intra-block (no fact crosses an edge here — that is dataflow's job), so
+// they are sound regardless of CFG shape and run in one linear scan each.
+#pragma once
+
+#include <cstddef>
+
+#include "ir/ir.h"
+
+namespace cati::ir {
+
+/// Copy/lea propagation: walks each block tracking which registers hold a
+/// frame-slot address (from lea or an earlier propagated copy). A 64-bit
+/// reg-to-reg mov whose source is tracked becomes a tracking op itself
+/// (tracksSlot/trackedSlot set), and an indirect memory effect whose base
+/// register is tracked is rewritten to the frame slot it provably addresses
+/// (the `indexed` flag is preserved, so array-style dereferences stay
+/// recognisable). Returns the number of ops rewritten.
+size_t propagateCopies(FunctionGraph& g);
+
+/// Dead-track elimination: clears tracksSlot on an op whose defined register
+/// is redefined later in the same block without an intervening use and whose
+/// tracking therefore cannot reach a dereference or the block exit. The
+/// op's memory effect (the address-taken lea itself) is left untouched.
+/// Returns the number of tracks eliminated.
+size_t eliminateDeadTracks(FunctionGraph& g);
+
+/// Runs both passes in canonical order (propagation first, so copies count
+/// as uses before liveness is judged) and tallies obs counters.
+void runBlockPasses(FunctionGraph& g);
+
+}  // namespace cati::ir

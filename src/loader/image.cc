@@ -12,6 +12,7 @@
 #include "common/obs.h"
 #include "common/parallel.h"
 #include "common/serialize.h"
+#include "ir/passes.h"
 
 namespace cati::loader {
 
@@ -239,7 +240,8 @@ namespace {
 /// table order, so both the function list and the diagnostic order are
 /// exactly what the serial walk produced.
 std::vector<LoadedFunction> disassembleImpl(const Image& img, DiagList* diags,
-                                            par::ThreadPool* pool) {
+                                            par::ThreadPool* pool,
+                                            DecodeCache* cache = nullptr) {
   static obs::Histogram& disasmNs = obs::timer("loader.disassemble_ns");
   const obs::ScopedTimer timing(disasmNs);
   // Address -> symbol for call re-attachment and function naming.
@@ -249,7 +251,24 @@ std::vector<LoadedFunction> disassembleImpl(const Image& img, DiagList* diags,
   struct BoundaryOut {
     std::optional<LoadedFunction> fn;
     DiagList diags;
+    bool cacheHit = false;
+    std::shared_ptr<const DecodeCache::Entry> newEntry;  // miss: to insert
   };
+  // The cache stores recovering-mode decode output only; strict mode
+  // (diags == nullptr) has different failure semantics, so it bypasses the
+  // cache entirely.
+  DecodeCache* const useCache = diags != nullptr ? cache : nullptr;
+  // Symbol-table fingerprint: cached streams are symbolized, so the key
+  // must distinguish e.g. the stripped and unstripped forms of one binary.
+  uint64_t symSalt = 0;
+  if (useCache) {
+    for (const Symbol& s : img.symbols) {
+      symSalt = io::crc32(s.name.data(), s.name.size(),
+                          static_cast<uint32_t>(symSalt));
+      symSalt = io::crc32(&s.value, sizeof s.value,
+                          static_cast<uint32_t>(symSalt));
+    }
+  }
   par::ThreadPool inlinePool(1);
   par::ThreadPool& tp = pool ? *pool : inlinePool;
   std::vector<BoundaryOut> parts = par::parallelMap<BoundaryOut>(
@@ -278,15 +297,43 @@ std::vector<LoadedFunction> disassembleImpl(const Image& img, DiagList* diags,
         }
         const std::span<const uint8_t> body(
             img.text.data() + (b.start - img.baseAddr), b.end - b.start);
-        fn.insns = diags == nullptr
-                       ? asmx::decodeAll(body, b.start)
-                       : asmx::decodeAllRecover(body, b.start, &part.diags);
-        // Symbolize call targets where the symbol table allows.
-        for (asmx::Instruction& ins : fn.insns) {
-          if (!asmx::isCall(ins)) continue;
-          const auto sym = byAddr.find(static_cast<uint64_t>(ins.ops[0].imm));
-          if (sym != byAddr.end()) {
-            ins.ops[1] = asmx::Operand::func(sym->second->name);
+        std::shared_ptr<const DecodeCache::Entry> hit;
+        if (useCache) hit = useCache->find(b.start, symSalt, body);
+        if (hit) {
+          // Replay: the key covers the symbol table, so the cached stream
+          // is already symbolized for it — copy insns/addrs/decode diags
+          // and share the graph; no decode, no relowering.
+          part.cacheHit = true;
+          fn.insns = hit->insns;
+          fn.insnAddrs = hit->insnAddrs;
+          fn.graph = hit->graph;
+          part.diags = hit->decodeDiags;
+        } else {
+          fn.insns = diags == nullptr
+                         ? asmx::decodeAll(body, b.start, &fn.insnAddrs)
+                         : asmx::decodeAllRecover(body, b.start, &part.diags,
+                                                  &fn.insnAddrs);
+          // Symbolize call targets where the symbol table allows, *before*
+          // lowering: the graph interns callee names for the dataflow layer.
+          for (asmx::Instruction& ins : fn.insns) {
+            if (!asmx::isCall(ins)) continue;
+            const auto sym =
+                byAddr.find(static_cast<uint64_t>(ins.ops[0].imm));
+            if (sym != byAddr.end()) {
+              ins.ops[1] = asmx::Operand::func(sym->second->name);
+            }
+          }
+          auto g = std::make_shared<ir::FunctionGraph>(
+              ir::lower(fn.insns, fn.insnAddrs));
+          ir::runBlockPasses(*g);
+          fn.graph = std::move(g);
+          if (useCache) {
+            auto entry = std::make_shared<DecodeCache::Entry>();
+            entry->insns = fn.insns;
+            entry->insnAddrs = fn.insnAddrs;
+            entry->decodeDiags = part.diags;
+            entry->graph = fn.graph;
+            part.newEntry = std::move(entry);
           }
         }
         part.fn = std::move(fn);
@@ -300,8 +347,26 @@ std::vector<LoadedFunction> disassembleImpl(const Image& img, DiagList* diags,
   uint64_t bytesDecoded = 0;
   uint64_t quarantined = 0;
   uint64_t skipped = 0;
+  uint64_t cacheHits = 0;
+  uint64_t cacheMisses = 0;
+  uint64_t cacheEvictions = 0;
   for (size_t i = 0; i < parts.size(); ++i) {
     BoundaryOut& part = parts[i];
+    // LRU mutations happen only here, in boundary-table order, so cache
+    // evolution is identical at any job count (see cache.h contract).
+    if (useCache && part.fn) {
+      const BoundaryEntry& b = img.boundaries[i];
+      const std::span<const uint8_t> body(
+          img.text.data() + (b.start - img.baseAddr), b.end - b.start);
+      if (part.cacheHit) {
+        ++cacheHits;
+        useCache->promote(b.start, symSalt, body);
+      } else if (part.newEntry) {
+        ++cacheMisses;
+        cacheEvictions +=
+            useCache->insert(b.start, symSalt, body, std::move(part.newEntry));
+      }
+    }
     if (obs::enabled()) {
       if (part.fn) {
         const BoundaryEntry& b = img.boundaries[i];
@@ -330,6 +395,11 @@ std::vector<LoadedFunction> disassembleImpl(const Image& img, DiagList* diags,
     obs::counter("loader.bytes_decoded").add(bytesDecoded);
     obs::counter("loader.quarantined_byte_runs").add(quarantined);
     obs::counter("loader.boundaries_skipped").add(skipped);
+    if (useCache) {
+      obs::counter("loader.cache.hits").add(cacheHits);
+      obs::counter("loader.cache.misses").add(cacheMisses);
+      obs::counter("loader.cache.evictions").add(cacheEvictions);
+    }
   }
   return out;
 }
@@ -347,6 +417,12 @@ std::vector<LoadedFunction> disassemble(const Image& img, DiagList& diags) {
 std::vector<LoadedFunction> disassemble(const Image& img, DiagList& diags,
                                         par::ThreadPool& pool) {
   return disassembleImpl(img, &diags, &pool);
+}
+
+std::vector<LoadedFunction> disassemble(const Image& img, DiagList& diags,
+                                        par::ThreadPool& pool,
+                                        DecodeCache& cache) {
+  return disassembleImpl(img, &diags, &pool, &cache);
 }
 
 }  // namespace cati::loader

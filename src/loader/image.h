@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <istream>
+#include <memory>
 #include <optional>
 #include <ostream>
 #include <string>
@@ -22,6 +23,8 @@
 #include "asmx/instruction.h"
 #include "common/diag.h"
 #include "debuginfo/debuginfo.h"
+#include "ir/ir.h"
+#include "loader/cache.h"
 #include "synth/synth.h"
 
 namespace cati::loader {
@@ -90,10 +93,15 @@ std::optional<Image> readFile(const std::filesystem::path& p,
 /// One disassembled function. When the image still has symbols, `name` is
 /// the function symbol and call instructions carry re-attached `<func>`
 /// operands; in a stripped image names are synthesized (`fun_401020`).
+/// Every function carries its per-instruction virtual addresses and the
+/// lowered FunctionGraph (block passes run) — shared by pointer, so a
+/// decode-cache hit costs no relowering.
 struct LoadedFunction {
   std::string name;
   uint64_t addr = 0;
   std::vector<asmx::Instruction> insns;
+  std::vector<uint64_t> insnAddrs;  ///< virtual address of each instruction
+  std::shared_ptr<const ir::FunctionGraph> graph;
 };
 
 /// Disassembles .text using the boundary table, symbolizing what the
@@ -113,5 +121,14 @@ std::vector<LoadedFunction> disassemble(const Image& img, DiagList& diags);
 /// are bit-identical to the serial overloads at any job count.
 std::vector<LoadedFunction> disassemble(const Image& img, DiagList& diags,
                                         par::ThreadPool& pool);
+
+/// Recovering disassembly backed by a decode+lowering cache. Hits skip the
+/// decode, symbolization and IR construction entirely (entries hold the
+/// symbolized stream; the symbol-table fingerprint is part of the key);
+/// output — functions, graphs, diagnostics — is byte-identical to the
+/// uncached overloads at any job count and any cache state.
+std::vector<LoadedFunction> disassemble(const Image& img, DiagList& diags,
+                                        par::ThreadPool& pool,
+                                        DecodeCache& cache);
 
 }  // namespace cati::loader

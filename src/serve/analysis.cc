@@ -8,6 +8,7 @@
 
 #include "common/errors.h"
 #include "common/obs.h"
+#include "dataflow/interproc.h"
 
 namespace cati::serve {
 
@@ -112,6 +113,43 @@ void addDegradedFnDiag(DiagList* diags, const loader::LoadedFunction& fn,
           "function " + fn.name + " skipped (degraded): " + e.what());
 }
 
+/// Recovering disassembly, routed through the decode+lowering cache when
+/// one is supplied (the cached overload needs a pool; fall back to an
+/// inline single-thread pool so the cache still works without one).
+std::vector<loader::LoadedFunction> disassembleFor(const loader::Image& img,
+                                                   DiagList& diags,
+                                                   par::ThreadPool* pool,
+                                                   loader::DecodeCache* cache) {
+  if (cache != nullptr) {
+    if (pool != nullptr) return loader::disassemble(img, diags, *pool, *cache);
+    par::ThreadPool inlinePool(1);
+    return loader::disassemble(img, diags, inlinePool, *cache);
+  }
+  return pool != nullptr ? loader::disassemble(img, diags, *pool)
+                         : loader::disassemble(img, diags);
+}
+
+/// Shared front half of both analysis paths: recover every function off its
+/// loader FunctionGraph (decode-cache hits skip relowering), then run the
+/// binary-level interprocedural pass so parameter hints decorate the
+/// recoveries before any per-function work begins.
+std::vector<dataflow::RecoveryResult> recoverAll(
+    const std::vector<loader::LoadedFunction>& fns) {
+  std::vector<dataflow::RecoveryResult> recs(fns.size());
+  for (size_t i = 0; i < fns.size(); ++i) {
+    recs[i] = fns[i].graph != nullptr
+                  ? dataflow::recoverVariables(*fns[i].graph)
+                  : dataflow::recoverVariables(fns[i].insns);
+  }
+  std::vector<dataflow::FunctionView> views(fns.size());
+  for (size_t i = 0; i < fns.size(); ++i) {
+    views[i] = {fns[i].name,      fns[i].addr,        fns[i].insns,
+                fns[i].insnAddrs, fns[i].graph.get(), &recs[i]};
+  }
+  dataflow::propagateCallFacts(views);
+  return recs;
+}
+
 }  // namespace
 
 AnalyzeResult analyzeImage(Engine& engine, const loader::Image& img,
@@ -123,15 +161,17 @@ AnalyzeResult analyzeImage(Engine& engine, const loader::Image& img,
                        std::chrono::milliseconds(opts.timeoutMs));
   }
   const std::vector<loader::LoadedFunction> fns =
-      pool != nullptr ? loader::disassemble(img, res.diags, *pool)
-                      : loader::disassemble(img, res.diags);
+      disassembleFor(img, res.diags, pool, opts.cache);
+  std::vector<dataflow::RecoveryResult> recs = recoverAll(fns);
   ReportStats stats;
   size_t fnsDone = 0;
   bool timedOut = false;
-  for (const loader::LoadedFunction& fn : fns) {
+  for (size_t i = 0; i < fns.size(); ++i) {
+    const loader::LoadedFunction& fn = fns[i];
     std::vector<AnalyzedVariable> vars;
     try {
-      vars = engine.analyzeFunction(fn.insns, pool, batch, &res.diags);
+      vars = engine.analyzeFunction(fn.insns, std::move(recs[i]), pool, batch,
+                                    &res.diags);
     } catch (const TimeoutError&) {
       // Clean partial output: everything analyzed so far stays valid.
       timedOut = true;
@@ -151,17 +191,19 @@ AnalyzeResult analyzeImage(Engine& engine, const loader::Image& img,
 }
 
 PreparedRequest::PreparedRequest(const Engine& engine, loader::Image img,
-                                 par::ThreadPool* pool, float confMin)
+                                 par::ThreadPool* pool, float confMin,
+                                 loader::DecodeCache* cache)
     : img_(std::move(img)), confMin_(confMin) {
   std::vector<loader::LoadedFunction> fns =
-      pool != nullptr ? loader::disassemble(img_, preDiags_, *pool)
-                      : loader::disassemble(img_, preDiags_);
+      disassembleFor(img_, preDiags_, pool, cache);
+  std::vector<dataflow::RecoveryResult> recs = recoverAll(fns);
   fns_.reserve(fns.size());
-  for (loader::LoadedFunction& fn : fns) {
+  for (size_t i = 0; i < fns.size(); ++i) {
     PreparedFn pf;
-    pf.fn = std::move(fn);
+    pf.fn = std::move(fns[i]);
     try {
-      Engine::FunctionWork work = engine.prepareFunction(pf.fn.insns);
+      Engine::FunctionWork work =
+          engine.prepareFunction(pf.fn.insns, std::move(recs[i]));
       pf.vucBegin = vucs_.size();
       vucs_.insert(vucs_.end(), work.ds.vucs.begin(), work.ds.vucs.end());
       pf.vucEnd = vucs_.size();

@@ -38,6 +38,10 @@ struct AnalyzeOptions {
   /// Offline only (--timeout-ms); the daemon never sets a deadline, so its
   /// output matches an offline run without one.
   long timeoutMs = 0;
+  /// Optional decode+lowering cache shared across analyses of the same
+  /// bytes (cati-infer re-analysis, the daemon's batch loop). Purely a
+  /// speedup: output is bit-identical with or without it.
+  loader::DecodeCache* cache = nullptr;
 };
 
 struct AnalyzeResult {
@@ -57,11 +61,14 @@ AnalyzeResult analyzeImage(Engine& engine, const loader::Image& img,
 class PreparedRequest {
  public:
   /// Phase 1 for every function of `img`: disassemble (recovering, via
-  /// `pool`), then Engine::prepareFunction per function. A function whose
+  /// `pool`, through `cache` when given), recover every function off its
+  /// FunctionGraph, run the interprocedural call-fact pass over the whole
+  /// binary, then Engine::prepareFunction per function. A function whose
   /// preparation throws degrades exactly like the offline loop (same diag
   /// text, same engine.analyze.degraded counter) and contributes no VUCs.
   PreparedRequest(const Engine& engine, loader::Image img,
-                  par::ThreadPool* pool, float confMin);
+                  par::ThreadPool* pool, float confMin,
+                  loader::DecodeCache* cache = nullptr);
 
   /// Every VUC of every surviving function, concatenated in function order —
   /// the daemon's unit of cross-request coalescing.

@@ -18,6 +18,7 @@ Server::Server(Engine& engine, ServerConfig cfg)
       cache_(cfg_.cacheBytes, cfg_.cacheDir, cfg_.cacheHash) {
   if (cfg_.maxGroup == 0) cfg_.maxGroup = 1;
   if (cfg_.maxOutbound == 0) cfg_.maxOutbound = 1;
+  if (cfg_.decodeCacheBytes > 0) decodeCache_.emplace(cfg_.decodeCacheBytes);
 }
 
 Server::~Server() { stop(); }
@@ -381,7 +382,8 @@ void Server::processGroup(std::vector<Job>& group) {
       continue;
     }
     try {
-      preps[i].emplace(engine_, std::move(*img), &pool_, req.confMin);
+      preps[i].emplace(engine_, std::move(*img), &pool_, req.confMin,
+                       decodeCache_ ? &*decodeCache_ : nullptr);
       sliceBegin[i] = allVucs.size();
       allVucs.insert(allVucs.end(), preps[i]->vucs().begin(),
                      preps[i]->vucs().end());

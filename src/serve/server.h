@@ -47,6 +47,7 @@
 #include "cati/engine.h"
 #include "common/parallel.h"
 #include "common/sock.h"
+#include "loader/cache.h"
 #include "serve/cache.h"
 #include "serve/protocol.h"
 
@@ -61,6 +62,9 @@ struct ServerConfig {
   size_t maxOutbound = 64;  ///< per-connection reply bound before drop
   size_t cacheBytes = 0;    ///< result-cache budget; 0 disables
   std::filesystem::path cacheDir;  ///< empty: in-memory cache
+  /// Decode+lowering cache budget shared across the batch loop's requests
+  /// (repeat binaries skip decode + IR construction); 0 disables.
+  size_t decodeCacheBytes = loader::DecodeCache::kDefaultBytes;
   long maxRequests = 0;  ///< >0: request stop after N analyze replies
   ResultCache::HashFn cacheHash = nullptr;  ///< test override
 };
@@ -163,6 +167,9 @@ class Server {
   par::ThreadPool pool_;
   sock::Listener listener_;
   ResultCache cache_;
+  /// Owned by the server, threaded through every PreparedRequest of the
+  /// batch loop; nullopt when decodeCacheBytes == 0.
+  std::optional<loader::DecodeCache> decodeCache_;
 
   std::thread acceptThread_;
   std::thread batchThread_;

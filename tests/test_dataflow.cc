@@ -6,6 +6,9 @@
 #include <gtest/gtest.h>
 
 #include "asmx/instruction.h"
+#include "dataflow/interproc.h"
+#include "ir/ir.h"
+#include "ir/passes.h"
 #include "synth/synth.h"
 
 namespace cati::dataflow {
@@ -97,15 +100,135 @@ TEST(Recovery, DistantSlotsNotCoalesced) {
   ASSERT_EQ(r.vars.size(), 2U);
 }
 
-TEST(Recovery, ScaledFrameAccessIgnored) {
-  // Indexed frame access (variable-length array walk) is not a slot access
-  // the simple recovery claims; it must not crash or produce junk offsets.
+TEST(Recovery, ScaledFrameAccessAttributedToBase) {
+  // Indexed frame access (array walk over a frame aggregate) is attributed
+  // to the base slot and flagged as indexed instead of being dropped.
   const auto insns = listing(
       "sub $0x40,%rsp\n"
       "mov 0x8(%rsp,%rcx,4),%eax\n"
       "ret\n");
   const RecoveryResult r = recoverVariables(insns);
-  EXPECT_TRUE(r.vars.empty());
+  ASSERT_EQ(r.vars.size(), 1U);
+  EXPECT_EQ(r.vars[0].offset, 0x8);
+  EXPECT_TRUE(r.vars[0].indexed);
+  EXPECT_EQ(r.vars[0].targetInsns, (std::vector<uint32_t>{1}));
+}
+
+TEST(Recovery, PushDoesNotKillLeaTracking) {
+  // Regression: the old pass treated `push %rcx` as defining rcx — and,
+  // symmetrically, a push of the tracked register as defining it — which
+  // killed address tracking across spills. A push only reads its operand.
+  const auto insns = listing(
+      "push %rbp\n"
+      "mov %rsp,%rbp\n"
+      "sub $0x20,%rsp\n"
+      "lea -0x8(%rbp),%rax\n"
+      "push %rcx\n"        // spill: must not disturb the rax fact
+      "mov (%rax),%edx\n"  // still attributed to -0x8
+      "pop %rcx\n"
+      "leave\n"
+      "ret\n");
+  const RecoveryResult r = recoverVariables(insns);
+  ASSERT_EQ(r.vars.size(), 1U);
+  EXPECT_EQ(r.vars[0].offset, -0x8);
+  EXPECT_EQ(r.vars[0].targetInsns, (std::vector<uint32_t>{3, 5}));
+}
+
+TEST(Recovery, FactsSurviveConditionalFallthrough) {
+  // The lea fact crosses the block boundary the conditional jump creates:
+  // the fallthrough edge carries it into the dereferencing block.
+  const auto insns = listing(
+      "sub $0x20,%rsp\n"
+      "lea 0x8(%rsp),%rax\n"
+      "je 9999\n"          // target outside the span: fallthrough only
+      "mov (%rax),%edx\n"
+      "ret\n");
+  const RecoveryResult r = recoverVariables(insns);
+  ASSERT_EQ(r.vars.size(), 1U);
+  EXPECT_EQ(r.vars[0].targetInsns, (std::vector<uint32_t>{1, 3}));
+}
+
+TEST(Recovery, CalleeSavedTrackingSurvivesCalls) {
+  // rbx is callee-saved: a call clobbers only the caller-saved set, so the
+  // address fact survives and the post-call dereference is attributed.
+  const auto insns = listing(
+      "sub $0x20,%rsp\n"
+      "lea 0x8(%rsp),%rbx\n"
+      "callq 1234 <foo>\n"
+      "mov (%rbx),%edx\n"
+      "ret\n");
+  const RecoveryResult r = recoverVariables(insns);
+  ASSERT_EQ(r.vars.size(), 1U);
+  EXPECT_EQ(r.vars[0].targetInsns, (std::vector<uint32_t>{1, 3}));
+}
+
+TEST(Recovery, MemcpyExtentBoundsCoalescing) {
+  // memcpy of the aggregate's address with an immediate size spells out its
+  // extent: slots inside it coalesce into the base, slots at or beyond it
+  // stay separate (the 80-byte fallback would have absorbed both).
+  const auto insns = listing(
+      "sub $0x100,%rsp\n"
+      "lea 0x10(%rsp),%rdi\n"
+      "mov $0x10,%edx\n"
+      "callq 4000 <memcpy>\n"
+      "movl $0x1,0x18(%rsp)\n"  // +8: inside the 16-byte extent
+      "movl $0x2,0x20(%rsp)\n"  // +16: at the extent boundary — separate
+      "ret\n");
+  const RecoveryResult r = recoverVariables(insns);
+  ASSERT_EQ(r.vars.size(), 2U);
+  EXPECT_EQ(r.vars[0].offset, 0x10);
+  EXPECT_EQ(r.vars[0].targetInsns, (std::vector<uint32_t>{1, 4}));
+  EXPECT_EQ(r.vars[1].offset, 0x20);
+}
+
+TEST(Interproc, CallSiteFactsReachCalleeParams) {
+  // Caller passes &local in rdi and a 4-byte load in esi; the callee spills
+  // both in its prologue. The binary-level pass must mark the rdi spill
+  // slot as a pointer parameter and record the esi width.
+  const auto callerInsns = listing(
+      "push %rbp\n"
+      "mov %rsp,%rbp\n"
+      "sub $0x20,%rsp\n"
+      "lea -0x18(%rbp),%rdi\n"
+      "mov -0x4(%rbp),%esi\n"
+      "callq 1100 <helper>\n"
+      "leave\n"
+      "ret\n");
+  const auto calleeInsns = listing(
+      "push %rbp\n"
+      "mov %rsp,%rbp\n"
+      "mov %rdi,-0x18(%rbp)\n"
+      "mov %esi,-0x1c(%rbp)\n"
+      "leave\n"
+      "ret\n");
+
+  ir::FunctionGraph callerG = ir::lower(callerInsns);
+  ir::runBlockPasses(callerG);
+  ir::FunctionGraph calleeG = ir::lower(calleeInsns);
+  ir::runBlockPasses(calleeG);
+  RecoveryResult callerRec = recoverVariables(callerG);
+  RecoveryResult calleeRec = recoverVariables(calleeG);
+
+  std::vector<FunctionView> fns(2);
+  fns[0] = {"main", 0x1000, callerInsns, {}, &callerG, &callerRec};
+  fns[1] = {"helper", 0x1100, calleeInsns, {}, &calleeG, &calleeRec};
+  const InterprocStats stats = propagateCallFacts(fns);
+  EXPECT_EQ(stats.callSites, 1U);
+  EXPECT_EQ(stats.resolvedSites, 1U);
+  EXPECT_EQ(stats.paramFacts, 2U);
+
+  const RecoveredVariable* ptrVar = nullptr;
+  const RecoveredVariable* widthVar = nullptr;
+  for (const RecoveredVariable& v : calleeRec.vars) {
+    if (v.offset == -0x18) ptrVar = &v;
+    if (v.offset == -0x1c) widthVar = &v;
+  }
+  ASSERT_NE(ptrVar, nullptr);
+  EXPECT_TRUE(ptrVar->paramPointer);
+  EXPECT_EQ(ptrVar->paramWidth, 8);
+  ASSERT_NE(widthVar, nullptr);
+  EXPECT_FALSE(widthVar->paramPointer);
+  EXPECT_EQ(widthVar->paramWidth, 4);
 }
 
 TEST(Recovery, EmptyFunction) {

@@ -7,7 +7,9 @@
 #include <sstream>
 
 #include "asmx/encode.h"
+#include "common/parallel.h"
 #include "corpus/corpus.h"
+#include "loader/cache.h"
 
 namespace cati::loader {
 namespace {
@@ -278,6 +280,176 @@ TEST(Image, DataInTextRoundTripsWithByteQuarantine) {
   ASSERT_EQ(diags.size(), 1U);
   EXPECT_EQ(diags[0].severity, Severity::Warning);
   EXPECT_EQ(diags[0].offset, blobAddr);
+}
+
+// --- decode+lowering cache --------------------------------------------------
+
+namespace {
+
+void expectSameFns(const std::vector<LoadedFunction>& a,
+                   const std::vector<LoadedFunction>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].addr, b[i].addr);
+    EXPECT_EQ(a[i].insns, b[i].insns);
+    EXPECT_EQ(a[i].insnAddrs, b[i].insnAddrs);
+    ASSERT_NE(a[i].graph, nullptr);
+    ASSERT_NE(b[i].graph, nullptr);
+    EXPECT_EQ(a[i].graph->ops.size(), b[i].graph->ops.size());
+    EXPECT_EQ(a[i].graph->blocks.size(), b[i].graph->blocks.size());
+    EXPECT_EQ(a[i].graph->calleeNames, b[i].graph->calleeNames);
+  }
+}
+
+void expectSameDiags(const DiagList& a, const DiagList& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].severity, b[i].severity);
+    EXPECT_EQ(a[i].message, b[i].message);
+    EXPECT_EQ(a[i].offset, b[i].offset);
+  }
+}
+
+}  // namespace
+
+TEST(DecodeCache, SecondPassHitsEveryFunction) {
+  const Image img = buildImage(smallBin());
+  par::ThreadPool pool(2);
+  DecodeCache cache;
+  DiagList d1, d2;
+  const auto first = disassemble(img, d1, pool, cache);
+  const DecodeCache::Stats cold = cache.stats();
+  EXPECT_EQ(cold.hits, 0U);
+  EXPECT_EQ(cold.misses, img.boundaries.size());
+  EXPECT_EQ(cold.entries, img.boundaries.size());
+
+  const auto second = disassemble(img, d2, pool, cache);
+  const DecodeCache::Stats warm = cache.stats();
+  EXPECT_EQ(warm.hits, img.boundaries.size());
+  EXPECT_EQ(warm.misses, img.boundaries.size());
+  expectSameFns(first, second);
+  expectSameDiags(d1, d2);
+}
+
+TEST(DecodeCache, CachedOutputMatchesUncached) {
+  const Image img = buildImage(smallBin());
+  par::ThreadPool pool(3);
+  DecodeCache cache;
+  DiagList dPlain, dCold, dWarm;
+  const auto plain = disassemble(img, dPlain);
+  const auto cold = disassemble(img, dCold, pool, cache);
+  const auto warm = disassemble(img, dWarm, pool, cache);
+  expectSameFns(plain, cold);
+  expectSameFns(plain, warm);
+  expectSameDiags(dPlain, dCold);
+  expectSameDiags(dPlain, dWarm);
+}
+
+TEST(DecodeCache, StrippedImageDoesNotAliasUnstripped) {
+  // Same bytes, same addresses, different symbol table: the symbol-table
+  // fingerprint in the key must keep the symbolized streams apart —
+  // a stripped re-analysis must not be served unstripped names.
+  const Image img = buildImage(smallBin());
+  Image strippedImg = img;
+  strip(strippedImg);
+  par::ThreadPool pool(2);
+  DecodeCache cache;
+  DiagList d1, d2, d3;
+  const auto full = disassemble(img, d1, pool, cache);
+  const auto bare = disassemble(strippedImg, d2, pool, cache);
+  const DecodeCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits, 0U);  // distinct keys: the second image misses throughout
+  EXPECT_EQ(s.misses, 2 * img.boundaries.size());
+  // The cached stripped result matches an uncached stripped disassembly.
+  expectSameFns(bare, disassemble(strippedImg, d3));
+  EXPECT_TRUE(bare[0].name.starts_with("fun_"));
+  EXPECT_FALSE(full[0].name.starts_with("fun_"));
+}
+
+TEST(DecodeCache, TinyBudgetEvictsButStaysCorrect) {
+  const Image img = buildImage(smallBin());
+  par::ThreadPool pool(2);
+  // Measure the image's working set, then rerun with half of it: every
+  // entry fits individually, the set as a whole does not, so the LRU tail
+  // must go — and output must not care.
+  size_t workingSet = 0;
+  {
+    DecodeCache probe;
+    DiagList d;
+    disassemble(img, d, pool, probe);
+    workingSet = probe.stats().bytes;
+  }
+  DecodeCache cache(workingSet / 2);
+  DiagList d0, d1, d2;
+  const auto plain = disassemble(img, d0);
+  const auto first = disassemble(img, d1, pool, cache);
+  const auto second = disassemble(img, d2, pool, cache);
+  const DecodeCache::Stats s = cache.stats();
+  EXPECT_GT(s.evictions, 0U);
+  EXPECT_LT(s.entries, img.boundaries.size());
+  EXPECT_LE(s.bytes, workingSet / 2);
+  expectSameFns(plain, first);
+  expectSameFns(plain, second);
+}
+
+TEST(DecodeCache, JobCountInvariant) {
+  // The determinism contract: function list, diagnostics AND cache counters
+  // are identical at any job count, cold or warm.
+  const Image img = buildImage(smallBin(8, 77));
+  par::ThreadPool pool1(1), pool4(4);
+  DecodeCache cacheA, cacheB;
+  DiagList dA, dB, dA2, dB2;
+  const auto coldA = disassemble(img, dA, pool1, cacheA);
+  const auto coldB = disassemble(img, dB, pool4, cacheB);
+  expectSameFns(coldA, coldB);
+  expectSameDiags(dA, dB);
+  const auto warmA = disassemble(img, dA2, pool1, cacheA);
+  const auto warmB = disassemble(img, dB2, pool4, cacheB);
+  expectSameFns(warmA, warmB);
+  const DecodeCache::Stats sA = cacheA.stats();
+  const DecodeCache::Stats sB = cacheB.stats();
+  EXPECT_EQ(sA.hits, sB.hits);
+  EXPECT_EQ(sA.misses, sB.misses);
+  EXPECT_EQ(sA.evictions, sB.evictions);
+  EXPECT_EQ(sA.entries, sB.entries);
+  EXPECT_EQ(sA.bytes, sB.bytes);
+}
+
+TEST(DecodeCache, ReplaysQuarantineDiagnosticsOnHit) {
+  // A function with an undecodable blob: the quarantine warning is part of
+  // the cached entry and must be re-emitted on every hit, at the same
+  // offset, exactly once per disassembly.
+  Image img;
+  img.baseAddr = 0x401000;
+  uint64_t pc = img.baseAddr;
+  const auto emit = [&](const asmx::Instruction& ins) {
+    const auto b = asmx::encode(ins, pc);
+    img.text.insert(img.text.end(), b.begin(), b.end());
+    pc += b.size();
+  };
+  emit({"push", asmx::Operand::r(asmx::Reg::Rbp, asmx::Width::B8)});
+  const std::vector<uint8_t> blob = {0x06, 0x07};
+  img.text.insert(img.text.end(), blob.begin(), blob.end());
+  pc += blob.size();
+  emit(asmx::Instruction("ret"));
+  img.boundaries.push_back({img.baseAddr, pc});
+
+  par::ThreadPool pool(2);
+  DecodeCache cache;
+  DiagList d1, d2;
+  const auto first = disassemble(img, d1, pool, cache);
+  const auto second = disassemble(img, d2, pool, cache);
+  EXPECT_EQ(cache.stats().hits, 1U);
+  expectSameFns(first, second);
+  expectSameDiags(d1, d2);
+  ASSERT_EQ(d2.size(), 1U);
+  EXPECT_EQ(d2[0].severity, Severity::Warning);
+  // The barrier run survives the cache as an opaque barrier block.
+  ASSERT_NE(second[0].graph, nullptr);
+  bool sawBarrier = false;
+  for (const auto& b : second[0].graph->blocks) sawBarrier |= b.barrier;
+  EXPECT_TRUE(sawBarrier);
 }
 
 }  // namespace

@@ -97,8 +97,12 @@ int run(int argc, char** argv, const cati::cli::Common& common) {
   }
 
   // common.batch (or CATI_BATCH) sets the inference batch; results are
-  // identical at any batch size, only throughput changes.
+  // identical at any batch size, only throughput changes. The decode cache
+  // makes repeat analysis of the same functions (re-runs, shared bodies)
+  // skip decode + IR lowering; it never changes output.
   par::ThreadPool pool(par::resolveJobs(jobs));
+  loader::DecodeCache decodeCache;
+  opts.cache = &decodeCache;
   const serve::AnalyzeResult result =
       serve::analyzeImage(engine, *img, &pool, common.batch, opts);
   std::fputs(result.report.c_str(), stdout);

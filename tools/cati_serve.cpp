@@ -13,7 +13,7 @@
 //
 // Usage: cati-serve MODEL.bin --listen ADDR [--jobs N] [--max-queue N]
 //                   [--max-group N] [--cache-bytes SIZE] [--cache-dir DIR]
-//                   [--max-requests N]
+//                   [--decode-cache SIZE] [--max-requests N]
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -30,7 +30,7 @@ namespace {
 constexpr const char* kUsagePrefix =
     "usage: cati-serve MODEL.bin --listen ADDR [--jobs N] [--max-queue N] "
     "[--max-group N] [--cache-bytes SIZE] [--cache-dir DIR] "
-    "[--max-requests N] [--quant] [--mmap]";
+    "[--decode-cache SIZE] [--max-requests N] [--quant] [--mmap]";
 
 std::string usageLine() {
   return std::string(kUsagePrefix) + cati::cli::kCommonUsage +
@@ -86,6 +86,11 @@ int run(int argc, char** argv, const cati::cli::Common& common) {
     } else if (arg == "--cache-dir") {
       seen.note(arg);
       cfg.cacheDir = next();
+    } else if (arg == "--decode-cache") {
+      // Decode+lowering cache budget (0 disables); repeat binaries across
+      // requests skip decode and IR construction.
+      seen.note(arg);
+      cfg.decodeCacheBytes = static_cast<size_t>(cli::parseSize(arg, next()));
     } else if (arg == "--max-requests") {
       seen.note(arg);
       const long v = cli::parseInt(arg, next());
